@@ -1,0 +1,52 @@
+//! k-means clustering — single-machine, multi-threaded version.
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+
+struct GlobalState {
+    centroids: Vec<Vec<f64>>,
+    acc_sums: Vec<Vec<f64>>,
+    acc_counts: Vec<u64>,
+    contributions: u32,
+    delta: f64,
+}
+
+struct KMeans {
+    worker_id: u32,
+    workers: u32,
+    k: usize,
+    max_iterations: u32,
+    state: Arc<Mutex<GlobalState>>,
+    barrier: Arc<Barrier>,
+}
+
+impl KMeans {
+    fn run(&mut self) {
+        let points = load_dataset_fragment(self.worker_id);
+        let mut iter_count = 0;
+        loop {
+            let correct_centroids = self.state.lock().unwrap().centroids.clone();
+            let (sums, counts, local_delta) = compute_clusters(&points, &correct_centroids);
+            {
+                let mut st = self.state.lock().unwrap();
+                st.delta += local_delta;
+                for (acc, s) in st.acc_sums.iter_mut().zip(&sums) {
+                    for (a, b) in acc.iter_mut().zip(s) {
+                        *a += b;
+                    }
+                }
+                for (acc, c) in st.acc_counts.iter_mut().zip(&counts) {
+                    *acc += c;
+                }
+                st.contributions += 1;
+                if st.contributions == self.workers {
+                    fold_centroids(&mut st);
+                }
+            }
+            self.barrier.wait();
+            iter_count += 1;
+            if iter_count >= self.max_iterations || end_condition(&self.state) {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Logistic regression — single-machine, multi-threaded version.
+use std::sync::{Arc, Barrier, Mutex};
+
+struct GlobalWeights {
+    weights: Vec<f64>,
+    acc_grad: Vec<f64>,
+    acc_loss: f64,
+    contributions: u32,
+}
+
+struct LogReg {
+    worker_id: u32,
+    workers: u32,
+    iterations: u32,
+    learning_rate: f64,
+    state: Arc<Mutex<GlobalWeights>>,
+    barrier: Arc<Barrier>,
+}
+
+impl LogReg {
+    fn run(&mut self) {
+        let (points, labels) = load_dataset_fragment(self.worker_id);
+        for _ in 0..self.iterations {
+            let w = self.state.lock().unwrap().weights.clone();
+            let (grad, loss) = gradient_and_loss(&points, &labels, &w);
+            {
+                let mut st = self.state.lock().unwrap();
+                for (a, g) in st.acc_grad.iter_mut().zip(&grad) {
+                    *a += g;
+                }
+                st.acc_loss += loss;
+                st.contributions += 1;
+                if st.contributions == self.workers {
+                    apply_step(&mut st, self.learning_rate, self.workers);
+                }
+            }
+            self.barrier.wait();
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Monte Carlo π estimation — single-machine, multi-threaded version.
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+const ITERATIONS: u64 = 100_000_000;
+const N_THREADS: usize = 8;
+
+struct PiEstimator {
+    counter: Arc<AtomicI64>,
+}
+
+impl PiEstimator {
+    fn run(&mut self) {
+        let rng = &mut rand::rng();
+        let mut count = 0i64;
+        for _ in 0..ITERATIONS {
+            let x: f64 = rng.random_range(0.0..1.0);
+            let y: f64 = rng.random_range(0.0..1.0);
+            if x * x + y * y <= 1.0 {
+                count += 1;
+            }
+        }
+        self.counter.fetch_add(count, Ordering::SeqCst);
+    }
+}
+
+fn main() {
+    let counter = Arc::new(AtomicI64::new(0));
+    let mut threads = Vec::with_capacity(N_THREADS);
+    for _ in 0..N_THREADS {
+        let mut estimator = PiEstimator {
+            counter: counter.clone(),
+        };
+        threads.push(thread::spawn(move || estimator.run()));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    let inside = counter.load(Ordering::SeqCst);
+    let output = 4.0 * inside as f64 / (N_THREADS as u64 * ITERATIONS) as f64;
+    println!("pi ≈ {output}");
+}

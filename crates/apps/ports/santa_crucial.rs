@@ -1,0 +1,49 @@
+//! Santa Claus problem — Crucial version (@Shared objects, cloud threads).
+use crucial::{AtomicLong, CyclicBarrier, DsoClient};
+use dso::api::RawHandle;
+use std::collections::HashMap;
+
+struct SantaObjects {
+    cli: DsoClient,
+    joined_reindeer: AtomicLong,
+    joined_elf: AtomicLong,
+    inbox: RawHandle,
+    gates: HashMap<(Kind, u64, Gate), CyclicBarrier>,
+}
+
+impl SantaObjects {
+    fn join_group(&mut self, ctx: &mut Ctx, kind: Kind) -> u64 {
+        let counter = match kind {
+            Kind::Reindeer => &self.joined_reindeer,
+            Kind::Elf => &self.joined_elf,
+        };
+        let n = counter.increment_and_get(ctx, &mut self.cli).unwrap() as u64;
+        let batch = (n - 1) / kind.group_size();
+        if n % kind.group_size() == 0 {
+            let _: () = self
+                .inbox
+                .call(ctx, &mut self.cli, "offer", &(kind.tag(), batch))
+                .unwrap();
+        }
+        batch
+    }
+
+    fn santa_take(&mut self, ctx: &mut Ctx) -> (Kind, u64) {
+        let (tag, batch): (u8, u64) = self
+            .inbox
+            .call_blocking(ctx, &mut self.cli, "take", &())
+            .unwrap();
+        (Kind::from_tag(tag), batch)
+    }
+
+    fn pass_gate(&mut self, ctx: &mut Ctx, kind: Kind, batch: u64, gate: Gate) {
+        let b = self
+            .gates
+            .entry((kind, batch, gate))
+            .or_insert_with(|| {
+                CyclicBarrier::new(&gate_key(kind, batch, gate), kind.group_size() as u32 + 1)
+            })
+            .clone();
+        b.wait(ctx, &mut self.cli).unwrap();
+    }
+}

@@ -1,0 +1,54 @@
+//! Santa Claus problem — single-machine version (monitors and barriers).
+use simcore::sync::{LocalBarrier, Monitor};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+struct SantaObjects {
+    monitor: Monitor,
+    joined: HashMap<Kind, u64>,
+    reindeer_q: VecDeque<u64>,
+    elf_q: VecDeque<u64>,
+    gates: HashMap<(Kind, u64, Gate), LocalBarrier>,
+}
+
+impl SantaObjects {
+    fn join_group(&mut self, ctx: &mut Ctx, kind: Kind) -> u64 {
+        self.monitor.enter(ctx);
+        let n = self.joined.entry(kind).or_insert(0);
+        *n += 1;
+        let batch = (*n - 1) / kind.group_size();
+        if *n % kind.group_size() == 0 {
+            match kind {
+                Kind::Reindeer => self.reindeer_q.push_back(batch),
+                Kind::Elf => self.elf_q.push_back(batch),
+            }
+            self.monitor.notify_all(ctx);
+        }
+        self.monitor.exit(ctx);
+        batch
+    }
+
+    fn santa_take(&mut self, ctx: &mut Ctx) -> (Kind, u64) {
+        self.monitor.enter(ctx);
+        let out = loop {
+            if let Some(b) = self.reindeer_q.pop_front() {
+                break (Kind::Reindeer, b);
+            }
+            if let Some(b) = self.elf_q.pop_front() {
+                break (Kind::Elf, b);
+            }
+            self.monitor.wait(ctx);
+        };
+        self.monitor.exit(ctx);
+        out
+    }
+
+    fn pass_gate(&mut self, ctx: &mut Ctx, kind: Kind, batch: u64, gate: Gate) {
+        let b = self
+            .gates
+            .entry((kind, batch, gate))
+            .or_insert_with(|| LocalBarrier::new(kind.group_size() as usize + 1))
+            .clone();
+        b.wait(ctx);
+    }
+}

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the hot data structures: these measure
+//! the *real* CPU cost of the reproduction's building blocks (the
+//! experiment harness measures *virtual* time instead).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dso::protocol::NodeId;
+use dso::skeen::{Action, Skeen};
+use dso::{ObjectRef, Ring};
+
+fn bench_ring(c: &mut Criterion) {
+    let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+    let ring = Ring::new(&nodes);
+    let objs: Vec<ObjectRef> =
+        (0..1024).map(|i| ObjectRef::new("AtomicLong", format!("key-{i}"))).collect();
+    c.bench_function("ring/placement_rf2", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % objs.len();
+            black_box(ring.placement(&objs[i], 2))
+        })
+    });
+    c.bench_function("ring/build_8_nodes", |b| {
+        b.iter(|| black_box(Ring::new(&nodes)))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let payload: Vec<f64> = (0..2500).map(|i| i as f64 * 0.5).collect();
+    c.bench_function("codec/encode_20kb_f64", |b| {
+        b.iter(|| black_box(simcore::codec::to_bytes(&payload).expect("encode")))
+    });
+    let bytes = simcore::codec::to_bytes(&payload).expect("encode");
+    c.bench_function("codec/decode_20kb_f64", |b| {
+        b.iter(|| black_box(simcore::codec::from_bytes::<Vec<f64>>(&bytes).expect("decode")))
+    });
+}
+
+fn bench_skeen(c: &mut Criterion) {
+    // One full rf=2 multicast round, including delivery.
+    c.bench_function("skeen/rf2_round", |b| {
+        b.iter_batched(
+            || (Skeen::<u64>::new(NodeId(0)), Skeen::<u64>::new(NodeId(1))),
+            |(mut a, mut bn)| {
+                let group = vec![NodeId(0), NodeId(1)];
+                let (_, actions) = a.multicast(group, 42);
+                let mut queue: Vec<(NodeId, dso::skeen::SkeenMsg<u64>)> = actions
+                    .into_iter()
+                    .filter_map(|x| match x {
+                        Action::Send { to, msg } => Some((to, msg)),
+                        Action::Deliver { .. } => None,
+                    })
+                    .collect();
+                let mut delivered = 0;
+                while let Some((to, msg)) = queue.pop() {
+                    let from = NodeId(1 - to.0); // two nodes only
+                    let node = if to == NodeId(0) { &mut a } else { &mut bn };
+                    for act in node.handle(from, msg) {
+                        match act {
+                            Action::Send { to, msg } => queue.push((to, msg)),
+                            Action::Deliver { .. } => delivered += 1,
+                        }
+                    }
+                }
+                black_box(delivered)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_kmeans_math(c: &mut Criterion) {
+    let part = crucial_ml::datagen::kmeans_partition(1, 0, 500, 100, 25);
+    let centroids = crucial_ml::kmeans::initial_centroids(1, 25, 100);
+    c.bench_function("kmeans/assign_500x100_k25", |b| {
+        b.iter(|| black_box(crucial_ml::kmeans::assign_partials(&part.points, &centroids)))
+    });
+}
+
+fn bench_sim_kernel(c: &mut Criterion) {
+    // Real cost of one simulated RPC round trip (two context switches per
+    // blocking operation).
+    c.bench_function("simcore/rpc_round_trips_x100", |b| {
+        b.iter(|| {
+            let mut sim = simcore::Sim::new(1);
+            let server = sim.mailbox("server");
+            sim.spawn_daemon("server", move |ctx| loop {
+                let req = ctx.recv(server).take::<simcore::Request>();
+                let (reply_to, n) = req.take::<u64>();
+                ctx.reply(reply_to, n + 1, std::time::Duration::from_micros(10));
+            });
+            sim.spawn("client", move |ctx| {
+                for i in 0..100u64 {
+                    let _: u64 = ctx.call(server, i, std::time::Duration::from_micros(10));
+                }
+            });
+            sim.run_until_idle();
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ring,
+    bench_codec,
+    bench_skeen,
+    bench_kmeans_math,
+    bench_sim_kernel
+);
+criterion_main!(benches);

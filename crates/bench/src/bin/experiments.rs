@@ -1,0 +1,83 @@
+//! The experiment runner: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! experiments <target> [--paper]
+//!
+//! targets: table2 fig2a fig2b fig3 fig4 fig5 table3 fig6 fig7a fig7b
+//!          fig7c fig8 table4 ablate-rf ablate-workers ablate-barrier all
+//! ```
+//!
+//! `--paper` switches to the paper's full parameters (much slower).
+
+use bench::experiments::{ablate, micro, ml, state, sync, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Quick
+    };
+    let target = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| {
+            eprintln!("usage: experiments <target> [--paper]");
+            eprintln!(
+                "targets: table2 fig2a fig2b fig3 fig4 fig5 table3 fig6 fig7a \
+                 fig7b fig7c fig8 table4 ablate-rf ablate-workers ablate-barrier all"
+            );
+            std::process::exit(2);
+        });
+    run(&target, scale);
+}
+
+fn run(target: &str, scale: Scale) {
+    let t0 = std::time::Instant::now();
+    match target {
+        "table2" => micro::table2(scale).0.print(),
+        "fig2a" => micro::fig2a(scale).0.print(),
+        "fig2b" => micro::fig2b(scale).0.print(),
+        "fig3" => ml::fig3(scale).0.print(),
+        "fig4" => {
+            let (t, r) = ml::fig4(scale);
+            t.print();
+            ml::fig4b_table(&r).print();
+        }
+        "fig5" => ml::fig5(scale).0.print(),
+        "table3" => ml::table3(scale).print(),
+        "fig6" => sync::fig6(scale).0.print(),
+        "fig7a" => sync::fig7a(scale).0.print(),
+        "fig7b" => sync::fig7b(scale).print(),
+        "fig7c" => sync::fig7c(scale).0.print(),
+        "fig8" => {
+            let (t, series) = state::fig8(scale);
+            t.print();
+            println!("\nper-second series (t, inferences/s):");
+            for (s, n) in &series {
+                println!("  {s:>4}s  {n}");
+            }
+        }
+        "table4" => state::table4().print(),
+        "ablate-rf" => ablate::ablate_rf(scale).0.print(),
+        "ablate-workers" => ablate::ablate_workers(scale).0.print(),
+        "ablate-barrier" => ablate::ablate_barrier(scale).0.print(),
+        "all" => {
+            for t in [
+                "table2", "fig2a", "fig2b", "fig3", "fig4", "fig5", "table3", "fig6", "fig7a",
+                "fig7b", "fig7c", "fig8", "table4", "ablate-rf", "ablate-workers",
+                "ablate-barrier",
+            ] {
+                run(t, scale);
+            }
+            return;
+        }
+        other => {
+            eprintln!("unknown target: {other}");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[{target} finished in {:.1?}]", t0.elapsed());
+}

@@ -1,0 +1,223 @@
+//! Ablations beyond the paper: the design choices DESIGN.md calls out.
+//!
+//! * `ablate-rf` — replication-factor sweep: what each extra replica costs
+//!   in latency and complex-op throughput.
+//! * `ablate-workers` — disjoint-access parallelism: complex-op throughput
+//!   vs. the server worker-pool width (the mechanism behind Fig. 2a).
+//! * `ablate-barrier` — push-based (parked call) barrier vs. a polling
+//!   barrier built on the same DSO counter.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use simcore::{LatencyStats, Sim};
+
+use dso::api::{Arithmetic, AtomicLong, CyclicBarrier};
+use dso::{DsoCluster, DsoConfig, ObjectRegistry};
+
+use super::Scale;
+use crate::report::{fmt_dur, Table};
+
+/// Sweeps the replication factor on a 3-node tier: per-op latency and
+/// complex-op throughput.
+pub fn ablate_rf(scale: Scale) -> (Table, Vec<(u8, Duration, f64)>) {
+    let run = scale.pick(Duration::from_millis(400), Duration::from_secs(5));
+    let mut rows = Vec::new();
+    for rf in [1u8, 2, 3] {
+        // Latency: sequential updates.
+        let mut sim = Sim::new(900 + rf as u64);
+        let cluster =
+            DsoCluster::start(&sim, 3, DsoConfig::default(), ObjectRegistry::with_builtins());
+        let handle = cluster.client_handle();
+        let stats = LatencyStats::new("lat");
+        let s2 = stats.clone();
+        {
+            let handle = handle.clone();
+            sim.spawn("probe", move |ctx| {
+                let mut cli = handle.connect();
+                let c = AtomicLong::persistent("c", 0, rf);
+                c.get(ctx, &mut cli).expect("warm");
+                for _ in 0..200 {
+                    let t0 = ctx.now();
+                    c.add_and_get(ctx, &mut cli, 1).expect("dso");
+                    s2.record(ctx.now() - t0);
+                }
+            });
+        }
+        sim.run_until_idle().expect_quiescent();
+        let latency = stats.mean();
+
+        // Throughput: 60 closed-loop threads on 120 objects, complex op.
+        let mut sim = Sim::new(910 + rf as u64);
+        let cluster =
+            DsoCluster::start(&sim, 3, DsoConfig::default(), ObjectRegistry::with_builtins());
+        let handle = cluster.client_handle();
+        let count = Arc::new(Mutex::new(0u64));
+        let deadline = simcore::SimTime::ZERO + Duration::from_secs(1) + run;
+        for t in 0..60 {
+            let handle = handle.clone();
+            let count = count.clone();
+            sim.spawn(&format!("t{t}"), move |ctx| {
+                use rand::RngExt;
+                let mut cli = handle.connect();
+                let start = simcore::SimTime::ZERO + Duration::from_secs(1);
+                loop {
+                    if ctx.now() >= deadline {
+                        break;
+                    }
+                    let i: u32 = ctx.rng().random_range(0..120);
+                    let obj = if rf > 1 {
+                        Arithmetic::persistent(&format!("o{i}"), 1.0, rf)
+                    } else {
+                        Arithmetic::new(&format!("o{i}"))
+                    };
+                    if obj.mul_n(ctx, &mut cli, 1.0000001, 10_000).is_ok()
+                        && ctx.now() >= start
+                        && ctx.now() < deadline
+                    {
+                        *count.lock() += 1;
+                    }
+                }
+            });
+        }
+        sim.run_until_idle().expect_quiescent();
+        let total = *count.lock();
+        let throughput = total as f64 / run.as_secs_f64();
+        rows.push((rf, latency, throughput));
+    }
+    let mut t = Table::new(
+        "Ablation — replication factor (3 nodes)",
+        &["rf", "Update latency", "Complex-op throughput (ops/s)"],
+    );
+    for (rf, lat, thr) in &rows {
+        t.row(&[rf.to_string(), fmt_dur(*lat), format!("{thr:.0}")]);
+    }
+    (t, rows)
+}
+
+/// Sweeps the server worker-pool width: disjoint-access parallelism in
+/// isolation.
+pub fn ablate_workers(scale: Scale) -> (Table, Vec<(u32, f64)>) {
+    let run = scale.pick(Duration::from_millis(400), Duration::from_secs(5));
+    let mut rows = Vec::new();
+    for workers in [1u32, 2, 4, 8, 16] {
+        let mut sim = Sim::new(920 + workers as u64);
+        let cfg = DsoConfig {
+            workers_per_node: workers,
+            ..DsoConfig::default()
+        };
+        let cluster = DsoCluster::start(&sim, 1, cfg, ObjectRegistry::with_builtins());
+        let handle = cluster.client_handle();
+        let count = Arc::new(Mutex::new(0u64));
+        let deadline = simcore::SimTime::ZERO + Duration::from_secs(1) + run;
+        for t in 0..60 {
+            let handle = handle.clone();
+            let count = count.clone();
+            sim.spawn(&format!("t{t}"), move |ctx| {
+                use rand::RngExt;
+                let mut cli = handle.connect();
+                let start = simcore::SimTime::ZERO + Duration::from_secs(1);
+                loop {
+                    if ctx.now() >= deadline {
+                        break;
+                    }
+                    let i: u32 = ctx.rng().random_range(0..120);
+                    let obj = Arithmetic::new(&format!("o{i}"));
+                    if obj.mul_n(ctx, &mut cli, 1.0000001, 10_000).is_ok()
+                        && ctx.now() >= start
+                        && ctx.now() < deadline
+                    {
+                        *count.lock() += 1;
+                    }
+                }
+            });
+        }
+        sim.run_until_idle().expect_quiescent();
+        let total = *count.lock();
+        rows.push((workers, total as f64 / run.as_secs_f64()));
+    }
+    let mut t = Table::new(
+        "Ablation — worker-pool width (1 node, complex ops)",
+        &["Workers", "Throughput (ops/s)", "Scaling"],
+    );
+    let base = rows[0].1;
+    for (w, thr) in &rows {
+        t.row(&[w.to_string(), format!("{thr:.0}"), format!("{:.1}x", thr / base)]);
+    }
+    (t, rows)
+}
+
+/// Push-based barrier (parked calls) vs. a polling barrier over the same
+/// DSO counter: the mechanism behind Figs. 6/7a.
+pub fn ablate_barrier(scale: Scale) -> (Table, (Duration, Duration)) {
+    let threads: u32 = scale.pick(40, 80);
+    let rounds = 3;
+    // Push: the real CyclicBarrier.
+    let push = {
+        let mut sim = Sim::new(930);
+        let cluster =
+            DsoCluster::start(&sim, 2, DsoConfig::default(), ObjectRegistry::with_builtins());
+        let handle = cluster.client_handle();
+        let stats = LatencyStats::new("push");
+        for i in 0..threads {
+            let handle = handle.clone();
+            let stats = stats.clone();
+            sim.spawn(&format!("t{i}"), move |ctx| {
+                let mut cli = handle.connect();
+                let b = CyclicBarrier::new("b", threads);
+                for _ in 0..rounds {
+                    ctx.sleep(Duration::from_millis(300));
+                    let t0 = ctx.now();
+                    b.wait(ctx, &mut cli).expect("dso");
+                    stats.record(ctx.now() - t0);
+                }
+            });
+        }
+        sim.run_until_idle().expect_quiescent();
+        stats.mean()
+    };
+    // Poll: arrive by incrementing a counter, then poll until a round's
+    // quota is reached.
+    let poll = {
+        let mut sim = Sim::new(931);
+        let cluster =
+            DsoCluster::start(&sim, 2, DsoConfig::default(), ObjectRegistry::with_builtins());
+        let handle = cluster.client_handle();
+        let stats = LatencyStats::new("poll");
+        for i in 0..threads {
+            let handle = handle.clone();
+            let stats = stats.clone();
+            sim.spawn(&format!("t{i}"), move |ctx| {
+                let mut cli = handle.connect();
+                let c = AtomicLong::new("arrivals");
+                for round in 1..=rounds {
+                    ctx.sleep(Duration::from_millis(300));
+                    let t0 = ctx.now();
+                    c.add_and_get(ctx, &mut cli, 1).expect("dso");
+                    let quota = (threads as i64) * round;
+                    loop {
+                        if c.get(ctx, &mut cli).expect("dso") >= quota {
+                            break;
+                        }
+                        ctx.sleep(Duration::from_millis(100));
+                    }
+                    stats.record(ctx.now() - t0);
+                }
+            });
+        }
+        sim.run_until_idle().expect_quiescent();
+        stats.mean()
+    };
+    let mut t = Table::new(
+        "Ablation — barrier implementation (push vs poll)",
+        &["Implementation", "Avg wait", "Ratio"],
+    );
+    t.row(&["push (parked call)".to_string(), fmt_dur(push), "1.0x".to_string()]);
+    t.row(&[
+        "poll (100 ms interval)".to_string(),
+        fmt_dur(poll),
+        format!("{:.1}x", poll.as_secs_f64() / push.as_secs_f64().max(1e-9)),
+    ]);
+    (t, (push, poll))
+}

@@ -1,0 +1,339 @@
+//! ML experiments: Fig. 3 (k-means scale-up), Fig. 4 (logistic
+//! regression vs Spark), Fig. 5 (k-means vs Spark vs Redis), Table 3
+//! (costs).
+
+use std::time::Duration;
+
+use crucial_ml::cost::DatasetScale;
+use crucial_ml::kmeans::{
+    run_crucial_kmeans, run_local_kmeans, run_redis_kmeans, run_spark_kmeans, KMeansConfig,
+};
+use crucial_ml::logreg::{run_crucial_logreg, run_spark_logreg, LogRegConfig};
+use sparklite::ClusterPricing;
+
+use super::Scale;
+use crate::report::{fmt_dur, Table};
+
+fn kmeans_cfg(scale: Scale, workers: u32, k: u32, include_load: bool) -> KMeansConfig {
+    KMeansConfig {
+        seed: 31,
+        workers,
+        k,
+        iterations: 10,
+        sample_points: scale.pick(40, 200),
+        dims: 100,
+        scale: DatasetScale {
+            total_points: 695_000 * workers as u64,
+            dims: 100,
+            partitions: workers,
+        },
+        include_load,
+        dso_nodes: 1,
+        memory_mb: 2048,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 — k-means scale-up
+// ---------------------------------------------------------------------------
+
+/// One scale-up measurement.
+#[derive(Clone, Debug)]
+pub struct ScaleUpPoint {
+    /// Threads.
+    pub threads: u32,
+    /// `T1 / Tn` — 1.0 is a perfect scale-up.
+    pub crucial: f64,
+    /// Single VM with 8 cores (m5.2xlarge).
+    pub vm8: f64,
+    /// Single VM with 16 cores (m5.4xlarge).
+    pub vm16: f64,
+}
+
+/// Runs Fig. 3: input grows with the thread count; `scale-up = T1/Tn`.
+pub fn fig3(scale: Scale) -> (Table, Vec<ScaleUpPoint>) {
+    let counts: Vec<u32> = scale.pick(vec![1, 8, 40, 160], vec![1, 8, 16, 40, 80, 160, 320]);
+    let mut t1_crucial = None;
+    let mut t1_vm8 = None;
+    let mut t1_vm16 = None;
+    let mut points = Vec::new();
+    for &n in &counts {
+        let cfg = kmeans_cfg(scale, n, 10, false);
+        let c = run_crucial_kmeans(&cfg).iteration_phase.as_secs_f64();
+        let v8 = run_local_kmeans(&cfg, 8).iteration_phase.as_secs_f64();
+        let v16 = run_local_kmeans(&cfg, 16).iteration_phase.as_secs_f64();
+        let b_c = *t1_crucial.get_or_insert(c);
+        let b8 = *t1_vm8.get_or_insert(v8);
+        let b16 = *t1_vm16.get_or_insert(v16);
+        points.push(ScaleUpPoint {
+            threads: n,
+            crucial: b_c / c,
+            vm8: b8 / v8,
+            vm16: b16 / v16,
+        });
+    }
+    let mut t = Table::new(
+        "Fig. 3 — k-means scale-up (input ∝ threads; 1.0 = perfect)",
+        &["Threads", "Crucial/FaaS", "m5.2xlarge (8c)", "m5.4xlarge (16c)"],
+    );
+    for p in &points {
+        t.row(&[
+            p.threads.to_string(),
+            format!("{:.2}", p.crucial),
+            format!("{:.2}", p.vm8),
+            format!("{:.2}", p.vm16),
+        ]);
+    }
+    t.row(&[
+        "paper".to_string(),
+        "0.94 @ 160, 0.90 @ 320".to_string(),
+        "collapses past 8 threads".to_string(),
+        "collapses past 16 threads".to_string(),
+    ]);
+    (t, points)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4 — logistic regression vs Spark
+// ---------------------------------------------------------------------------
+
+/// The two logistic-regression runs.
+#[derive(Clone, Debug)]
+pub struct Fig4Result {
+    /// Crucial iteration phase.
+    pub crucial_time: Duration,
+    /// Spark iteration phase.
+    pub spark_time: Duration,
+    /// Loss series (crucial).
+    pub crucial_loss: Vec<f64>,
+    /// Loss series (spark).
+    pub spark_loss: Vec<f64>,
+    /// Crucial total/cost (for Table 3).
+    pub crucial_total: Duration,
+    /// Spark total (for Table 3).
+    pub spark_total: Duration,
+    /// Crucial total cost in dollars.
+    pub crucial_cost: f64,
+    /// Spark total cost in dollars.
+    pub spark_cost: f64,
+    /// Workers and memory used (for iteration-cost accounting).
+    pub cfg: LogRegConfig,
+}
+
+/// Runs Fig. 4: 100 iterations of logistic regression on 80 workers.
+pub fn fig4(scale: Scale) -> (Table, Fig4Result) {
+    let cfg = LogRegConfig {
+        seed: 41,
+        workers: 80,
+        iterations: scale.pick(30, 100),
+        sample_points: scale.pick(60, 250),
+        dims: 100,
+        learning_rate: 2.0,
+        scale: DatasetScale::default(),
+        include_load: true,
+        dso_nodes: 1,
+        memory_mb: 1792,
+    };
+    let c = run_crucial_logreg(&cfg);
+    let s = run_spark_logreg(&cfg);
+    let result = Fig4Result {
+        crucial_time: c.iteration_phase,
+        spark_time: s.iteration_phase,
+        crucial_loss: c.loss_per_iteration.clone(),
+        spark_loss: s.loss_per_iteration.clone(),
+        crucial_total: c.total,
+        spark_total: s.total,
+        crucial_cost: c.cost_dollars,
+        spark_cost: s.cost_dollars,
+        cfg,
+    };
+    let mut t = Table::new(
+        "Fig. 4a — logistic regression, iteration phase",
+        &["System", "Iteration phase (sim)", "Paper (100 iter)"],
+    );
+    t.row(&[
+        "Crucial".to_string(),
+        fmt_dur(result.crucial_time),
+        "62.3 s".to_string(),
+    ]);
+    t.row(&[
+        "Spark".to_string(),
+        fmt_dur(result.spark_time),
+        "75.9 s".to_string(),
+    ]);
+    let gain = 100.0 * (1.0 - result.crucial_time.as_secs_f64() / result.spark_time.as_secs_f64());
+    t.row(&[
+        "Crucial gain".to_string(),
+        format!("{gain:.0}%"),
+        "18%".to_string(),
+    ]);
+    (t, result)
+}
+
+/// Renders the Fig. 4b loss-vs-time series of a [`fig4`] result.
+pub fn fig4b_table(r: &Fig4Result) -> Table {
+    let mut t = Table::new(
+        "Fig. 4b — logistic loss over time",
+        &["Iteration", "Crucial t (s)", "Crucial loss", "Spark t (s)", "Spark loss"],
+    );
+    let n = r.crucial_loss.len();
+    let c_per = r.crucial_time.as_secs_f64() / n.max(1) as f64;
+    let s_per = r.spark_time.as_secs_f64() / n.max(1) as f64;
+    let step = (n / 10).max(1);
+    for i in (0..n).step_by(step) {
+        t.row(&[
+            (i + 1).to_string(),
+            format!("{:.1}", c_per * (i + 1) as f64),
+            format!("{:.4}", r.crucial_loss[i]),
+            format!("{:.1}", s_per * (i + 1) as f64),
+            format!("{:.4}", r.spark_loss.get(i).copied().unwrap_or(f64::NAN)),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5 — k-means completion time vs k
+// ---------------------------------------------------------------------------
+
+/// One k-sweep measurement (10 iterations).
+#[derive(Clone, Debug)]
+pub struct Fig5Point {
+    /// Number of clusters.
+    pub k: u32,
+    /// Crucial iteration phase.
+    pub crucial: Duration,
+    /// Spark iteration phase.
+    pub spark: Duration,
+    /// Redis-backed Crucial iteration phase.
+    pub redis: Duration,
+    /// Crucial totals and cost (for Table 3).
+    pub crucial_total: Duration,
+    /// Spark total.
+    pub spark_total: Duration,
+    /// Crucial cost (dollars).
+    pub crucial_cost: f64,
+    /// Spark cost (dollars).
+    pub spark_cost: f64,
+}
+
+/// Runs Fig. 5: 10 k-means iterations for k ∈ {25, 50, 100, 200}.
+pub fn fig5(scale: Scale) -> (Table, Vec<Fig5Point>) {
+    let ks: Vec<u32> = scale.pick(vec![25, 200], vec![25, 50, 100, 200]);
+    let mut points = Vec::new();
+    for &k in &ks {
+        let cfg = kmeans_cfg(scale, 80, k, true);
+        let c = run_crucial_kmeans(&cfg);
+        let s = run_spark_kmeans(&cfg);
+        let r = run_redis_kmeans(&cfg);
+        points.push(Fig5Point {
+            k,
+            crucial: c.iteration_phase,
+            spark: s.iteration_phase,
+            redis: r.iteration_phase,
+            crucial_total: c.total,
+            spark_total: s.total,
+            crucial_cost: c.cost_dollars,
+            spark_cost: s.cost_dollars,
+        });
+    }
+    let mut t = Table::new(
+        "Fig. 5 — k-means, 10 iterations, completion time vs k",
+        &["k", "Crucial", "Spark", "Crucial+Redis", "paper (Crucial/Spark)"],
+    );
+    for p in &points {
+        let paper = match p.k {
+            25 => "20.4 s / 34 s",
+            200 => "~175 s / ~192 s",
+            _ => "-",
+        };
+        t.row(&[
+            p.k.to_string(),
+            fmt_dur(p.crucial),
+            fmt_dur(p.spark),
+            fmt_dur(p.redis),
+            paper.to_string(),
+        ]);
+    }
+    (t, points)
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — monetary costs
+// ---------------------------------------------------------------------------
+
+/// Cost of the iteration phase alone: Lambda bills workers × memory ×
+/// time; EMR bills the whole cluster × time.
+fn crucial_iteration_cost(iteration: Duration, workers: u32, memory_mb: u32) -> f64 {
+    let gb_s = iteration.as_secs_f64() * workers as f64 * (memory_mb as f64 / 1024.0);
+    gb_s * faas::Pricing::default().per_gb_second
+}
+
+/// Runs Table 3 from fresh Fig. 4/Fig. 5 measurements.
+pub fn table3(scale: Scale) -> Table {
+    let (_, f5) = fig5(scale);
+    let (_, f4) = fig4(scale);
+    let pricing = ClusterPricing::default();
+    let mut t = Table::new(
+        "Table 3 — monetary costs",
+        &["Experiment", "System", "Total time", "Total cost ($)", "Iterations cost ($)"],
+    );
+    for p in &f5 {
+        if p.k != 25 && p.k != 200 {
+            continue;
+        }
+        t.row(&[
+            format!("k-means (k = {})", p.k),
+            "Spark".to_string(),
+            fmt_dur(p.spark_total),
+            format!("{:.3}", p.spark_cost),
+            format!("{:.3}", pricing.cost_for(p.spark)),
+        ]);
+        t.row(&[
+            String::new(),
+            "Crucial".to_string(),
+            fmt_dur(p.crucial_total),
+            format!("{:.3}", p.crucial_cost),
+            format!("{:.3}", crucial_iteration_cost(p.crucial, 80, 2048)),
+        ]);
+    }
+    t.row(&[
+        "Logistic regression".to_string(),
+        "Spark".to_string(),
+        fmt_dur(f4.spark_total),
+        format!("{:.3}", f4.spark_cost),
+        format!("{:.3}", pricing.cost_for(f4.spark_time)),
+    ]);
+    t.row(&[
+        String::new(),
+        "Crucial".to_string(),
+        fmt_dur(f4.crucial_total),
+        format!("{:.3}", f4.crucial_cost),
+        format!(
+            "{:.3}",
+            crucial_iteration_cost(f4.crucial_time, f4.cfg.workers, f4.cfg.memory_mb)
+        ),
+    ]);
+    t.row(&[
+        "paper: k=25".to_string(),
+        "Spark 168 s/$0.246/$0.050".to_string(),
+        "Crucial 87 s/$0.244/$0.057".to_string(),
+        String::new(),
+        String::new(),
+    ]);
+    t.row(&[
+        "paper: k=200".to_string(),
+        "Spark 330 s/$0.484/$0.288".to_string(),
+        "Crucial 234 s/$0.657/$0.492".to_string(),
+        String::new(),
+        String::new(),
+    ]);
+    t.row(&[
+        "paper: logreg".to_string(),
+        "Spark 192 s/$0.282/$0.111".to_string(),
+        "Crucial 122 s/$0.302/$0.154".to_string(),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}

@@ -1,0 +1,30 @@
+//! The per-table / per-figure experiment implementations.
+//!
+//! Every function takes a [`Scale`] choosing between quick defaults and
+//! the paper's full parameters, and returns a rendered [`crate::Table`]
+//! (plus structured data where tests need it).
+
+pub mod ablate;
+pub mod micro;
+pub mod ml;
+pub mod state;
+pub mod sync;
+
+/// Experiment scale.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Slimmed parameters: the whole suite finishes in minutes.
+    Quick,
+    /// The paper's parameters (slow; hours for the full suite).
+    Paper,
+}
+
+impl Scale {
+    /// Picks `q` under `Quick`, `p` under `Paper`.
+    pub fn pick<T>(self, q: T, p: T) -> T {
+        match self {
+            Scale::Quick => q,
+            Scale::Paper => p,
+        }
+    }
+}

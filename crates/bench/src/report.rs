@@ -1,0 +1,110 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(c.len());
+                } else {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Formats a `Duration` as engineering-friendly text.
+pub fn fmt_dur(d: std::time::Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.0} µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2} ms", us / 1000.0)
+    } else {
+        format!("{:.2} s", d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T", &["a", "bbbb"]);
+        t.row(&["xxxxx".into(), "1".into()]);
+        let s = t.render();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("xxxxx"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_micros(231)), "231 µs");
+        assert_eq!(fmt_dur(Duration::from_micros(34_868)), "34.87 ms");
+        assert_eq!(fmt_dur(Duration::from_secs(62)), "62.00 s");
+    }
+}

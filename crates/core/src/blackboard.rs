@@ -1,0 +1,96 @@
+//! A host-side measurement channel.
+//!
+//! Experiment harnesses need to observe what happens *inside* cloud
+//! functions (e.g. Fig. 8 counts completed inferences per second) without
+//! perturbing the system under test with extra DSO traffic. The blackboard
+//! is that out-of-band instrument: shared counters/series/latency stats
+//! keyed by name, reachable both from the harness (via
+//! [`crate::Deployment`]) and from running functions (via
+//! [`crate::FnEnv::blackboard`]).
+//!
+//! It is a *measurement* facility — application logic must never depend on
+//! it (a real Lambda could not).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simcore::{Counter, LatencyStats, Series};
+
+#[derive(Default)]
+struct Boards {
+    counters: HashMap<String, Counter>,
+    series: HashMap<String, Series>,
+    stats: HashMap<String, LatencyStats>,
+}
+
+/// Shared measurement registry (cheap to clone).
+#[derive(Clone, Default)]
+pub struct Blackboard {
+    inner: Arc<Mutex<Boards>>,
+}
+
+impl Blackboard {
+    /// Creates an empty blackboard.
+    pub fn new() -> Blackboard {
+        Blackboard::default()
+    }
+
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner.lock().counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the time series `name`.
+    pub fn series(&self, name: &str) -> Series {
+        self.inner.lock().series.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the latency accumulator `name`.
+    pub fn stats(&self, name: &str) -> LatencyStats {
+        self.inner
+            .lock()
+            .stats
+            .entry(name.to_string())
+            .or_insert_with(|| LatencyStats::new(name))
+            .clone()
+    }
+}
+
+impl fmt::Debug for Blackboard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.inner.lock();
+        f.debug_struct("Blackboard")
+            .field("counters", &g.counters.len())
+            .field("series", &g.series.len())
+            .field("stats", &g.stats.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_state() {
+        let bb = Blackboard::new();
+        bb.counter("x").add(3);
+        bb.counter("x").add(4);
+        assert_eq!(bb.counter("x").get(), 7);
+        assert_eq!(bb.counter("y").get(), 0);
+        let bb2 = bb.clone();
+        bb2.counter("x").incr();
+        assert_eq!(bb.counter("x").get(), 8);
+    }
+
+    #[test]
+    fn series_and_stats() {
+        let bb = Blackboard::new();
+        bb.series("s").push(simcore::SimTime::from_secs(1), 2.0);
+        assert_eq!(bb.series("s").len(), 1);
+        bb.stats("l").record(std::time::Duration::from_millis(5));
+        assert_eq!(bb.stats("l").count(), 1);
+    }
+}

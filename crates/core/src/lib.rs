@@ -1,0 +1,86 @@
+//! # crucial — the paper's programming model
+//!
+//! This crate puts the pieces together into the abstractions of Table 1:
+//!
+//! | Paper abstraction | Here |
+//! |---|---|
+//! | `CloudThread` | [`ThreadFactory::start`] + [`JoinHandle::join`] |
+//! | Shared objects | [`AtomicLong`], [`AtomicBoolean`], [`AtomicByteArray`], [`SharedList`], [`SharedMap`] |
+//! | Synchronization objects | [`CyclicBarrier`], [`Semaphore`], [`CountDownLatch`], [`SharedFuture`] |
+//! | `@Shared` | implement [`dso::SharedObject`], register it in the [`dso::ObjectRegistry`], and reference it with [`dso::api::RawHandle`] |
+//! | `@Shared(persistence=true)` | the `persistent(key, init, rf)` constructors |
+//!
+//! ## The π-estimation example (Listing 1 of the paper)
+//!
+//! ```
+//! use crucial::{CrucialConfig, Deployment, FnEnv, Runnable, RunResult, AtomicLong};
+//! use rand::RngExt;
+//! use serde::{Serialize, Deserialize};
+//! use simcore::Sim;
+//!
+//! #[derive(Serialize, Deserialize)]
+//! struct PiEstimator {
+//!     points: u64,
+//!     counter: AtomicLong,
+//! }
+//!
+//! impl Runnable for PiEstimator {
+//!     fn run(&mut self, env: &mut FnEnv<'_, '_>) -> RunResult {
+//!         let mut inside = 0i64;
+//!         for _ in 0..self.points {
+//!             let x: f64 = env.ctx().rng().random_range(0.0..1.0);
+//!             let y: f64 = env.ctx().rng().random_range(0.0..1.0);
+//!             if x * x + y * y <= 1.0 {
+//!                 inside += 1;
+//!             }
+//!         }
+//!         let (ctx, dso) = env.dso();
+//!         self.counter.add_and_get(ctx, dso, inside).map_err(|e| e.to_string())?;
+//!         Ok(())
+//!     }
+//! }
+//!
+//! let mut sim = Sim::new(1);
+//! let dep = Deployment::start(&sim, CrucialConfig::default());
+//! dep.register::<PiEstimator>();
+//! let threads = dep.threads();
+//! let dso = dep.dso_handle();
+//!
+//! sim.spawn("main", move |ctx| {
+//!     const N_THREADS: usize = 4;
+//!     const POINTS: u64 = 10_000;
+//!     let counter = AtomicLong::new("counter");
+//!     let runnables: Vec<PiEstimator> = (0..N_THREADS)
+//!         .map(|_| PiEstimator { points: POINTS, counter: counter.clone() })
+//!         .collect();
+//!     let handles = threads.start_all(ctx, &runnables);
+//!     crucial::join_all(ctx, handles).expect("threads succeed");
+//!     let mut cli = dso.connect();
+//!     let inside = counter.get(ctx, &mut cli).expect("dso");
+//!     let pi = 4.0 * inside as f64 / (N_THREADS as f64 * POINTS as f64);
+//!     assert!((pi - std::f64::consts::PI).abs() < 0.1, "pi ≈ {pi}");
+//! });
+//! sim.run_until_idle().expect_quiescent();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod blackboard;
+mod deploy;
+mod runnable;
+mod thread;
+
+pub use blackboard::Blackboard;
+pub use deploy::{CrucialConfig, Deployment};
+pub use runnable::{function_name, FnEnv, RunResult, Runnable};
+pub use thread::{
+    join_all, CloudError, JoinHandle, RetryPolicy, ThreadFactory, THREAD_START_OVERHEAD,
+};
+
+// Re-export the typed shared-object handles under their paper names.
+pub use dso::api::{
+    Arithmetic, AtomicBoolean, AtomicByteArray, AtomicLong, CountDownLatch, CyclicBarrier,
+    RawHandle, Semaphore, SharedFuture, SharedList, SharedMap,
+};
+pub use dso::{DsoClient, DsoClientHandle, DsoError};

@@ -1,0 +1,198 @@
+//! The client side of the DSO layer: view discovery, primary routing,
+//! retries with backoff, and the raw `invoke` used by the typed handles in
+//! [`crate::api`].
+
+use std::fmt;
+use std::time::Duration;
+
+use simcore::{Addr, Ctx};
+
+use crate::config::DsoConfig;
+use crate::error::DsoError;
+use crate::object::ObjectRef;
+use crate::protocol::{GetView, InvokeReq, InvokeResp, View};
+use crate::ring::Ring;
+
+/// Cheap, `Send` handle describing how to reach a DSO deployment. Each
+/// simulated process turns it into its own [`DsoClient`] with
+/// [`DsoClientHandle::connect`].
+#[derive(Clone)]
+pub struct DsoClientHandle {
+    coordinator: Addr,
+    cfg: DsoConfig,
+}
+
+impl fmt::Debug for DsoClientHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DsoClientHandle").field("coordinator", &self.coordinator).finish()
+    }
+}
+
+impl DsoClientHandle {
+    /// Creates a handle from the coordinator address and configuration.
+    pub fn new(coordinator: Addr, cfg: DsoConfig) -> DsoClientHandle {
+        DsoClientHandle { coordinator, cfg }
+    }
+
+    /// Instantiates a per-process client.
+    pub fn connect(&self) -> DsoClient {
+        DsoClient {
+            h: self.clone(),
+            view: None,
+        }
+    }
+}
+
+/// A per-process DSO client with a cached view.
+pub struct DsoClient {
+    h: DsoClientHandle,
+    view: Option<(View, Ring)>,
+}
+
+impl fmt::Debug for DsoClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DsoClient")
+            .field("view", &self.view.as_ref().map(|(v, _)| v.id))
+            .finish()
+    }
+}
+
+impl DsoClient {
+    /// The client configuration.
+    pub fn config(&self) -> &DsoConfig {
+        &self.h.cfg
+    }
+
+    /// Forces a view refresh from the coordinator.
+    pub fn refresh_view(&mut self, ctx: &mut Ctx) -> View {
+        let lat = self.h.cfg.client_net.sample(ctx.rng());
+        let view: View = ctx.call(self.h.coordinator, GetView, lat);
+        let ring = Ring::new(&view.node_ids());
+        self.view = Some((view.clone(), ring));
+        view
+    }
+
+    fn view(&mut self, ctx: &mut Ctx) -> &(View, Ring) {
+        if self.view.is_none() {
+            self.refresh_view(ctx);
+        }
+        self.view.as_ref().expect("view cached")
+    }
+
+    /// Invokes `method(args)` on the object, routing to its primary under
+    /// the current view and retrying transparently on ownership changes,
+    /// transfers in progress, and node failures.
+    ///
+    /// `blocking` marks methods that may legitimately park on the server
+    /// (barrier `await`, future `get`): such calls are issued without a
+    /// client-side timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`DsoError::Object`] for application-level failures, or
+    /// [`DsoError::GaveUp`] when retries are exhausted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn invoke(
+        &mut self,
+        ctx: &mut Ctx,
+        obj: &ObjectRef,
+        method: &str,
+        args: Vec<u8>,
+        rf: u8,
+        create: Option<Vec<u8>>,
+        blocking: bool,
+    ) -> Result<Vec<u8>, DsoError> {
+        let max = self.h.cfg.max_retries;
+        for attempt in 0..max {
+            let (view, ring) = self.view(ctx);
+            let primary = ring.primary(obj);
+            let target = primary.and_then(|p| view.addr_of(p));
+            let Some(addr) = target else {
+                // Empty view: wait for servers to join.
+                let backoff = self.h.cfg.backoff_for(attempt);
+                ctx.sleep(backoff);
+                self.refresh_view(ctx);
+                continue;
+            };
+            let req = InvokeReq {
+                obj: obj.clone(),
+                method: method.to_string(),
+                args: args.clone(),
+                rf,
+                create: create.clone(),
+            };
+            let lat = self.h.cfg.client_net.sample(ctx.rng());
+            let resp: Option<InvokeResp> = if blocking {
+                Some(ctx.call(addr, req, lat))
+            } else {
+                ctx.call_timeout(addr, req, lat, self.h.cfg.call_timeout)
+            };
+            match resp {
+                Some(InvokeResp::Value(v)) => return Ok(v),
+                Some(InvokeResp::Error(e)) => return Err(DsoError::Object(e)),
+                Some(InvokeResp::NotOwner { .. }) => {
+                    self.refresh_view(ctx);
+                }
+                Some(InvokeResp::Retry) => {
+                    let backoff = self.h.cfg.backoff_for(attempt);
+                    ctx.sleep(backoff);
+                    self.refresh_view(ctx);
+                }
+                None => {
+                    // Timeout: the node may have crashed; refresh and retry.
+                    let backoff = self.h.cfg.backoff_for(attempt);
+                    ctx.sleep(backoff);
+                    self.refresh_view(ctx);
+                }
+            }
+        }
+        Err(DsoError::GaveUp { attempts: max })
+    }
+
+    /// Typed invocation: encodes `args`, decodes the reply.
+    ///
+    /// # Errors
+    ///
+    /// See [`DsoClient::invoke`]; additionally fails if encoding or
+    /// decoding fails.
+    #[allow(clippy::too_many_arguments)]
+    pub fn call<A, R>(
+        &mut self,
+        ctx: &mut Ctx,
+        obj: &ObjectRef,
+        method: &str,
+        args: &A,
+        rf: u8,
+        create: Option<Vec<u8>>,
+        blocking: bool,
+    ) -> Result<R, DsoError>
+    where
+        A: serde::Serialize,
+        R: serde::de::DeserializeOwned,
+    {
+        let bytes = simcore::codec::to_bytes(args)
+            .map_err(|e| DsoError::Object(crate::error::ObjectError::BadArgs(e.to_string())))?;
+        let out = self.invoke(ctx, obj, method, bytes, rf, create, blocking)?;
+        simcore::codec::from_bytes(&out)
+            .map_err(|e| DsoError::Object(crate::error::ObjectError::BadState(e.to_string())))
+    }
+
+    /// Measures one call's latency, returning the value and elapsed time.
+    ///
+    /// # Errors
+    ///
+    /// See [`DsoClient::invoke`].
+    pub fn timed_invoke(
+        &mut self,
+        ctx: &mut Ctx,
+        obj: &ObjectRef,
+        method: &str,
+        args: Vec<u8>,
+        rf: u8,
+        create: Option<Vec<u8>>,
+    ) -> Result<(Vec<u8>, Duration), DsoError> {
+        let t0 = ctx.now();
+        let v = self.invoke(ctx, obj, method, args, rf, create, false)?;
+        Ok((v, ctx.now().saturating_duration_since(t0)))
+    }
+}

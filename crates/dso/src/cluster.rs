@@ -1,0 +1,97 @@
+//! Deployment helper: starts a coordinator plus `n` storage nodes and hands
+//! out client handles — the analogue of provisioning the DSO tier
+//! ("a CRUCIAL storage instance starts in 30 seconds", §6.2.3, minus the
+//! waiting).
+
+use simcore::{Addr, Sim};
+
+use crate::client::DsoClientHandle;
+use crate::config::DsoConfig;
+use crate::membership::spawn_coordinator;
+use crate::object::ObjectRegistry;
+use crate::protocol::NodeId;
+use crate::server::{spawn_server, ServerHandle};
+
+/// A running DSO deployment inside a simulation.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::Sim;
+/// use dso::{DsoCluster, DsoConfig, ObjectRegistry, api};
+///
+/// let mut sim = Sim::new(1);
+/// let cluster = DsoCluster::start(&sim, 2, DsoConfig::default(),
+///                                 ObjectRegistry::with_builtins());
+/// let handle = cluster.client_handle();
+/// sim.spawn("app", move |ctx| {
+///     let mut cli = handle.connect();
+///     let counter = api::AtomicLong::new("hits");
+///     assert_eq!(counter.add_and_get(ctx, &mut cli, 5).expect("dso"), 5);
+/// });
+/// sim.run_until_idle().expect_quiescent();
+/// ```
+#[derive(Debug)]
+pub struct DsoCluster {
+    coordinator: Addr,
+    cfg: DsoConfig,
+    registry: ObjectRegistry,
+    servers: Vec<ServerHandle>,
+    next_node: u32,
+}
+
+impl DsoCluster {
+    /// Starts a coordinator and `n` storage nodes.
+    pub fn start(sim: &Sim, n: u32, cfg: DsoConfig, registry: ObjectRegistry) -> DsoCluster {
+        let coordinator = spawn_coordinator(sim, cfg.clone());
+        let mut cluster = DsoCluster {
+            coordinator,
+            cfg,
+            registry,
+            servers: Vec::new(),
+            next_node: 0,
+        };
+        for _ in 0..n {
+            cluster.add_node(sim);
+        }
+        cluster
+    }
+
+    /// The coordinator's address.
+    pub fn coordinator(&self) -> Addr {
+        self.coordinator
+    }
+
+    /// The deployment's configuration.
+    pub fn config(&self) -> &DsoConfig {
+        &self.cfg
+    }
+
+    /// A `Send` handle from which processes create their own clients.
+    pub fn client_handle(&self) -> DsoClientHandle {
+        DsoClientHandle::new(self.coordinator, self.cfg.clone())
+    }
+
+    /// Adds a fresh storage node (elasticity; Fig. 8's node addition).
+    pub fn add_node(&mut self, sim: &Sim) -> ServerHandle {
+        let node = NodeId(self.next_node);
+        self.next_node += 1;
+        let h = spawn_server(sim, node, self.cfg.clone(), self.registry.clone(), self.coordinator);
+        self.servers.push(h.clone());
+        h
+    }
+
+    /// Handles of all nodes ever started (including crashed ones).
+    pub fn servers(&self) -> &[ServerHandle] {
+        &self.servers
+    }
+
+    /// Crashes the `idx`-th node abruptly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn crash_node(&self, sim: &Sim, idx: usize) {
+        self.servers[idx].crash(sim);
+    }
+}

@@ -1,0 +1,79 @@
+//! Tunable parameters of the DSO layer.
+
+use std::time::Duration;
+
+use simcore::LatencyModel;
+
+/// Configuration of a DSO deployment.
+///
+/// The defaults are calibrated against the paper's evaluation setup
+/// (r5.2xlarge storage nodes inside a VPC): ~90 µs one-way in-VPC latency
+/// and 8 worker threads per node put a simple remote method call at
+/// ≈ 230 µs, matching Table 2.
+#[derive(Clone, Debug)]
+pub struct DsoConfig {
+    /// Worker threads per storage node (vCPUs of r5.2xlarge).
+    pub workers_per_node: u32,
+    /// One-way client ↔ server network latency.
+    pub client_net: LatencyModel,
+    /// One-way server ↔ server network latency.
+    pub peer_net: LatencyModel,
+    /// How often servers heartbeat the membership coordinator.
+    pub heartbeat_interval: Duration,
+    /// Silence after which the coordinator declares a node dead.
+    pub failure_timeout: Duration,
+    /// Client-side RPC timeout for non-blocking calls.
+    pub call_timeout: Duration,
+    /// Maximum client attempts before giving up.
+    pub max_retries: u32,
+    /// Initial client retry backoff (doubles per retry, capped at 64x).
+    pub retry_backoff: Duration,
+    /// Bandwidth used for state transfer during rebalancing, bytes/s.
+    pub transfer_bandwidth: f64,
+}
+
+impl Default for DsoConfig {
+    fn default() -> Self {
+        DsoConfig {
+            workers_per_node: 8,
+            client_net: LatencyModel::uniform(Duration::from_micros(90), 0.10),
+            peer_net: LatencyModel::uniform(Duration::from_micros(90), 0.10),
+            heartbeat_interval: Duration::from_millis(500),
+            failure_timeout: Duration::from_millis(1600),
+            call_timeout: Duration::from_millis(1000),
+            max_retries: 12,
+            retry_backoff: Duration::from_millis(1),
+            transfer_bandwidth: 200.0 * 1024.0 * 1024.0,
+        }
+    }
+}
+
+impl DsoConfig {
+    /// Backoff for the given (0-based) attempt: exponential, capped.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.min(6);
+        self.retry_backoff * factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = DsoConfig::default();
+        assert!(c.workers_per_node >= 1);
+        assert!(c.failure_timeout > c.heartbeat_interval * 2);
+        assert!(c.call_timeout > c.client_net.base * 4);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let c = DsoConfig::default();
+        assert_eq!(c.backoff_for(0), Duration::from_millis(1));
+        assert_eq!(c.backoff_for(1), Duration::from_millis(2));
+        assert_eq!(c.backoff_for(6), Duration::from_millis(64));
+        assert_eq!(c.backoff_for(20), Duration::from_millis(64), "capped");
+    }
+}

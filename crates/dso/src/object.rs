@@ -1,0 +1,365 @@
+//! The shared-object model: references, the server-side object trait, and
+//! the type registry ("uploading the jar" in the paper's terms).
+//!
+//! Fine-grained updates are *method calls shipped to the data*: a client
+//! sends `(object reference, method name, encoded arguments)` and the owning
+//! server runs the method against the materialized object (§4.2 of the
+//! paper). Methods may also *defer* their reply — the substrate for
+//! server-side synchronization objects such as barriers and futures.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ObjectError;
+
+/// Globally unique reference to a shared object: `(type name, key)`,
+/// exactly as in §4.1 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use dso::ObjectRef;
+///
+/// let r = ObjectRef::new("AtomicLong", "counter");
+/// assert_eq!(r.type_name(), "AtomicLong");
+/// assert_eq!(r.key(), "counter");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectRef {
+    type_name: String,
+    key: String,
+}
+
+impl ObjectRef {
+    /// Creates a reference from a type name and key.
+    pub fn new(type_name: impl Into<String>, key: impl Into<String>) -> ObjectRef {
+        ObjectRef {
+            type_name: type_name.into(),
+            key: key.into(),
+        }
+    }
+
+    /// The object's registered type name.
+    pub fn type_name(&self) -> &str {
+        &self.type_name
+    }
+
+    /// The object's key.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// 64-bit placement hash of this reference (FNV-1a over type and key).
+    pub fn placement_hash(&self) -> u64 {
+        let mut h = crate::ring::fnv1a(0, self.type_name.as_bytes());
+        h = crate::ring::fnv1a(h, b"\0");
+        crate::ring::mix(crate::ring::fnv1a(h, self.key.as_bytes()))
+    }
+}
+
+impl fmt::Debug for ObjectRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjectRef({}:{})", self.type_name, self.key)
+    }
+}
+
+impl fmt::Display for ObjectRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.type_name, self.key)
+    }
+}
+
+/// A ticket identifying a deferred (parked) method call; used to complete
+/// the call later.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ticket(pub u64);
+
+/// What a method call produced.
+#[derive(Debug)]
+pub enum Reply {
+    /// Respond to the caller now with this encoded value.
+    Value(Vec<u8>),
+    /// Defer the response; the object stored the call's [`Ticket`] and will
+    /// complete it from a later invocation (via [`Effects::wakes`]).
+    Park,
+}
+
+/// Full effect of one method invocation.
+#[derive(Debug)]
+pub struct Effects {
+    /// Response for the *current* caller.
+    pub reply: Reply,
+    /// CPU time this method consumes on the server (drives throughput and
+    /// the disjoint-access-parallelism experiments).
+    pub cost: Duration,
+    /// Deferred calls completed by this invocation, with their responses.
+    pub wakes: Vec<(Ticket, Vec<u8>)>,
+}
+
+impl Effects {
+    /// A plain value reply with the default "simple operation" cost.
+    pub fn value<T: Serialize>(v: &T) -> Result<Effects, ObjectError> {
+        Ok(Effects {
+            reply: Reply::Value(
+                simcore::codec::to_bytes(v).map_err(|e| ObjectError::App(e.to_string()))?,
+            ),
+            cost: costs::SIMPLE_OP,
+            wakes: Vec::new(),
+        })
+    }
+
+    /// A value reply with an explicit CPU cost.
+    pub fn value_with_cost<T: Serialize>(v: &T, cost: Duration) -> Result<Effects, ObjectError> {
+        let mut e = Effects::value(v)?;
+        e.cost = cost;
+        Ok(e)
+    }
+
+    /// Parks the current caller (reply comes later via a wake).
+    pub fn park() -> Effects {
+        Effects {
+            reply: Reply::Park,
+            cost: costs::SIMPLE_OP,
+            wakes: Vec::new(),
+        }
+    }
+
+    /// Adds a deferred completion to this invocation's effects.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the wake value cannot be encoded.
+    pub fn wake<T: Serialize>(mut self, t: Ticket, v: &T) -> Result<Effects, ObjectError> {
+        self.wakes.push((
+            t,
+            simcore::codec::to_bytes(v).map_err(|e| ObjectError::App(e.to_string()))?,
+        ));
+        Ok(self)
+    }
+}
+
+/// Default CPU cost constants for object methods, calibrated so the
+/// micro-benchmarks land in the paper's regimes (see DESIGN.md §4).
+pub mod costs {
+    use std::time::Duration;
+
+    /// A simple operation on a Java-based DSO server (e.g. one arithmetic
+    /// update): dominated by dispatch and (de)serialization of the
+    /// Infinispan/Creson interceptor stack.
+    pub const SIMPLE_OP: Duration = Duration::from_micros(35);
+
+    /// Per-multiplication cost of the Fig. 2a "complex operation" loop on
+    /// the JVM.
+    pub const PER_MULT: Duration = Duration::from_nanos(55);
+
+    /// Marginal (de)serialization cost per payload byte for bulk methods
+    /// (e.g. byte-array get/set); calibrated so a 1 KB access lands at
+    /// Table 2's ≈ 230 µs end-to-end.
+    pub const PER_BYTE: Duration = Duration::from_nanos(25);
+}
+
+/// Context of one method invocation.
+#[derive(Debug)]
+pub struct CallCtx {
+    /// The ticket of this call, for methods that park their caller.
+    pub ticket: Ticket,
+    /// Whether this invocation is an SMR re-execution on a replica (such
+    /// invocations must not park).
+    pub replicated: bool,
+}
+
+/// A server-side shared object.
+///
+/// Implementations are plain state machines: `invoke` dispatches on the
+/// method name, decodes arguments with [`simcore::codec`], mutates state
+/// and returns [`Effects`]. `save`/`restore` support replication and
+/// rebalancing ("marshalling" in the paper).
+///
+/// The `__create` method name is reserved: it is sent by client proxies to
+/// initialize an object idempotently and is handled by the server, not by
+/// `invoke`.
+pub trait SharedObject: Send + 'static {
+    /// Handles one method call.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ObjectError`] for unknown methods, undecodable
+    /// arguments, or application failures; the error is shipped back to the
+    /// calling client.
+    fn invoke(&mut self, call: &CallCtx, method: &str, args: &[u8]) -> Result<Effects, ObjectError>;
+
+    /// Serializes the object's full state.
+    fn save(&self) -> Vec<u8>;
+
+    /// Replaces the object's state with a previously saved one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObjectError::BadState`] if the bytes are not a valid state.
+    fn restore(&mut self, state: &[u8]) -> Result<(), ObjectError>;
+}
+
+/// Factory that builds an object from creation arguments (empty slice =
+/// default construction).
+pub type ObjectFactory =
+    Arc<dyn Fn(&[u8]) -> Result<Box<dyn SharedObject>, ObjectError> + Send + Sync>;
+
+/// Registry of object types available on the DSO servers.
+///
+/// The analogue of uploading the application jar to the servers: every type
+/// used by an application must be registered before the cluster starts.
+/// Registries are cheap to clone and shared between all server nodes.
+///
+/// # Examples
+///
+/// ```
+/// use dso::{ObjectRegistry, objects::AtomicLong};
+///
+/// let mut reg = ObjectRegistry::new();
+/// reg.register("AtomicLong", |args| AtomicLong::factory(args));
+/// assert!(reg.contains("AtomicLong"));
+/// ```
+#[derive(Clone, Default)]
+pub struct ObjectRegistry {
+    factories: HashMap<String, ObjectFactory>,
+}
+
+impl ObjectRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> ObjectRegistry {
+        ObjectRegistry::default()
+    }
+
+    /// Creates a registry pre-loaded with the built-in object library
+    /// (atomics, list, map, byte array, synchronization objects).
+    pub fn with_builtins() -> ObjectRegistry {
+        let mut r = ObjectRegistry::new();
+        crate::objects::register_builtins(&mut r);
+        r
+    }
+
+    /// Registers a type. Replaces any previous factory with the same name.
+    pub fn register<F>(&mut self, type_name: &str, factory: F)
+    where
+        F: Fn(&[u8]) -> Result<Box<dyn SharedObject>, ObjectError> + Send + Sync + 'static,
+    {
+        self.factories.insert(type_name.to_string(), Arc::new(factory));
+    }
+
+    /// Whether a type is registered.
+    pub fn contains(&self, type_name: &str) -> bool {
+        self.factories.contains_key(type_name)
+    }
+
+    /// Instantiates an object of the given type.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the type is unknown or the factory rejects `args`.
+    pub fn create(
+        &self,
+        type_name: &str,
+        args: &[u8],
+    ) -> Result<Box<dyn SharedObject>, ObjectError> {
+        match self.factories.get(type_name) {
+            Some(f) => f(args),
+            None => Err(ObjectError::App(format!("type not registered: {type_name}"))),
+        }
+    }
+
+    /// Registered type names, sorted.
+    pub fn type_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.factories.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl fmt::Debug for ObjectRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObjectRegistry").field("types", &self.type_names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+
+    impl SharedObject for Echo {
+        fn invoke(
+            &mut self,
+            _call: &CallCtx,
+            method: &str,
+            args: &[u8],
+        ) -> Result<Effects, ObjectError> {
+            match method {
+                "echo" => Ok(Effects {
+                    reply: Reply::Value(args.to_vec()),
+                    cost: Duration::ZERO,
+                    wakes: Vec::new(),
+                }),
+                other => Err(ObjectError::MethodNotFound(other.to_string())),
+            }
+        }
+        fn save(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn restore(&mut self, _state: &[u8]) -> Result<(), ObjectError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn object_ref_accessors_and_hash() {
+        let a = ObjectRef::new("T", "k1");
+        let b = ObjectRef::new("T", "k2");
+        let c = ObjectRef::new("U", "k1");
+        assert_ne!(a.placement_hash(), b.placement_hash());
+        assert_ne!(a.placement_hash(), c.placement_hash());
+        assert_eq!(a.placement_hash(), ObjectRef::new("T", "k1").placement_hash());
+        assert_eq!(a.to_string(), "T:k1");
+    }
+
+    #[test]
+    fn registry_create_and_unknown() {
+        let mut reg = ObjectRegistry::new();
+        reg.register("Echo", |_| Ok(Box::new(Echo)));
+        assert!(reg.contains("Echo"));
+        assert!(!reg.contains("Nope"));
+        let mut obj = reg.create("Echo", &[]).expect("create");
+        let call = CallCtx { ticket: Ticket(0), replicated: false };
+        let fx = obj.invoke(&call, "echo", &[1, 2]).expect("invoke");
+        match fx.reply {
+            Reply::Value(v) => assert_eq!(v, vec![1, 2]),
+            Reply::Park => panic!("unexpected park"),
+        }
+        assert!(reg.create("Nope", &[]).is_err());
+    }
+
+    #[test]
+    fn effects_builders() {
+        let fx = Effects::value(&42u64).expect("encode");
+        assert!(matches!(fx.reply, Reply::Value(_)));
+        assert_eq!(fx.cost, costs::SIMPLE_OP);
+        let fx = Effects::value_with_cost(&1u8, Duration::from_millis(1)).expect("encode");
+        assert_eq!(fx.cost, Duration::from_millis(1));
+        let fx = Effects::park().wake(Ticket(7), &9u32).expect("wake");
+        assert!(matches!(fx.reply, Reply::Park));
+        assert_eq!(fx.wakes.len(), 1);
+        assert_eq!(fx.wakes[0].0, Ticket(7));
+    }
+
+    #[test]
+    fn registry_reports_type_names_sorted() {
+        let mut reg = ObjectRegistry::new();
+        reg.register("B", |_| Ok(Box::new(Echo)));
+        reg.register("A", |_| Ok(Box::new(Echo)));
+        assert_eq!(reg.type_names(), vec!["A".to_string(), "B".to_string()]);
+    }
+}

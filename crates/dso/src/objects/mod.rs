@@ -1,0 +1,119 @@
+//! The built-in shared-object library (Table 1 of the paper): atomics,
+//! containers, a byte array, and server-side synchronization objects.
+//!
+//! Method names follow the paper's Java flavour (`addAndGet`,
+//! `compareAndSet`, `await`, …) so the listings translate one-to-one.
+
+mod arith;
+mod atomics;
+mod containers;
+mod sync;
+
+pub use arith::Arithmetic;
+pub use atomics::{AtomicBoolean, AtomicByteArray, AtomicLong};
+pub use containers::{ListObject, MapObject};
+pub use sync::{CountDownLatch, CyclicBarrier, FutureObject, Semaphore};
+
+use serde::de::DeserializeOwned;
+
+use crate::error::ObjectError;
+use crate::object::ObjectRegistry;
+
+/// Decodes method arguments, mapping failures to [`ObjectError::BadArgs`].
+pub(crate) fn dec<T: DeserializeOwned>(args: &[u8]) -> Result<T, ObjectError> {
+    simcore::codec::from_bytes(args).map_err(|e| ObjectError::BadArgs(e.to_string()))
+}
+
+/// Decodes creation arguments: empty input yields the provided default.
+pub(crate) fn dec_create<T: DeserializeOwned>(args: &[u8], default: T) -> Result<T, ObjectError> {
+    if args.is_empty() {
+        Ok(default)
+    } else {
+        simcore::codec::from_bytes(args).map_err(|e| ObjectError::BadState(e.to_string()))
+    }
+}
+
+/// Registers every built-in type under its canonical name.
+pub fn register_builtins(reg: &mut ObjectRegistry) {
+    reg.register(AtomicLong::TYPE, AtomicLong::factory);
+    reg.register(AtomicBoolean::TYPE, AtomicBoolean::factory);
+    reg.register(AtomicByteArray::TYPE, AtomicByteArray::factory);
+    reg.register(ListObject::TYPE, ListObject::factory);
+    reg.register(MapObject::TYPE, MapObject::factory);
+    reg.register(CyclicBarrier::TYPE, CyclicBarrier::factory);
+    reg.register(Semaphore::TYPE, Semaphore::factory);
+    reg.register(CountDownLatch::TYPE, CountDownLatch::factory);
+    reg.register(FutureObject::TYPE, FutureObject::factory);
+    reg.register(Arithmetic::TYPE, Arithmetic::factory);
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::object::{CallCtx, Effects, Reply, SharedObject, Ticket};
+
+    /// Invokes a method on a raw object and decodes the immediate value.
+    pub fn call<R: serde::de::DeserializeOwned>(
+        obj: &mut dyn SharedObject,
+        method: &str,
+        args: &impl serde::Serialize,
+    ) -> R {
+        match call_fx(obj, method, args).reply {
+            Reply::Value(v) => simcore::codec::from_bytes(&v).expect("decode reply"),
+            Reply::Park => panic!("unexpected park from {method}"),
+        }
+    }
+
+    /// Invokes a method and returns the full effects.
+    pub fn call_fx(
+        obj: &mut dyn SharedObject,
+        method: &str,
+        args: &impl serde::Serialize,
+    ) -> Effects {
+        call_fx_ticket(obj, method, args, Ticket(0))
+    }
+
+    /// Invokes a method with an explicit ticket (for park/wake tests).
+    pub fn call_fx_ticket(
+        obj: &mut dyn SharedObject,
+        method: &str,
+        args: &impl serde::Serialize,
+        ticket: Ticket,
+    ) -> Effects {
+        let call = CallCtx {
+            ticket,
+            replicated: false,
+        };
+        let bytes = simcore::codec::to_bytes(args).expect("encode args");
+        obj.invoke(&call, method, &bytes).expect("invoke ok")
+    }
+
+    /// Decodes a wake payload.
+    pub fn wake_value<R: serde::de::DeserializeOwned>(bytes: &[u8]) -> R {
+        simcore::codec::from_bytes(bytes).expect("decode wake")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_register_all_types() {
+        let reg = ObjectRegistry::with_builtins();
+        for t in [
+            "AtomicLong",
+            "AtomicBoolean",
+            "AtomicByteArray",
+            "List",
+            "Map",
+            "CyclicBarrier",
+            "Semaphore",
+            "CountDownLatch",
+            "Future",
+            "Arithmetic",
+        ] {
+            assert!(reg.contains(t), "missing builtin {t}");
+            assert!(reg.create(t, &[]).is_ok(), "default-create {t}");
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Wire protocol of the DSO layer: node ids, views, client requests and
+//! server-to-server messages.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use simcore::Addr;
+
+use crate::error::ObjectError;
+use crate::object::ObjectRef;
+use crate::skeen::{Mid, SkeenMsg, Stamp};
+
+/// Identifier of a DSO storage node.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A totally-ordered membership view (view synchrony, §4.1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct View {
+    /// Monotonically increasing view id.
+    pub id: u64,
+    /// Member nodes with their mailbox addresses, sorted by node id.
+    pub members: Vec<(NodeId, Addr)>,
+}
+
+impl View {
+    /// An empty pre-initialization view.
+    pub fn empty() -> View {
+        View {
+            id: 0,
+            members: Vec::new(),
+        }
+    }
+
+    /// Node ids of the members.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.members.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Address of a member, if present.
+    pub fn addr_of(&self, node: NodeId) -> Option<Addr> {
+        self.members.iter().find(|(n, _)| *n == node).map(|(_, a)| *a)
+    }
+}
+
+/// A client's invocation request (also carried inside SMR payloads).
+#[derive(Clone, Debug)]
+pub struct InvokeReq {
+    /// Target object.
+    pub obj: ObjectRef,
+    /// Method name; `"__create"` is reserved for idempotent initialization.
+    pub method: String,
+    /// Codec-encoded arguments.
+    pub args: Vec<u8>,
+    /// Replication factor of the object (1 = ephemeral, unreplicated).
+    pub rf: u8,
+    /// Creation arguments, sent once per client proxy so the object can be
+    /// materialized if absent (idempotent).
+    pub create: Option<Vec<u8>>,
+}
+
+/// Server's reply to an invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InvokeResp {
+    /// The method's encoded return value.
+    Value(Vec<u8>),
+    /// Contacted node is not an owner; the attached view id hints the
+    /// client to refresh.
+    NotOwner {
+        /// Server's current view id.
+        view: u64,
+    },
+    /// Transient failure (object in transfer, SMR aborted by view change).
+    Retry,
+    /// The object rejected the call.
+    Error(ObjectError),
+}
+
+/// Payload replicated through total-order multicast for persistent objects.
+#[derive(Clone, Debug)]
+pub struct SmrOp {
+    /// The original invocation.
+    pub req: InvokeReq,
+    /// Reply address of the calling client; only the initiating node
+    /// responds, the others apply silently.
+    pub respond_to: Option<Addr>,
+}
+
+/// Server-to-server messages.
+#[derive(Debug)]
+pub enum PeerMsg {
+    /// A Skeen protocol message carrying an [`SmrOp`].
+    Smr {
+        /// Sending node.
+        from: NodeId,
+        /// View id the sender ran in. Messages from another view are
+        /// dropped: both sides of a membership change must agree on the
+        /// multicast group, otherwise a reset on one side leaves a
+        /// never-finalized message blocking the other side's delivery
+        /// queue forever.
+        epoch: u64,
+        /// Protocol message.
+        msg: SkeenMsg<SmrOp>,
+    },
+    /// State transfer of an object during rebalancing.
+    Transfer {
+        /// Object being moved/copied.
+        obj: ObjectRef,
+        /// Replication factor recorded at creation.
+        rf: u8,
+        /// Serialized object state.
+        state: Vec<u8>,
+        /// Version (applied-operation count) for conflict resolution.
+        version: u64,
+    },
+}
+
+/// Messages understood by the membership coordinator.
+#[derive(Debug)]
+pub enum MemberMsg {
+    /// A server announces itself (on start or restart).
+    Join {
+        /// Its node id.
+        node: NodeId,
+        /// Its request mailbox.
+        addr: Addr,
+    },
+    /// Periodic liveness signal.
+    Heartbeat {
+        /// Sending node.
+        node: NodeId,
+    },
+    /// Graceful departure.
+    Leave {
+        /// Departing node.
+        node: NodeId,
+    },
+}
+
+/// RPC to the coordinator: fetch the current view (used by clients and by
+/// servers that fall behind).
+#[derive(Debug, Clone, Copy)]
+pub struct GetView;
+
+/// RPC to a storage node: dump every locally-stored object (passivation,
+/// §4.1: objects "can be passivated to stable storage using standard
+/// mechanisms").
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotAll;
+
+/// One marshalled object in a snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObjectRecord {
+    /// The object's reference.
+    pub obj: ObjectRef,
+    /// Its replication factor.
+    pub rf: u8,
+    /// Applied-operation count, for conflict resolution.
+    pub version: u64,
+    /// Marshalled state.
+    pub state: Vec<u8>,
+}
+
+/// Reply to [`SnapshotAll`].
+#[derive(Debug, Clone)]
+pub struct SnapshotReply(pub Vec<ObjectRecord>);
+
+/// Coordinator's push of a new view to the members.
+#[derive(Debug, Clone)]
+pub struct ViewUpdate(pub View);
+
+/// Convenience alias re-exported for driver code.
+pub type SmrStamp = Stamp;
+/// Convenience alias re-exported for driver code.
+pub type SmrMid = Mid;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_lookup() {
+        let a = Addr::from_raw(1);
+        let b = Addr::from_raw(2);
+        let v = View {
+            id: 3,
+            members: vec![(NodeId(0), a), (NodeId(2), b)],
+        };
+        assert_eq!(v.node_ids(), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(v.addr_of(NodeId(2)), Some(b));
+        assert_eq!(v.addr_of(NodeId(1)), None);
+        assert_eq!(View::empty().id, 0);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(format!("{:?}", NodeId(4)), "n4");
+    }
+}

@@ -1,0 +1,617 @@
+//! A DSO storage node.
+//!
+//! Each node runs one *dispatcher* process (its network-facing mailbox) and
+//! a pool of *worker* processes. Requests are routed to a worker by the
+//! object's placement hash, which gives both per-object serialization
+//! (linearizability) and disjoint-access parallelism across objects — the
+//! property behind Crucial's Fig. 2a win on complex operations.
+//!
+//! Persistent objects (`rf > 1`) take the SMR path: the contacted replica
+//! initiates a Skeen total-order multicast among the replica group; every
+//! replica applies the delivered operation, and the initiating node replies
+//! to the client.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use simcore::{Addr, Ctx, Msg, Pid, Request, Sim};
+
+use crate::config::DsoConfig;
+use crate::object::{CallCtx, ObjectRef, ObjectRegistry, Reply, SharedObject, Ticket};
+use crate::protocol::{
+    InvokeReq, InvokeResp, MemberMsg, NodeId, PeerMsg, SmrOp, View, ViewUpdate,
+};
+use crate::ring::Ring;
+use crate::skeen::{Action, Skeen};
+
+/// Handle to a running storage node, used by test/benchmark harnesses to
+/// crash it abruptly.
+#[derive(Clone, Debug)]
+pub struct ServerHandle {
+    /// The node's id.
+    pub node: NodeId,
+    pids: Arc<Mutex<Vec<Pid>>>,
+}
+
+impl ServerHandle {
+    /// Kills the dispatcher and all workers without any goodbye — the
+    /// "(abrupt) removal of a node" from Fig. 8. The membership
+    /// coordinator notices through missed heartbeats.
+    pub fn crash(&self, sim: &Sim) {
+        for pid in self.pids.lock().iter() {
+            sim.kill(*pid);
+        }
+    }
+
+    /// Kills the node from inside the simulation (e.g. from a fault
+    /// injector process).
+    pub fn crash_from(&self, ctx: &mut Ctx) {
+        for pid in self.pids.lock().iter() {
+            ctx.kill(*pid);
+        }
+    }
+}
+
+struct Stored {
+    obj: Box<dyn SharedObject>,
+    rf: u8,
+    version: u64,
+}
+
+struct NodeShared {
+    node: NodeId,
+    cfg: DsoConfig,
+    registry: ObjectRegistry,
+    objects: Mutex<HashMap<ObjectRef, Stored>>,
+    parked: Mutex<HashMap<Ticket, Addr>>,
+    next_ticket: AtomicU64,
+}
+
+enum WorkItem {
+    Client { req: InvokeReq, reply_to: Addr },
+    Apply { op: SmrOp },
+}
+
+/// Spawns a storage node (dispatcher + workers). The node joins the
+/// membership coordinator at `coordinator` and serves once a view that
+/// includes it is installed.
+pub fn spawn_server(
+    sim: &Sim,
+    node: NodeId,
+    cfg: DsoConfig,
+    registry: ObjectRegistry,
+    coordinator: Addr,
+) -> ServerHandle {
+    let pids = Arc::new(Mutex::new(Vec::new()));
+    let handle = ServerHandle {
+        node,
+        pids: pids.clone(),
+    };
+    let shared = Arc::new(NodeShared {
+        node,
+        cfg,
+        registry,
+        objects: Mutex::new(HashMap::new()),
+        parked: Mutex::new(HashMap::new()),
+        next_ticket: AtomicU64::new(1),
+    });
+    let main = sim.spawn_daemon(&format!("dso-{node}"), move |ctx| {
+        server_main(ctx, coordinator, shared, pids);
+    });
+    handle.pids.lock().push(main);
+    handle
+}
+
+fn server_main(
+    ctx: &mut Ctx,
+    coordinator: Addr,
+    shared: Arc<NodeShared>,
+    pids: Arc<Mutex<Vec<Pid>>>,
+) {
+    let node = shared.node;
+    let cfg = shared.cfg.clone();
+    let inbox = ctx.mailbox(&format!("dso-{node}-inbox"));
+
+    // Worker pool. Worker mailboxes are owned by the dispatcher, so an
+    // abrupt node crash closes them all at once.
+    let mut workers: Vec<Addr> = Vec::with_capacity(cfg.workers_per_node as usize);
+    for w in 0..cfg.workers_per_node {
+        let wmb = ctx.mailbox(&format!("dso-{node}-w{w}"));
+        workers.push(wmb);
+        let sh = shared.clone();
+        let pid = ctx.spawn_daemon(&format!("dso-{node}-w{w}"), move |wc| {
+            worker_loop(wc, wmb, sh);
+        });
+        pids.lock().push(pid);
+    }
+
+    // Join the cluster.
+    {
+        let lat = cfg.peer_net.sample(ctx.rng());
+        ctx.send(coordinator, Msg::new(MemberMsg::Join { node, addr: inbox }), lat);
+    }
+
+    let mut view = View::empty();
+    let mut ring = Ring::new(&[]);
+    let mut skeen: Skeen<SmrOp> = Skeen::new(node);
+    let mut next_hb = ctx.now() + cfg.heartbeat_interval;
+
+    loop {
+        let timeout = next_hb.saturating_duration_since(ctx.now());
+        let msg = ctx.recv_timeout(inbox, timeout);
+        if ctx.now() >= next_hb {
+            let lat = cfg.peer_net.sample(ctx.rng());
+            ctx.send(coordinator, Msg::new(MemberMsg::Heartbeat { node }), lat);
+            next_hb = ctx.now() + cfg.heartbeat_interval;
+        }
+        let Some(msg) = msg else { continue };
+
+        let msg = match msg.try_take::<Request>() {
+            Ok(req) => {
+                if req.body.is::<crate::protocol::SnapshotAll>() {
+                    let (reply_to, _) = req.take::<crate::protocol::SnapshotAll>();
+                    let records = snapshot_all(&shared);
+                    let bytes: usize = records.iter().map(|r| r.state.len()).sum();
+                    let lat = cfg.client_net.sample(ctx.rng())
+                        + Duration::from_secs_f64(bytes as f64 / cfg.transfer_bandwidth);
+                    ctx.reply(reply_to, crate::protocol::SnapshotReply(records), lat);
+                    continue;
+                }
+                let (reply_to, invoke) = req.take::<InvokeReq>();
+                handle_client_invoke(
+                    ctx, &shared, &view, &ring, &workers, &mut skeen, invoke, reply_to,
+                );
+                continue;
+            }
+            Err(other) => other,
+        };
+        let msg = match msg.try_take::<PeerMsg>() {
+            Ok(PeerMsg::Smr { from, epoch, msg }) => {
+                if epoch != view.id {
+                    // Stale- or future-epoch SMR traffic: drop it; the
+                    // client retries once both replicas share the view.
+                    continue;
+                }
+                let actions = skeen.handle(from, msg);
+                process_skeen_actions(ctx, &shared, &view, &workers, &mut skeen, actions);
+                continue;
+            }
+            Ok(PeerMsg::Transfer { obj, rf, state, version }) => {
+                install_transfer(&shared, obj, rf, state, version);
+                continue;
+            }
+            Err(other) => other,
+        };
+        match msg.try_take::<ViewUpdate>() {
+            Ok(ViewUpdate(new_view)) => {
+                if new_view.id > view.id {
+                    let new_ring = Ring::new(&new_view.node_ids());
+                    rebalance(ctx, &shared, &view, &ring, &new_view, &new_ring);
+                    // Abort in-flight SMR: a departed replica can never
+                    // answer, and a stalled message would head-of-line
+                    // block every later delivery. Clients retry.
+                    skeen.reset();
+                    view = new_view;
+                    ring = new_ring;
+                }
+            }
+            Err(other) => {
+                ctx.trace(format!("dso-{node}: dropping unknown message {other:?}"));
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_client_invoke(
+    ctx: &mut Ctx,
+    shared: &Arc<NodeShared>,
+    view: &View,
+    ring: &Ring,
+    workers: &[Addr],
+    skeen: &mut Skeen<SmrOp>,
+    req: InvokeReq,
+    reply_to: Addr,
+) {
+    let cfg = &shared.cfg;
+    let placement = ring.placement(&req.obj, req.rf.max(1));
+    if !placement.contains(&shared.node) {
+        let lat = cfg.client_net.sample(ctx.rng());
+        ctx.reply(reply_to, InvokeResp::NotOwner { view: view.id }, lat);
+        return;
+    }
+    if req.rf > 1 && placement.len() > 1 {
+        // SMR path: totally-order the operation among the replica group.
+        let op = SmrOp {
+            req,
+            respond_to: Some(reply_to),
+        };
+        let (_mid, actions) = skeen.multicast(placement, op);
+        process_skeen_actions(ctx, shared, view, workers, skeen, actions);
+    } else {
+        route_to_worker(ctx, shared, workers, WorkItem::Client { req, reply_to });
+    }
+}
+
+/// Executes Skeen actions: peer sends go on the wire, self-sends loop back
+/// through the state machine immediately (zero network cost), deliveries
+/// are dispatched to workers in order.
+fn process_skeen_actions(
+    ctx: &mut Ctx,
+    shared: &Arc<NodeShared>,
+    view: &View,
+    workers: &[Addr],
+    skeen: &mut Skeen<SmrOp>,
+    actions: Vec<Action<SmrOp>>,
+) {
+    let node = shared.node;
+    let mut stack: Vec<Action<SmrOp>> = actions;
+    // Reverse stack processing keeps relative order of same-batch actions.
+    stack.reverse();
+    while let Some(action) = stack.pop() {
+        match action {
+            Action::Send { to, msg } => {
+                if to == node {
+                    let mut more = skeen.handle(node, msg);
+                    more.reverse();
+                    stack.extend(more);
+                } else if let Some(addr) = view.addr_of(to) {
+                    let lat = shared.cfg.peer_net.sample(ctx.rng());
+                    ctx.send(
+                        addr,
+                        Msg::new(PeerMsg::Smr {
+                            from: node,
+                            epoch: view.id,
+                            msg,
+                        }),
+                        lat,
+                    );
+                } else {
+                    // Peer not in our view (crashed / not yet seen): the
+                    // multicast stalls and the client retries after its
+                    // timeout.
+                    ctx.trace(format!("dso-{node}: dropping SMR message to absent {to}"));
+                }
+            }
+            Action::Deliver { mid, payload, .. } => {
+                let mut op = payload;
+                if mid.node != node {
+                    // Only the initiating replica answers the client.
+                    op.respond_to = None;
+                }
+                route_to_worker(ctx, shared, workers, WorkItem::Apply { op });
+            }
+        }
+    }
+}
+
+fn route_to_worker(ctx: &mut Ctx, _shared: &Arc<NodeShared>, workers: &[Addr], item: WorkItem) {
+    let obj = match &item {
+        WorkItem::Client { req, .. } => &req.obj,
+        WorkItem::Apply { op } => &op.req.obj,
+    };
+    let idx = (obj.placement_hash() % workers.len() as u64) as usize;
+    // Intra-node handoff costs nothing on the simulated network.
+    ctx.send(workers[idx], Msg::new(item), Duration::ZERO);
+}
+
+/// Marshals every locally-stored object (the passivation dump).
+fn snapshot_all(shared: &Arc<NodeShared>) -> Vec<crate::protocol::ObjectRecord> {
+    let objects = shared.objects.lock();
+    let mut records: Vec<crate::protocol::ObjectRecord> = objects
+        .iter()
+        .map(|(obj, stored)| crate::protocol::ObjectRecord {
+            obj: obj.clone(),
+            rf: stored.rf,
+            version: stored.version,
+            state: stored.obj.save(),
+        })
+        .collect();
+    records.sort_by(|a, b| a.obj.cmp(&b.obj));
+    records
+}
+
+fn install_transfer(
+    shared: &Arc<NodeShared>,
+    obj: ObjectRef,
+    rf: u8,
+    state: Vec<u8>,
+    version: u64,
+) {
+    let mut objects = shared.objects.lock();
+    let newer = objects.get(&obj).is_none_or(|s| s.version < version);
+    if !newer {
+        return;
+    }
+    let mut instance = match shared.registry.create(obj.type_name(), &[]) {
+        Ok(i) => i,
+        Err(_) => return, // unknown type on this node: drop the transfer
+    };
+    if instance.restore(&state).is_ok() {
+        objects.insert(
+            obj,
+            Stored {
+                obj: instance,
+                rf,
+                version,
+            },
+        );
+    }
+}
+
+/// On a view change, push object state to new owners and drop objects this
+/// node no longer holds (§4.1: "the nodes re-balance data according to the
+/// new view").
+fn rebalance(
+    ctx: &mut Ctx,
+    shared: &Arc<NodeShared>,
+    _old_view: &View,
+    old_ring: &Ring,
+    new_view: &View,
+    new_ring: &Ring,
+) {
+    let node = shared.node;
+    let mut to_remove: Vec<ObjectRef> = Vec::new();
+    let mut to_send: Vec<(Addr, ObjectRef, u8, Vec<u8>, u64)> = Vec::new();
+    {
+        let objects = shared.objects.lock();
+        for (obj_ref, stored) in objects.iter() {
+            let rf = stored.rf.max(1);
+            let newp = new_ring.placement(obj_ref, rf);
+            let oldp = old_ring.placement(obj_ref, rf);
+            let keep = newp.contains(&node);
+            let targets: Vec<NodeId> = if keep {
+                newp.iter()
+                    .copied()
+                    .filter(|p| *p != node && !oldp.contains(p))
+                    .collect()
+            } else {
+                to_remove.push(obj_ref.clone());
+                newp
+            };
+            if !targets.is_empty() {
+                let state = stored.obj.save();
+                for t in targets {
+                    if let Some(addr) = new_view.addr_of(t) {
+                        to_send.push((addr, obj_ref.clone(), rf, state.clone(), stored.version));
+                    }
+                }
+            }
+        }
+    }
+    for (addr, obj, rf, state, version) in to_send {
+        let lat = shared.cfg.peer_net.sample(ctx.rng())
+            + Duration::from_secs_f64(state.len() as f64 / shared.cfg.transfer_bandwidth);
+        ctx.send(
+            addr,
+            Msg::new(PeerMsg::Transfer {
+                obj,
+                rf,
+                state,
+                version,
+            }),
+            lat,
+        );
+    }
+    if !to_remove.is_empty() {
+        let mut objects = shared.objects.lock();
+        for r in &to_remove {
+            objects.remove(r);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+enum CallOutcome {
+    Reply(InvokeResp, Duration),
+    Parked(Duration),
+}
+
+fn worker_loop(ctx: &mut Ctx, inbox: Addr, shared: Arc<NodeShared>) {
+    loop {
+        let item = ctx.recv(inbox).take::<WorkItem>();
+        match item {
+            WorkItem::Client { req, reply_to } => {
+                execute(ctx, &shared, req, Some(reply_to), false);
+            }
+            WorkItem::Apply { op } => {
+                execute(ctx, &shared, op.req, op.respond_to, true);
+            }
+        }
+    }
+}
+
+/// Runs one method call against the object store: materializes the object
+/// if needed, invokes the method, charges its CPU cost, completes any
+/// deferred calls it woke, and replies.
+fn execute(
+    ctx: &mut Ctx,
+    shared: &Arc<NodeShared>,
+    req: InvokeReq,
+    reply_to: Option<Addr>,
+    replicated: bool,
+) {
+    let ticket = Ticket(shared.next_ticket.fetch_add(1, Ordering::SeqCst));
+    if let Some(rt) = reply_to {
+        shared.parked.lock().insert(ticket, rt);
+    }
+    let mut wakes: Vec<(Ticket, Vec<u8>)> = Vec::new();
+    if req.method == "__restore" {
+        let outcome = restore_object(shared, &req);
+        finish(ctx, shared, ticket, reply_to, outcome, &[]);
+        return;
+    }
+    let outcome = {
+        let mut objects = shared.objects.lock();
+        if !objects.contains_key(&req.obj) {
+            match materialize(shared, &req) {
+                Ok(Some(stored)) => {
+                    objects.insert(req.obj.clone(), stored);
+                }
+                Ok(None) => {
+                    // Persistent object awaiting transfer from a replica.
+                    drop(objects);
+                    finish(
+                        ctx,
+                        shared,
+                        ticket,
+                        reply_to,
+                        CallOutcome::Reply(InvokeResp::Retry, Duration::ZERO),
+                        &[],
+                    );
+                    return;
+                }
+                Err(e) => {
+                    drop(objects);
+                    finish(
+                        ctx,
+                        shared,
+                        ticket,
+                        reply_to,
+                        CallOutcome::Reply(InvokeResp::Error(e), Duration::ZERO),
+                        &[],
+                    );
+                    return;
+                }
+            }
+        }
+        let stored = objects.get_mut(&req.obj).expect("object just ensured");
+        if req.method == "__create" {
+            // Idempotent explicit creation: materialization above (or a
+            // pre-existing object) is all that is needed.
+            CallOutcome::Reply(
+                InvokeResp::Value(simcore::codec::to_bytes(&()).expect("unit encodes")),
+                crate::object::costs::SIMPLE_OP,
+            )
+        } else {
+            let call = CallCtx { ticket, replicated };
+            match stored.obj.invoke(&call, &req.method, &req.args) {
+                Ok(effects) => {
+                    stored.version += 1;
+                    wakes = effects.wakes;
+                    match effects.reply {
+                        Reply::Value(v) => {
+                            CallOutcome::Reply(InvokeResp::Value(v), effects.cost)
+                        }
+                        Reply::Park if replicated => CallOutcome::Reply(
+                            InvokeResp::Error(crate::error::ObjectError::App(
+                                "blocking methods are not allowed on replicated objects"
+                                    .to_string(),
+                            )),
+                            effects.cost,
+                        ),
+                        Reply::Park => CallOutcome::Parked(effects.cost),
+                    }
+                }
+                Err(e) => CallOutcome::Reply(InvokeResp::Error(e), Duration::ZERO),
+            }
+        }
+    };
+    finish(ctx, shared, ticket, reply_to, outcome, &wakes);
+}
+
+/// Un-passivates an object: rebuilds it from a marshalled snapshot,
+/// keeping whichever version is newer. Arguments: `(state, version)`.
+fn restore_object(shared: &Arc<NodeShared>, req: &InvokeReq) -> CallOutcome {
+    let parsed: Result<(Vec<u8>, u64), _> = simcore::codec::from_bytes(&req.args);
+    let (state, version) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            return CallOutcome::Reply(
+                InvokeResp::Error(crate::error::ObjectError::BadArgs(e.to_string())),
+                Duration::ZERO,
+            )
+        }
+    };
+    let mut objects = shared.objects.lock();
+    let newer = objects.get(&req.obj).is_none_or(|s| s.version <= version);
+    if newer {
+        let instance = shared
+            .registry
+            .create(req.obj.type_name(), &[])
+            .and_then(|mut o| o.restore(&state).map(|()| o));
+        match instance {
+            Ok(obj) => {
+                objects.insert(
+                    req.obj.clone(),
+                    Stored {
+                        obj,
+                        rf: req.rf.max(1),
+                        version,
+                    },
+                );
+            }
+            Err(e) => return CallOutcome::Reply(InvokeResp::Error(e), Duration::ZERO),
+        }
+    }
+    let cost = crate::object::costs::SIMPLE_OP
+        + crate::object::costs::PER_BYTE * state.len() as u32;
+    CallOutcome::Reply(
+        InvokeResp::Value(simcore::codec::to_bytes(&()).expect("unit encodes")),
+        cost,
+    )
+}
+
+/// Creates the object for `req` if possible: from the request's creation
+/// arguments, or default-constructed for ephemeral objects. Returns
+/// `Ok(None)` when a persistent object should instead arrive by transfer.
+fn materialize(
+    shared: &Arc<NodeShared>,
+    req: &InvokeReq,
+) -> Result<Option<Stored>, crate::error::ObjectError> {
+    let args: Option<&[u8]> = req.create.as_deref();
+    let args = match args {
+        Some(a) => a,
+        None if req.rf <= 1 => &[],
+        None => return Ok(None),
+    };
+    let obj = shared.registry.create(req.obj.type_name(), args)?;
+    Ok(Some(Stored {
+        obj,
+        rf: req.rf.max(1),
+        version: 0,
+    }))
+}
+
+/// Charges the CPU cost, wakes deferred callers, and replies.
+fn finish(
+    ctx: &mut Ctx,
+    shared: &Arc<NodeShared>,
+    ticket: Ticket,
+    reply_to: Option<Addr>,
+    outcome: CallOutcome,
+    wakes: &[(Ticket, Vec<u8>)],
+) {
+    let cost = match &outcome {
+        CallOutcome::Reply(_, c) => *c,
+        CallOutcome::Parked(c) => *c,
+    };
+    if !cost.is_zero() {
+        ctx.compute(cost);
+    }
+    for (t, bytes) in wakes {
+        let target = shared.parked.lock().remove(t);
+        if let Some(addr) = target {
+            let lat = shared.cfg.client_net.sample(ctx.rng());
+            ctx.reply(addr, InvokeResp::Value(bytes.clone()), lat);
+        }
+    }
+    match outcome {
+        CallOutcome::Reply(resp, _) => {
+            shared.parked.lock().remove(&ticket);
+            if let Some(rt) = reply_to {
+                let lat = shared.cfg.client_net.sample(ctx.rng());
+                ctx.reply(rt, resp, lat);
+            }
+        }
+        CallOutcome::Parked(_) => {
+            // Ticket stays registered; a later invocation wakes it.
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Invocation billing: duration × memory accounting at AWS Lambda prices
+//! (Table 3 of the paper).
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Prices used by the cost experiments (us-east-1, 2019).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pricing {
+    /// Dollars per GB-second of function duration.
+    pub per_gb_second: f64,
+    /// Dollars per invocation request.
+    pub per_request: f64,
+}
+
+impl Default for Pricing {
+    fn default() -> Self {
+        Pricing {
+            per_gb_second: 0.000_016_666_7,
+            per_request: 0.000_000_2,
+        }
+    }
+}
+
+/// One billed invocation.
+#[derive(Clone, Debug)]
+pub struct InvocationRecord {
+    /// Function name.
+    pub function: String,
+    /// Billed duration (excludes the provider-side cold start, as AWS does).
+    pub duration: Duration,
+    /// Configured memory.
+    pub memory_mb: u32,
+    /// Whether this invocation paid a cold start.
+    pub cold_start: bool,
+    /// Whether the invocation failed.
+    pub failed: bool,
+}
+
+/// Shared, thread-safe ledger of invocations.
+#[derive(Clone, Default)]
+pub struct Billing {
+    records: Arc<Mutex<Vec<InvocationRecord>>>,
+}
+
+impl Billing {
+    /// Creates an empty ledger.
+    pub fn new() -> Billing {
+        Billing::default()
+    }
+
+    /// Appends a record.
+    pub fn record(&self, rec: InvocationRecord) {
+        self.records.lock().push(rec);
+    }
+
+    /// Number of recorded invocations.
+    pub fn invocations(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Number of cold starts.
+    pub fn cold_starts(&self) -> usize {
+        self.records.lock().iter().filter(|r| r.cold_start).count()
+    }
+
+    /// Total GB-seconds across all invocations.
+    pub fn gb_seconds(&self) -> f64 {
+        self.records
+            .lock()
+            .iter()
+            .map(|r| r.duration.as_secs_f64() * (r.memory_mb as f64 / 1024.0))
+            .sum()
+    }
+
+    /// Total compute time across all invocations.
+    pub fn total_duration(&self) -> Duration {
+        self.records.lock().iter().map(|r| r.duration).sum()
+    }
+
+    /// Dollar cost under `pricing`.
+    pub fn cost(&self, pricing: Pricing) -> f64 {
+        self.gb_seconds() * pricing.per_gb_second
+            + self.invocations() as f64 * pricing.per_request
+    }
+
+    /// Forgets all records (e.g. to exclude a warm-up phase from Table 3).
+    pub fn reset(&self) {
+        self.records.lock().clear();
+    }
+}
+
+impl fmt::Debug for Billing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Billing")
+            .field("invocations", &self.invocations())
+            .field("gb_seconds", &self.gb_seconds())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ms: u64, mem: u32) -> InvocationRecord {
+        InvocationRecord {
+            function: "f".into(),
+            duration: Duration::from_millis(ms),
+            memory_mb: mem,
+            cold_start: false,
+            failed: false,
+        }
+    }
+
+    #[test]
+    fn gb_seconds_and_cost() {
+        let b = Billing::new();
+        b.record(rec(1000, 1024)); // 1 GB-s
+        b.record(rec(500, 2048)); // 1 GB-s
+        assert!((b.gb_seconds() - 2.0).abs() < 1e-9);
+        let p = Pricing::default();
+        let expected = 2.0 * p.per_gb_second + 2.0 * p.per_request;
+        assert!((b.cost(p) - expected).abs() < 1e-12);
+        assert_eq!(b.invocations(), 2);
+        assert_eq!(b.total_duration(), Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let b = Billing::new();
+        b.record(rec(100, 128));
+        b.reset();
+        assert_eq!(b.invocations(), 0);
+        assert_eq!(b.gb_seconds(), 0.0);
+    }
+
+    #[test]
+    fn lambda_pricing_magnitude_matches_paper() {
+        // §6.2.3: 80 functions at 1792 MB ≈ 0.25 cents per second.
+        let b = Billing::new();
+        for _ in 0..80 {
+            b.record(rec(1000, 1792));
+        }
+        let per_second = b.cost(Pricing::default());
+        assert!(
+            per_second > 0.0022 && per_second < 0.0027,
+            "80x1792MB costs ${per_second}/s, expected ~$0.0024/s"
+        );
+    }
+}

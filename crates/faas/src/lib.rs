@@ -1,0 +1,246 @@
+//! # faas — a serverless (AWS-Lambda-like) platform simulator
+//!
+//! The compute substrate of the Crucial reproduction: user code is deployed
+//! as named functions ([`FunctionRegistry`]); clients invoke them
+//! synchronously ([`FaasHandle::invoke`], the paper's `RequestResponse`
+//! mode); the platform manages warm/cold containers, scales CPU with the
+//! configured memory (footnote 7), enforces a concurrency limit and the
+//! 15-minute cap, injects failures on demand, and bills GB-seconds at AWS
+//! prices for the Table 3 cost experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use simcore::Sim;
+//! use faas::{spawn_platform, FaasConfig, FunctionRegistry, FnCtx};
+//! use std::time::Duration;
+//!
+//! let mut sim = Sim::new(5);
+//! let registry = FunctionRegistry::new();
+//! registry.register("double", 1792, |env: &mut FnCtx<'_>, payload: Vec<u8>| {
+//!     env.compute(Duration::from_millis(50));
+//!     Ok(payload.iter().map(|b| b * 2).collect())
+//! });
+//! let faas = spawn_platform(&sim, FaasConfig::default(), registry);
+//!
+//! sim.spawn("client", move |ctx| {
+//!     let out = faas.invoke(ctx, "double", vec![1, 2, 3]).expect("ok");
+//!     assert_eq!(out, vec![2, 4, 6]);
+//! });
+//! sim.run_until_idle().expect_quiescent();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod billing;
+mod function;
+mod platform;
+
+pub use billing::{Billing, InvocationRecord, Pricing};
+pub use function::{
+    cpu_share_for, CloudFunction, FnCtx, FunctionRegistry, FunctionSpec, FULL_VCPU_MB,
+};
+pub use platform::{spawn_platform, FaasConfig, FaasError, FaasHandle, InvokeFn, InvokeResult};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use simcore::{Sim, SimTime};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn echo_registry() -> FunctionRegistry {
+        let reg = FunctionRegistry::new();
+        reg.register("echo", 1792, |_env: &mut FnCtx<'_>, p: Vec<u8>| Ok(p));
+        reg.register("sleepy", 1792, |env: &mut FnCtx<'_>, p: Vec<u8>| {
+            env.compute(Duration::from_millis(100));
+            Ok(p)
+        });
+        reg
+    }
+
+    #[test]
+    fn cold_then_warm_invocations() {
+        let mut sim = Sim::new(1);
+        let faas = spawn_platform(&sim, FaasConfig::default(), echo_registry());
+        let f2 = faas.clone();
+        sim.spawn("client", move |ctx| {
+            let t0 = ctx.now();
+            let out = f2.invoke(ctx, "echo", vec![7]).expect("ok");
+            assert_eq!(out, vec![7]);
+            let cold_time = ctx.now() - t0;
+            assert!(cold_time > Duration::from_millis(1000), "cold start: {cold_time:?}");
+            let t0 = ctx.now();
+            let _ = f2.invoke(ctx, "echo", vec![8]).expect("ok");
+            let warm_time = ctx.now() - t0;
+            assert!(warm_time < Duration::from_millis(60), "warm invoke: {warm_time:?}");
+        });
+        sim.run_until_idle().expect_quiescent();
+        assert_eq!(faas.billing().invocations(), 2);
+        assert_eq!(faas.billing().cold_starts(), 1);
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let mut sim = Sim::new(2);
+        let faas = spawn_platform(&sim, FaasConfig::default(), echo_registry());
+        sim.spawn("client", move |ctx| {
+            let err = faas.invoke(ctx, "nope", vec![]).unwrap_err();
+            assert!(matches!(err, FaasError::UnknownFunction(_)));
+        });
+        sim.run_until_idle().expect_quiescent();
+    }
+
+    #[test]
+    fn parallel_invocations_scale_out() {
+        let mut sim = Sim::new(3);
+        let faas = spawn_platform(&sim, FaasConfig::default(), echo_registry());
+        let latest = Arc::new(Mutex::new(SimTime::ZERO));
+        for i in 0..50 {
+            let faas = faas.clone();
+            let latest = latest.clone();
+            sim.spawn(&format!("c{i}"), move |ctx| {
+                let _ = faas.invoke(ctx, "sleepy", vec![]).expect("ok");
+                let mut g = latest.lock();
+                if ctx.now() > *g {
+                    *g = ctx.now();
+                }
+            });
+        }
+        sim.run_until_idle().expect_quiescent();
+        // 50 concurrent 100ms functions behind cold starts: all finish in
+        // ~1 cold start + 100ms, not 50x sequentially.
+        assert!(*latest.lock() < SimTime::from_millis(2500), "{}", *latest.lock());
+    }
+
+    #[test]
+    fn concurrency_limit_queues_invocations() {
+        let mut sim = Sim::new(4);
+        let cfg = FaasConfig {
+            concurrency_limit: 1,
+            ..FaasConfig::default()
+        };
+        let faas = spawn_platform(&sim, cfg, echo_registry());
+        let latest = Arc::new(Mutex::new(SimTime::ZERO));
+        for i in 0..4 {
+            let faas = faas.clone();
+            let latest = latest.clone();
+            sim.spawn(&format!("c{i}"), move |ctx| {
+                let _ = faas.invoke(ctx, "sleepy", vec![]).expect("ok");
+                let mut g = latest.lock();
+                if ctx.now() > *g {
+                    *g = ctx.now();
+                }
+            });
+        }
+        sim.run_until_idle().expect_quiescent();
+        // 4 x 100ms serialized (plus one cold start) ≥ 400ms.
+        assert!(
+            *latest.lock() > SimTime::from_millis(400),
+            "limit=1 must serialize: {}",
+            *latest.lock()
+        );
+    }
+
+    #[test]
+    fn memory_scales_compute_time() {
+        let mut sim = Sim::new(5);
+        let reg = FunctionRegistry::new();
+        reg.register("half", 896, |env: &mut FnCtx<'_>, _| {
+            env.compute(Duration::from_millis(100));
+            Ok(Vec::new())
+        });
+        reg.register("full", 1792, |env: &mut FnCtx<'_>, _| {
+            env.compute(Duration::from_millis(100));
+            Ok(Vec::new())
+        });
+        let faas = spawn_platform(&sim, FaasConfig::default(), reg);
+        let out = Arc::new(Mutex::new((Duration::ZERO, Duration::ZERO)));
+        let out2 = out.clone();
+        sim.spawn("client", move |ctx| {
+            // Warm both.
+            let _ = faas.invoke(ctx, "half", vec![]);
+            let _ = faas.invoke(ctx, "full", vec![]);
+            let t0 = ctx.now();
+            let _ = faas.invoke(ctx, "half", vec![]);
+            let half = ctx.now() - t0;
+            let t0 = ctx.now();
+            let _ = faas.invoke(ctx, "full", vec![]);
+            let full = ctx.now() - t0;
+            *out2.lock() = (half, full);
+        });
+        sim.run_until_idle().expect_quiescent();
+        let (half, full) = *out.lock();
+        let dcompute = half.as_secs_f64() - full.as_secs_f64();
+        assert!(
+            (dcompute - 0.1).abs() < 0.03,
+            "896MB should pay ~100ms extra compute, paid {dcompute}s"
+        );
+    }
+
+    #[test]
+    fn failure_injection_fails_some_invocations() {
+        let mut sim = Sim::new(6);
+        let cfg = FaasConfig {
+            failure_rate: 0.5,
+            ..FaasConfig::default()
+        };
+        let faas = spawn_platform(&sim, cfg, echo_registry());
+        let failures = Arc::new(Mutex::new(0usize));
+        let f2 = failures.clone();
+        sim.spawn("client", move |ctx| {
+            for _ in 0..40 {
+                if faas.invoke(ctx, "echo", vec![]).is_err() {
+                    *f2.lock() += 1;
+                }
+            }
+        });
+        sim.run_until_idle().expect_quiescent();
+        let f = *failures.lock();
+        assert!((8..=32).contains(&f), "≈50% of 40 invocations should fail, got {f}");
+    }
+
+    #[test]
+    fn handler_errors_propagate() {
+        let mut sim = Sim::new(7);
+        let reg = FunctionRegistry::new();
+        reg.register("bad", 1792, |_env: &mut FnCtx<'_>, _| {
+            Err("application exploded".to_string())
+        });
+        let faas = spawn_platform(&sim, FaasConfig::default(), reg);
+        let f2 = faas.clone();
+        sim.spawn("client", move |ctx| {
+            match f2.invoke(ctx, "bad", vec![]) {
+                Err(FaasError::Failed(e)) => assert!(e.contains("exploded")),
+                other => panic!("expected failure, got {other:?}"),
+            }
+        });
+        sim.run_until_idle().expect_quiescent();
+        assert_eq!(faas.billing().invocations(), 1);
+    }
+
+    #[test]
+    fn timeout_cap_enforced() {
+        let mut sim = Sim::new(8);
+        let cfg = FaasConfig {
+            max_duration: Duration::from_millis(50),
+            ..FaasConfig::default()
+        };
+        let reg = FunctionRegistry::new();
+        reg.register("forever", 1792, |env: &mut FnCtx<'_>, _| {
+            env.compute(Duration::from_secs(10));
+            Ok(Vec::new())
+        });
+        let faas = spawn_platform(&sim, cfg, reg);
+        let f2 = faas.clone();
+        sim.spawn("client", move |ctx| {
+            let err = f2.invoke(ctx, "forever", vec![]).unwrap_err();
+            assert_eq!(err, FaasError::TimedOut);
+        });
+        sim.run_until_idle().expect_quiescent();
+        // Billed at most the cap.
+        assert!(faas.billing().total_duration() <= Duration::from_millis(50));
+    }
+}

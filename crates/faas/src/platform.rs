@@ -1,0 +1,315 @@
+//! The invocation service: synchronous (`RequestResponse`) calls, a warm
+//! container pool per function, cold starts, a account-wide concurrency
+//! limit, failure injection, and billing.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use rand::RngExt;
+use simcore::{Addr, Ctx, LatencyModel, Msg, Request, Sim, SimTime};
+
+use crate::billing::{Billing, InvocationRecord, Pricing};
+use crate::function::{FnCtx, FunctionRegistry};
+
+/// Platform configuration, calibrated to AWS Lambda in 2019.
+#[derive(Clone, Debug)]
+pub struct FaasConfig {
+    /// One-way latency of the invoke control path when a warm container is
+    /// available (the "Invocation" segment of Fig. 7b).
+    pub warm_dispatch: LatencyModel,
+    /// Container provisioning delay (§6.3.3: "cold starts … add 1 to 2
+    /// seconds of invocation delay").
+    pub cold_start: LatencyModel,
+    /// One-way latency of the response path.
+    pub response: LatencyModel,
+    /// Idle time after which a warm container is reclaimed.
+    pub container_idle_timeout: Duration,
+    /// Account-wide concurrent-execution limit.
+    pub concurrency_limit: u32,
+    /// Hard cap on function duration (15 min on Lambda).
+    pub max_duration: Duration,
+    /// Probability that an invocation crashes mid-run (failure injection).
+    pub failure_rate: f64,
+    /// Billing prices.
+    pub pricing: Pricing,
+}
+
+impl Default for FaasConfig {
+    fn default() -> Self {
+        FaasConfig {
+            warm_dispatch: LatencyModel::uniform(Duration::from_millis(13), 0.3),
+            cold_start: LatencyModel::uniform(Duration::from_millis(1500), 0.33),
+            response: LatencyModel::uniform(Duration::from_millis(8), 0.3),
+            container_idle_timeout: Duration::from_secs(600),
+            concurrency_limit: 3000,
+            max_duration: Duration::from_secs(900),
+            failure_rate: 0.0,
+            pricing: Pricing::default(),
+        }
+    }
+}
+
+/// Client request: invoke `function` with `payload` synchronously.
+#[derive(Debug)]
+pub struct InvokeFn {
+    /// Deployed function name.
+    pub function: String,
+    /// Opaque payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Invocation outcome delivered to the caller.
+pub type InvokeResult = Result<Vec<u8>, FaasError>;
+
+/// Errors surfaced to invokers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaasError {
+    /// No such function is deployed.
+    UnknownFunction(String),
+    /// The handler failed (or failure injection fired).
+    Failed(String),
+    /// The invocation exceeded the platform's duration cap.
+    TimedOut,
+    /// The account's concurrency limit rejected the invocation.
+    Throttled,
+}
+
+impl std::fmt::Display for FaasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaasError::UnknownFunction(n) => write!(f, "unknown function: {n}"),
+            FaasError::Failed(e) => write!(f, "function failed: {e}"),
+            FaasError::TimedOut => write!(f, "function timed out"),
+            FaasError::Throttled => write!(f, "throttled by concurrency limit"),
+        }
+    }
+}
+
+impl std::error::Error for FaasError {}
+
+// Platform-internal messages.
+#[derive(Debug)]
+struct Job {
+    payload: Vec<u8>,
+    reply_to: Addr,
+    cold: bool,
+}
+
+#[derive(Debug)]
+struct ContainerFree {
+    function: String,
+    container: Addr,
+}
+
+/// Handle to a running platform.
+#[derive(Clone, Debug)]
+pub struct FaasHandle {
+    addr: Addr,
+    billing: Billing,
+    cfg: FaasConfig,
+}
+
+impl FaasHandle {
+    /// Synchronously invokes a function (AWS `RequestResponse` mode); blocks
+    /// until the function returns. Retries are the *caller's* decision,
+    /// exactly as the paper argues (§4.4).
+    pub fn invoke(&self, ctx: &mut Ctx, function: &str, payload: Vec<u8>) -> InvokeResult {
+        let lat = self.cfg.warm_dispatch.sample(ctx.rng());
+        ctx.call(
+            self.addr,
+            InvokeFn {
+                function: function.to_string(),
+                payload,
+            },
+            lat,
+        )
+    }
+
+    /// The shared billing ledger.
+    pub fn billing(&self) -> &Billing {
+        &self.billing
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &FaasConfig {
+        &self.cfg
+    }
+}
+
+/// Spawns the platform service.
+pub fn spawn_platform(sim: &Sim, cfg: FaasConfig, registry: FunctionRegistry) -> FaasHandle {
+    let inbox = sim.mailbox("faas");
+    let billing = Billing::new();
+    let handle = FaasHandle {
+        addr: inbox,
+        billing: billing.clone(),
+        cfg: cfg.clone(),
+    };
+    sim.spawn_daemon("faas", move |ctx| {
+        platform_loop(ctx, inbox, cfg, registry, billing);
+    });
+    handle
+}
+
+struct WarmContainer {
+    addr: Addr,
+    last_used: SimTime,
+}
+
+fn platform_loop(
+    ctx: &mut Ctx,
+    inbox: Addr,
+    cfg: FaasConfig,
+    registry: FunctionRegistry,
+    billing: Billing,
+) {
+    let mut warm: HashMap<String, Vec<WarmContainer>> = HashMap::new();
+    let mut pending: VecDeque<(String, Job)> = VecDeque::new();
+    let mut running: u32 = 0;
+    let mut next_container = 0u64;
+    loop {
+        let msg = ctx.recv(inbox);
+        let msg = match msg.try_take::<ContainerFree>() {
+            Ok(free) => {
+                running = running.saturating_sub(1);
+                warm.entry(free.function).or_default().push(WarmContainer {
+                    addr: free.container,
+                    last_used: ctx.now(),
+                });
+                // Admit one queued invocation, if any.
+                if let Some((function, job)) = pending.pop_front() {
+                    dispatch(
+                        ctx, inbox, &cfg, &registry, &billing, &mut warm, &mut running,
+                        &mut next_container, function, job,
+                    );
+                }
+                continue;
+            }
+            Err(m) => m,
+        };
+        let (reply_to, invoke) = msg.take::<Request>().take::<InvokeFn>();
+        if registry.get(&invoke.function).is_none() {
+            let lat = cfg.response.sample(ctx.rng());
+            ctx.reply::<InvokeResult>(
+                reply_to,
+                Err(FaasError::UnknownFunction(invoke.function)),
+                lat,
+            );
+            continue;
+        }
+        let job = Job {
+            payload: invoke.payload,
+            reply_to,
+            cold: false,
+        };
+        if running >= cfg.concurrency_limit {
+            pending.push_back((invoke.function, job));
+            continue;
+        }
+        dispatch(
+            ctx, inbox, &cfg, &registry, &billing, &mut warm, &mut running,
+            &mut next_container, invoke.function, job,
+        );
+    }
+}
+
+/// Routes one job to a warm container, or provisions a cold one.
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    ctx: &mut Ctx,
+    platform_inbox: Addr,
+    cfg: &FaasConfig,
+    registry: &FunctionRegistry,
+    billing: &Billing,
+    warm: &mut HashMap<String, Vec<WarmContainer>>,
+    running: &mut u32,
+    next_container: &mut u64,
+    function: String,
+    mut job: Job,
+) {
+    *running += 1;
+    let pool = warm.entry(function.clone()).or_default();
+    // Reclaim expired containers lazily.
+    let now = ctx.now();
+    pool.retain(|c| now.saturating_duration_since(c.last_used) <= cfg.container_idle_timeout);
+    let target = if let Some(c) = pool.pop() {
+        c.addr
+    } else {
+        // Cold start: provision a fresh container process.
+        let id = *next_container;
+        *next_container += 1;
+        let mailbox = ctx.mailbox(&format!("ctr-{function}-{id}"));
+        let cfg2 = cfg.clone();
+        let registry2 = registry.clone();
+        let billing2 = billing.clone();
+        let fname = function.clone();
+        ctx.spawn_daemon(&format!("ctr-{function}-{id}"), move |cc| {
+            container_loop(cc, mailbox, platform_inbox, fname, cfg2, registry2, billing2);
+        });
+        job.cold = true;
+        mailbox
+    };
+    // Intra-service handoff; the client already paid the dispatch latency.
+    ctx.send(target, Msg::new(job), Duration::ZERO);
+}
+
+/// One container: runs jobs for a single function, sequentially, reporting
+/// back to the platform between jobs.
+fn container_loop(
+    ctx: &mut Ctx,
+    inbox: Addr,
+    platform: Addr,
+    function: String,
+    cfg: FaasConfig,
+    registry: FunctionRegistry,
+    billing: Billing,
+) {
+    let mut first = true;
+    loop {
+        let job = ctx.recv(inbox).take::<Job>();
+        if job.cold || first {
+            let boot = cfg.cold_start.sample(ctx.rng());
+            ctx.sleep(boot);
+            first = false;
+        }
+        let spec = registry.get(&function).expect("function deployed");
+        let t0 = ctx.now();
+        // Failure injection: crash after a random fraction of a second.
+        let injected_failure = cfg.failure_rate > 0.0 && {
+            let p: f64 = ctx.rng().random_range(0.0..1.0);
+            p < cfg.failure_rate
+        };
+        let result: Result<Vec<u8>, String> = if injected_failure {
+            let partial: f64 = ctx.rng().random_range(0.0..1.0);
+            ctx.sleep(Duration::from_secs_f64(partial));
+            Err("container crashed (injected)".to_string())
+        } else {
+            let mut env = FnCtx::new(ctx, spec.memory_mb);
+            spec.handler.invoke(&mut env, job.payload)
+        };
+        let elapsed = ctx.now().saturating_duration_since(t0);
+        let timed_out = elapsed > cfg.max_duration;
+        billing.record(InvocationRecord {
+            function: function.clone(),
+            duration: elapsed.min(cfg.max_duration),
+            memory_mb: spec.memory_mb,
+            cold_start: job.cold,
+            failed: result.is_err() || timed_out,
+        });
+        let reply: InvokeResult = if timed_out {
+            Err(FaasError::TimedOut)
+        } else {
+            result.map_err(FaasError::Failed)
+        };
+        let lat = cfg.response.sample(ctx.rng());
+        ctx.reply(job.reply_to, reply, lat);
+        ctx.send(
+            platform,
+            Msg::new(ContainerFree {
+                function: function.clone(),
+                container: inbox,
+            }),
+            Duration::ZERO,
+        );
+    }
+}

@@ -1,0 +1,802 @@
+//! A compact, non-self-describing binary codec for [`serde`] values.
+//!
+//! The simulation ships method arguments and object state between
+//! processes as byte payloads (method-call shipping, SMR state transfer,
+//! marshalling of persistent objects). No serialization *format* crate is
+//! available offline, so this module implements one: fixed-width
+//! little-endian scalars, `u64` length prefixes, `u32` enum variant tags —
+//! in the spirit of `bincode`.
+//!
+//! # Examples
+//!
+//! ```
+//! use serde::{Serialize, Deserialize};
+//! use simcore::codec;
+//!
+//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! struct Point { x: f64, y: f64 }
+//!
+//! # fn main() -> Result<(), codec::CodecError> {
+//! let p = Point { x: 1.0, y: -2.5 };
+//! let bytes = codec::to_bytes(&p)?;
+//! let q: Point = codec::from_bytes(&bytes)?;
+//! assert_eq!(p, q);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+use serde::ser::{self, Serialize};
+
+/// Error produced by encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    msg: String,
+}
+
+impl CodecError {
+    fn new(msg: impl Into<String>) -> CodecError {
+        CodecError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl ser::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::new(msg.to_string())
+    }
+}
+
+impl de::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::new(msg.to_string())
+    }
+}
+
+/// Encodes `value` to bytes.
+///
+/// # Errors
+///
+/// Returns an error for values the format cannot represent (e.g. sequences
+/// of unknown length).
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, CodecError> {
+    let mut ser = Encoder { out: Vec::new() };
+    value.serialize(&mut ser)?;
+    Ok(ser.out)
+}
+
+/// Decodes a `T` from bytes previously produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Returns an error on truncated or malformed input, or trailing bytes.
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut de = Decoder { input: bytes };
+    let v = T::deserialize(&mut de)?;
+    if !de.input.is_empty() {
+        return Err(CodecError::new(format!(
+            "{} trailing bytes after value",
+            de.input.len()
+        )));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
+struct Encoder {
+    out: Vec<u8>,
+}
+
+impl Encoder {
+    fn put_len(&mut self, len: usize) {
+        self.out.extend_from_slice(&(len as u64).to_le_bytes());
+    }
+}
+
+impl ser::Serializer for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i128(self, v: i128) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), CodecError> {
+        self.out.push(v);
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u128(self, v: u128) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), CodecError> {
+        self.serialize_u32(v as u32)
+    }
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.out.push(0);
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)?;
+        value.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or_else(|| CodecError::new("sequences must have a known length"))?;
+        self.put_len(len);
+        Ok(self)
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or_else(|| CodecError::new("maps must have a known length"))?;
+        self.put_len(len);
+        Ok(self)
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+}
+
+macro_rules! impl_compound_ser {
+    ($trait:path, $method:ident $(, $key:ident)?) => {
+        impl<'a> $trait for &'a mut Encoder {
+            type Ok = ();
+            type Error = CodecError;
+            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+                value.serialize(&mut **self)
+            }
+            $(
+                fn $key<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+                    value.serialize(&mut **self)
+                }
+            )?
+            fn end(self) -> Result<(), CodecError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+impl_compound_ser!(ser::SerializeSeq, serialize_element);
+impl_compound_ser!(ser::SerializeTuple, serialize_element);
+impl_compound_ser!(ser::SerializeTupleStruct, serialize_field);
+impl_compound_ser!(ser::SerializeTupleVariant, serialize_field);
+
+impl ser::SerializeMap for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
+        key.serialize(&mut **self)
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+struct Decoder<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Decoder<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
+        if self.input.len() < n {
+            return Err(CodecError::new(format!(
+                "unexpected end of input: needed {n} bytes, had {}",
+                self.input.len()
+            )));
+        }
+        let (head, rest) = self.input.split_at(n);
+        self.input = rest;
+        Ok(head)
+    }
+
+    fn get_len(&mut self) -> Result<usize, CodecError> {
+        let b = self.take(8)?;
+        let len = u64::from_le_bytes(b.try_into().expect("8 bytes"));
+        if len > (1 << 40) {
+            return Err(CodecError::new("implausible length prefix"));
+        }
+        Ok(len as usize)
+    }
+}
+
+macro_rules! de_scalar {
+    ($name:ident, $visit:ident, $ty:ty, $n:expr) => {
+        fn $name<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+            let b = self.take($n)?;
+            visitor.$visit(<$ty>::from_le_bytes(b.try_into().expect("sized")))
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
+    type Error = CodecError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError::new("format is not self-describing"))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            b => Err(CodecError::new(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    de_scalar!(deserialize_i8, visit_i8, i8, 1);
+    de_scalar!(deserialize_i16, visit_i16, i16, 2);
+    de_scalar!(deserialize_i32, visit_i32, i32, 4);
+    de_scalar!(deserialize_i64, visit_i64, i64, 8);
+    de_scalar!(deserialize_i128, visit_i128, i128, 16);
+    de_scalar!(deserialize_u8, visit_u8, u8, 1);
+    de_scalar!(deserialize_u16, visit_u16, u16, 2);
+    de_scalar!(deserialize_u32, visit_u32, u32, 4);
+    de_scalar!(deserialize_u64, visit_u64, u64, 8);
+    de_scalar!(deserialize_u128, visit_u128, u128, 16);
+    de_scalar!(deserialize_f32, visit_f32, f32, 4);
+    de_scalar!(deserialize_f64, visit_f64, f64, 8);
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let b = self.take(4)?;
+        let code = u32::from_le_bytes(b.try_into().expect("4 bytes"));
+        let c = char::from_u32(code)
+            .ok_or_else(|| CodecError::new(format!("invalid char code {code}")))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        let b = self.take(len)?;
+        let s = std::str::from_utf8(b).map_err(|e| CodecError::new(e.to_string()))?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        let b = self.take(len)?;
+        visitor.visit_borrowed_bytes(b)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(CodecError::new(format!("invalid option tag {b}"))),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        visitor.visit_seq(Counted { de: self, left: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(Counted { de: self, left: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        visitor.visit_map(Counted { de: self, left: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError::new("identifiers are not encoded"))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        Err(CodecError::new("cannot skip values in a non-self-describing format"))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+    left: usize,
+}
+
+impl<'a, 'de> de::SeqAccess<'de> for Counted<'a, 'de> {
+    type Error = CodecError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, CodecError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+impl<'a, 'de> de::MapAccess<'de> for Counted<'a, 'de> {
+    type Error = CodecError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, CodecError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, CodecError> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+}
+
+impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = CodecError;
+    type Variant = VariantAccess<'a, 'de>;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), CodecError> {
+        let b = self.de.take(4)?;
+        let idx = u32::from_le_bytes(b.try_into().expect("4 bytes"));
+        let val = seed.deserialize(idx.into_deserializer())?;
+        Ok((val, VariantAccess { de: self.de }))
+    }
+}
+
+struct VariantAccess<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+}
+
+impl<'a, 'de> de::VariantAccess<'de> for VariantAccess<'a, 'de> {
+    type Error = CodecError;
+
+    fn unit_variant(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, CodecError> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(Counted { de: self.de, left: len })
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(Counted { de: self.de, left: fields.len() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn round_trip<T: Serialize + DeserializeOwned + PartialEq + fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v).expect("encode");
+        let back: T = from_bytes(&bytes).expect("decode");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn scalars() {
+        round_trip(true);
+        round_trip(false);
+        round_trip(0u8);
+        round_trip(u64::MAX);
+        round_trip(i64::MIN);
+        round_trip(-1i32);
+        round_trip(3.5f32);
+        round_trip(-0.25f64);
+        round_trip('é');
+        round_trip(123u128);
+        round_trip(-5i128);
+    }
+
+    #[test]
+    fn strings_and_containers() {
+        round_trip(String::from("hello — κόσμος"));
+        round_trip(String::new());
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<u8>::new());
+        round_trip(Some(7u16));
+        round_trip(Option::<u16>::None);
+        round_trip((1u8, String::from("x"), -3i64));
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2u64);
+        round_trip(m);
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Proto {
+        Ping,
+        Set { key: String, value: Vec<u8> },
+        Pair(u32, u32),
+        Wrap(Box<Proto>),
+    }
+
+    #[test]
+    fn enums() {
+        round_trip(Proto::Ping);
+        round_trip(Proto::Set {
+            key: "k".into(),
+            value: vec![1, 2, 3],
+        });
+        round_trip(Proto::Pair(4, 5));
+        round_trip(Proto::Wrap(Box::new(Proto::Ping)));
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Nested {
+        id: u64,
+        tags: Vec<String>,
+        inner: Option<Box<Nested>>,
+    }
+
+    #[test]
+    fn nested_structs() {
+        round_trip(Nested {
+            id: 1,
+            tags: vec!["a".into(), "b".into()],
+            inner: Some(Box::new(Nested {
+                id: 2,
+                tags: vec![],
+                inner: None,
+            })),
+        });
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = to_bytes(&12345u64).expect("encode");
+        let r: Result<u64, _> = from_bytes(&bytes[..4]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut bytes = to_bytes(&1u8).expect("encode");
+        bytes.push(0);
+        let r: Result<u8, _> = from_bytes(&bytes);
+        assert!(r.unwrap_err().to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn invalid_bool_errors() {
+        let r: Result<bool, _> = from_bytes(&[7]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let bytes = u64::MAX.to_le_bytes();
+        let r: Result<Vec<u8>, _> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn unit_type() {
+        round_trip(());
+        #[derive(Serialize, Deserialize, PartialEq, Debug)]
+        struct Marker;
+        round_trip(Marker);
+        assert!(to_bytes(&Marker).expect("encode").is_empty());
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // 1 KB payload should encode as 8 (len) + 1024 bytes.
+        let v = vec![0u8; 1024];
+        assert_eq!(to_bytes(&v).expect("encode").len(), 1032);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+    enum TreeNode {
+        Leaf(i64),
+        Branch(Box<TreeNode>, Box<TreeNode>),
+        Tagged { name: String, values: Vec<f64> },
+    }
+
+    fn arb_tree() -> impl Strategy<Value = TreeNode> {
+        let leaf = prop_oneof![
+            any::<i64>().prop_map(TreeNode::Leaf),
+            ("[a-zA-Z]{0,12}", proptest::collection::vec(any::<f64>(), 0..6))
+                .prop_map(|(name, values)| TreeNode::Tagged { name, values }),
+        ];
+        leaf.prop_recursive(4, 32, 2, |inner| {
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| TreeNode::Branch(Box::new(a), Box::new(b)))
+        })
+    }
+
+    proptest! {
+        /// Every value the format can express round-trips losslessly.
+        #[test]
+        fn round_trip_arbitrary_trees(t in arb_tree()) {
+            let bytes = to_bytes(&t).expect("encode");
+            let back: TreeNode = from_bytes(&bytes).expect("decode");
+            // NaN-safe comparison through re-encoding.
+            prop_assert_eq!(to_bytes(&back).expect("encode"), bytes);
+        }
+
+        #[test]
+        fn round_trip_maps_and_options(
+            m in proptest::collection::btree_map("[a-z]{1,8}", any::<u64>(), 0..16),
+            o in proptest::option::of(any::<i32>()),
+            v in proptest::collection::vec(any::<u16>(), 0..64),
+        ) {
+            let value: (BTreeMap<String, u64>, Option<i32>, Vec<u16>) = (m, o, v);
+            let bytes = to_bytes(&value).expect("encode");
+            let back: (BTreeMap<String, u64>, Option<i32>, Vec<u16>) =
+                from_bytes(&bytes).expect("decode");
+            prop_assert_eq!(back, value);
+        }
+
+        /// Decoding never panics on arbitrary garbage (it may error).
+        #[test]
+        fn decoder_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = from_bytes::<TreeNode>(&bytes);
+            let _ = from_bytes::<Vec<String>>(&bytes);
+            let _ = from_bytes::<(u64, bool, Option<f64>)>(&bytes);
+        }
+    }
+}

@@ -1,0 +1,1454 @@
+//! The discrete-event simulation kernel.
+//!
+//! Every simulated process runs on its own OS thread, but the kernel hands
+//! out a single *run token*: exactly one process (or the kernel itself)
+//! executes at any moment. Blocking operations — [`Ctx::sleep`],
+//! [`Ctx::recv`], [`Ctx::call`] — park the calling thread and return the
+//! token to the kernel, which advances the virtual clock to the next event.
+//!
+//! Because only one process runs at a time and ties are broken by event
+//! sequence numbers, a simulation is **fully deterministic** for a given
+//! seed, while application code stays plain imperative Rust (no async).
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::time::SimTime;
+
+/// Identifier of a simulated process.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub(crate) u64);
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pid({})", self.0)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Address of a mailbox; the unit of message delivery.
+///
+/// An `Addr` can be freely cloned and shared between processes; anyone can
+/// send to it, while receiving is reserved for one process at a time.
+/// Addresses serialize as their raw id, so service handles can travel
+/// inside function payloads (like connection strings in Lambda env vars).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Addr(pub(crate) u64);
+
+impl Addr {
+    /// Reconstructs an address from its raw id.
+    ///
+    /// Only meaningful for ids previously obtained from [`Addr::into_raw`];
+    /// mainly useful in tests and tables keyed by raw ids.
+    pub fn from_raw(id: u64) -> Addr {
+        Addr(id)
+    }
+
+    /// The raw mailbox id behind this address.
+    pub fn into_raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({})", self.0)
+    }
+}
+
+/// A message in flight or delivered to a mailbox.
+pub struct Msg {
+    /// The payload. Downcast it with [`Msg::take`].
+    pub body: Box<dyn Any + Send>,
+    /// Simulated wire size in bytes (used by bandwidth-aware models).
+    pub size: usize,
+}
+
+impl Msg {
+    /// Creates a message with a zero simulated size.
+    pub fn new<T: Any + Send>(body: T) -> Msg {
+        Msg {
+            body: Box::new(body),
+            size: 0,
+        }
+    }
+
+    /// Creates a message carrying a simulated wire size.
+    pub fn sized<T: Any + Send>(body: T, size: usize) -> Msg {
+        Msg {
+            body: Box::new(body),
+            size,
+        }
+    }
+
+    /// Downcasts the payload to `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not a `T`; message types are part of each
+    /// service's protocol, so a mismatch is a programming error.
+    pub fn take<T: Any>(self) -> T {
+        *self
+            .body
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("message downcast to {} failed", std::any::type_name::<T>()))
+    }
+
+    /// Attempts to downcast the payload to `T`, returning `self` on failure.
+    pub fn try_take<T: Any>(self) -> Result<T, Msg> {
+        let size = self.size;
+        match self.body.downcast::<T>() {
+            Ok(b) => Ok(*b),
+            Err(body) => Err(Msg { body, size }),
+        }
+    }
+
+    /// Whether the payload is a `T` (without consuming the message).
+    pub fn is<T: Any>(&self) -> bool {
+        self.body.is::<T>()
+    }
+}
+
+impl fmt::Debug for Msg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Msg").field("size", &self.size).finish_non_exhaustive()
+    }
+}
+
+/// RPC envelope: a request carrying the address to reply to.
+///
+/// Servers receive `Request` values from their mailbox, handle
+/// `body`, and reply by sending the response to `reply_to` — immediately or
+/// later (deferred replies are how server-side synchronization objects such
+/// as barriers release their waiters).
+pub struct Request {
+    /// Where the caller is waiting for the response.
+    pub reply_to: Addr,
+    /// The request payload; downcast to the protocol type.
+    pub body: Box<dyn Any + Send>,
+}
+
+impl Request {
+    /// Downcasts the request payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not a `T`.
+    pub fn take<T: Any>(self) -> (Addr, T) {
+        let reply_to = self.reply_to;
+        let body = *self
+            .body
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("request downcast to {} failed", std::any::type_name::<T>()));
+        (reply_to, body)
+    }
+}
+
+impl fmt::Debug for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Request").field("reply_to", &self.reply_to).finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+enum EventKind {
+    /// Wake a process blocked in `sleep`, or time out a blocked `recv`.
+    Wake { pid: Pid, epoch: u64 },
+    /// Deliver a message to a mailbox.
+    Deliver { mailbox: u64, msg: Msg },
+}
+
+struct EventEntry {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gates (token handoff)
+// ---------------------------------------------------------------------------
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum RunCmd {
+    Park,
+    Run,
+    Exit,
+}
+
+struct ProcGate {
+    cmd: Mutex<RunCmd>,
+    cv: Condvar,
+    /// Whether this process currently holds the run token.
+    held: AtomicBool,
+}
+
+impl ProcGate {
+    fn new() -> Arc<ProcGate> {
+        Arc::new(ProcGate {
+            cmd: Mutex::new(RunCmd::Park),
+            cv: Condvar::new(),
+            held: AtomicBool::new(false),
+        })
+    }
+
+    /// Blocks until the kernel grants the token (`Run`) or requests
+    /// termination (`Exit`).
+    fn wait_for_run(&self) -> RunCmd {
+        let mut cmd = self.cmd.lock();
+        while *cmd == RunCmd::Park {
+            self.cv.wait(&mut cmd);
+        }
+        let got = *cmd;
+        if got == RunCmd::Run {
+            *cmd = RunCmd::Park;
+            self.held.store(true, Ordering::SeqCst);
+        }
+        got
+    }
+
+    fn set(&self, c: RunCmd) {
+        let mut cmd = self.cmd.lock();
+        *cmd = c;
+        self.cv.notify_one();
+    }
+}
+
+struct KernelGate {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl KernelGate {
+    fn signal(&self) {
+        let mut f = self.flag.lock();
+        *f = true;
+        self.cv.notify_one();
+    }
+
+    fn wait(&self) {
+        let mut f = self.flag.lock();
+        while !*f {
+            self.cv.wait(&mut f);
+        }
+        *f = false;
+    }
+}
+
+/// Panic payload used to unwind process threads on shutdown/kill.
+struct ShutdownSignal;
+
+// ---------------------------------------------------------------------------
+// Kernel state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum BlockState {
+    Runnable,
+    Sleeping,
+    Receiving { mailbox: u64 },
+    Parked,
+    Exited,
+}
+
+struct ProcSlot {
+    name: String,
+    gate: Arc<ProcGate>,
+    join: Option<std::thread::JoinHandle<()>>,
+    blocked: BlockState,
+    epoch: u64,
+    delivered: Option<Msg>,
+    killed: bool,
+    park_permit: bool,
+    /// Daemon processes (long-lived services) are excluded from the
+    /// blocked-process report: a quiescent simulation with only daemons
+    /// waiting for requests is not a deadlock.
+    daemon: bool,
+}
+
+struct MailboxState {
+    name: String,
+    owner: Option<Pid>,
+    queue: VecDeque<Msg>,
+    waiting: Option<Pid>,
+    closed: bool,
+}
+
+pub(crate) struct KernelState {
+    now: SimTime,
+    next_seq: u64,
+    events: BinaryHeap<Reverse<EventEntry>>,
+    procs: HashMap<u64, ProcSlot>,
+    runnable: VecDeque<Pid>,
+    mailboxes: HashMap<u64, MailboxState>,
+    next_pid: u64,
+    next_mailbox: u64,
+    panic: Option<Box<dyn Any + Send>>,
+    live: usize,
+    live_nondaemon: usize,
+    trace: bool,
+}
+
+impl KernelState {
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse(EventEntry { time, seq, kind }));
+    }
+
+    fn make_runnable(&mut self, pid: Pid) {
+        if let Some(p) = self.procs.get_mut(&pid.0) {
+            if p.blocked != BlockState::Exited && p.blocked != BlockState::Runnable {
+                p.blocked = BlockState::Runnable;
+                self.runnable.push_back(pid);
+            }
+        }
+    }
+
+    fn apply_event(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Wake { pid, epoch } => {
+                let wake = match self.procs.get(&pid.0) {
+                    Some(p) => {
+                        p.epoch == epoch
+                            && matches!(
+                                p.blocked,
+                                BlockState::Sleeping | BlockState::Receiving { .. }
+                            )
+                    }
+                    None => false,
+                };
+                if wake {
+                    // A recv timeout leaves `delivered` empty — the receiver
+                    // interprets that as expiry.
+                    self.make_runnable(pid);
+                }
+            }
+            EventKind::Deliver { mailbox, msg } => {
+                let waiter = match self.mailboxes.get_mut(&mailbox) {
+                    Some(mb) if !mb.closed => {
+                        if let Some(pid) = mb.waiting.take() {
+                            Some((pid, msg))
+                        } else {
+                            mb.queue.push_back(msg);
+                            None
+                        }
+                    }
+                    // Closed or unknown mailbox: the message is dropped,
+                    // like a packet to a dead host.
+                    _ => None,
+                };
+                if let Some((pid, msg)) = waiter {
+                    if let Some(p) = self.procs.get_mut(&pid.0) {
+                        p.delivered = Some(msg);
+                        // Invalidate any pending recv-timeout for this block.
+                        p.epoch += 1;
+                    }
+                    self.make_runnable(pid);
+                }
+            }
+        }
+    }
+
+    fn proc_exited(&mut self, pid: Pid) {
+        if let Some(p) = self.procs.get_mut(&pid.0) {
+            if p.blocked == BlockState::Exited {
+                return;
+            }
+            // Clean a dangling recv registration.
+            if let BlockState::Receiving { mailbox } = p.blocked {
+                if let Some(mb) = self.mailboxes.get_mut(&mailbox) {
+                    if mb.waiting == Some(pid) {
+                        mb.waiting = None;
+                    }
+                }
+            }
+            p.blocked = BlockState::Exited;
+            self.live -= 1;
+            if !p.daemon {
+                self.live_nondaemon -= 1;
+            }
+        }
+        // Close mailboxes owned by this process.
+        for mb in self.mailboxes.values_mut() {
+            if mb.owner == Some(pid) {
+                mb.closed = true;
+                mb.queue.clear();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel and Sim
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Kernel {
+    state: Mutex<KernelState>,
+    kernel_gate: KernelGate,
+    seed: u64,
+}
+
+impl Kernel {
+    fn signal_kernel(&self) {
+        self.kernel_gate.signal();
+    }
+}
+
+/// Outcome of a [`Sim::run_until_idle`] call.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Virtual time when the run stopped.
+    pub time: SimTime,
+    /// Names of processes that are still alive but blocked forever
+    /// (no event can ever wake them). Empty for a clean quiescent run.
+    pub blocked: Vec<String>,
+}
+
+impl RunOutcome {
+    /// Panics if any live process is blocked with no pending event —
+    /// i.e. the simulation deadlocked.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the list of blocked processes.
+    pub fn expect_quiescent(&self) {
+        assert!(
+            self.blocked.is_empty(),
+            "simulation deadlocked at {} with blocked processes: {:?}",
+            self.time,
+            self.blocked
+        );
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{Sim, SimTime};
+/// use std::time::Duration;
+///
+/// let mut sim = Sim::new(42);
+/// let inbox = sim.mailbox("inbox");
+/// sim.spawn("echo", move |ctx| {
+///     let msg = ctx.recv(inbox);
+///     assert_eq!(msg.take::<u32>(), 7);
+/// });
+/// sim.spawn("sender", move |ctx| {
+///     ctx.sleep(Duration::from_millis(5));
+///     ctx.send(inbox, simcore::Msg::new(7u32), Duration::from_micros(100));
+/// });
+/// let out = sim.run_until_idle();
+/// out.expect_quiescent();
+/// assert_eq!(out.time, SimTime::from_nanos(5_100_000));
+/// ```
+pub struct Sim {
+    kernel: Arc<Kernel>,
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.kernel.state.lock();
+        f.debug_struct("Sim")
+            .field("now", &st.now)
+            .field("live", &st.live)
+            .field("pending_events", &st.events.len())
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Creates a simulation seeded with `seed`; the same seed gives the same
+    /// run, event for event.
+    pub fn new(seed: u64) -> Sim {
+        let trace = std::env::var("SIM_TRACE").map(|v| v == "1").unwrap_or(false);
+        Sim {
+            kernel: Arc::new(Kernel {
+                state: Mutex::new(KernelState {
+                    now: SimTime::ZERO,
+                    next_seq: 0,
+                    events: BinaryHeap::new(),
+                    procs: HashMap::new(),
+                    runnable: VecDeque::new(),
+                    mailboxes: HashMap::new(),
+                    next_pid: 0,
+                    next_mailbox: 0,
+                    panic: None,
+                    live: 0,
+                    live_nondaemon: 0,
+                    trace,
+                }),
+                kernel_gate: KernelGate {
+                    flag: Mutex::new(false),
+                    cv: Condvar::new(),
+                },
+                seed,
+            }),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.state.lock().now
+    }
+
+    /// Creates an unowned mailbox (never auto-closed).
+    pub fn mailbox(&self, name: &str) -> Addr {
+        create_mailbox(&self.kernel, name, None)
+    }
+
+    /// Spawns a process. It becomes runnable at the current virtual time.
+    pub fn spawn<F>(&self, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        spawn_process(&self.kernel, name, false, f)
+    }
+
+    /// Spawns a daemon process: a long-lived service that is allowed to be
+    /// blocked waiting for requests when the simulation goes quiescent.
+    pub fn spawn_daemon<F>(&self, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        spawn_process(&self.kernel, name, true, f)
+    }
+
+    /// Runs until no events remain.
+    pub fn run_until_idle(&mut self) -> RunOutcome {
+        self.run_inner(None)
+    }
+
+    /// Runs until virtual time `t`; events after `t` stay pending and the
+    /// clock is left at exactly `t`.
+    pub fn run_until(&mut self, t: SimTime) -> RunOutcome {
+        self.run_inner(Some(t))
+    }
+
+    /// Runs for `d` more virtual time.
+    pub fn run_for(&mut self, d: Duration) -> RunOutcome {
+        let t = self.now() + d;
+        self.run_until(t)
+    }
+
+    fn run_inner(&mut self, deadline: Option<SimTime>) -> RunOutcome {
+        loop {
+            if let Some(p) = self.kernel.state.lock().panic.take() {
+                resume_unwind(p);
+            }
+            // Run every currently runnable process to its next block point.
+            let next = self.kernel.state.lock().runnable.pop_front();
+            if let Some(pid) = next {
+                self.run_process(pid);
+                continue;
+            }
+            // Advance to the next event. Without a deadline, stop once
+            // every non-daemon process has exited: the remaining events
+            // belong to long-lived services (heartbeats, pollers) that
+            // would otherwise tick forever.
+            let mut st = self.kernel.state.lock();
+            let fire = match st.events.peek() {
+                Some(Reverse(ev)) => match deadline {
+                    Some(d) => ev.time <= d,
+                    None => st.live_nondaemon > 0,
+                },
+                None => false,
+            };
+            if fire {
+                let Reverse(ev) = st.events.pop().expect("peeked event");
+                debug_assert!(ev.time >= st.now, "event in the past");
+                st.now = ev.time;
+                st.apply_event(ev.kind);
+            } else {
+                if let Some(d) = deadline {
+                    if st.now < d {
+                        st.now = d;
+                    }
+                }
+                let blocked = st
+                    .procs
+                    .values()
+                    .filter(|p| {
+                        !p.daemon
+                            && p.blocked != BlockState::Exited
+                            && p.blocked != BlockState::Runnable
+                    })
+                    .map(|p| p.name.clone())
+                    .collect();
+                return RunOutcome { time: st.now, blocked };
+            }
+        }
+    }
+
+    fn run_process(&self, pid: Pid) {
+        let gate = {
+            let mut st = self.kernel.state.lock();
+            match st.procs.get_mut(&pid.0) {
+                Some(p) if p.blocked != BlockState::Exited => {
+                    if p.killed {
+                        // Tell the thread to unwind; it does not take the
+                        // token, so the kernel keeps running.
+                        p.gate.set(RunCmd::Exit);
+                        st.proc_exited(pid);
+                        return;
+                    }
+                    p.gate.clone()
+                }
+                _ => return,
+            }
+        };
+        gate.set(RunCmd::Run);
+        self.kernel.kernel_gate.wait();
+    }
+
+    /// Marks a process for termination. If it is blocked it unwinds without
+    /// ever running again; if it is runnable it unwinds instead of running.
+    pub fn kill(&self, pid: Pid) {
+        kill_process(&self.kernel, pid);
+    }
+
+    /// Names of live processes that are currently blocked (diagnostic aid).
+    pub fn blocked_processes(&self) -> Vec<String> {
+        let st = self.kernel.state.lock();
+        st.procs
+            .values()
+            .filter(|p| {
+                !p.daemon && !matches!(p.blocked, BlockState::Exited | BlockState::Runnable)
+            })
+            .map(|p| p.name.clone())
+            .collect()
+    }
+
+    /// Number of processes that have not exited.
+    pub fn live_processes(&self) -> usize {
+        self.kernel.state.lock().live
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        // Ask every remaining thread to unwind, then join them.
+        let joins: Vec<_> = {
+            let mut st = self.kernel.state.lock();
+            let pids: Vec<u64> = st.procs.keys().copied().collect();
+            let mut joins = Vec::new();
+            for id in pids {
+                let p = st.procs.get_mut(&id).expect("pid listed");
+                if p.blocked != BlockState::Exited {
+                    p.gate.set(RunCmd::Exit);
+                }
+                if let Some(j) = p.join.take() {
+                    joins.push(j);
+                }
+            }
+            joins
+        };
+        for j in joins {
+            let _ = j.join();
+        }
+    }
+}
+
+fn create_mailbox(kernel: &Arc<Kernel>, name: &str, owner: Option<Pid>) -> Addr {
+    let mut st = kernel.state.lock();
+    let id = st.next_mailbox;
+    st.next_mailbox += 1;
+    st.mailboxes.insert(
+        id,
+        MailboxState {
+            name: name.to_string(),
+            owner,
+            queue: VecDeque::new(),
+            waiting: None,
+            closed: false,
+        },
+    );
+    Addr(id)
+}
+
+fn kill_process(kernel: &Arc<Kernel>, pid: Pid) {
+    let mut st = kernel.state.lock();
+    if let Some(p) = st.procs.get_mut(&pid.0) {
+        if p.blocked == BlockState::Exited {
+            return;
+        }
+        p.killed = true;
+        match p.blocked {
+            BlockState::Runnable => {
+                // Handled when the kernel pops it from the runnable queue.
+            }
+            _ => {
+                // Blocked: wake it with Exit. It unwinds without taking the
+                // token, so it must not signal the kernel.
+                p.gate.set(RunCmd::Exit);
+                st.proc_exited(pid);
+            }
+        }
+    }
+}
+
+fn spawn_process<F>(kernel: &Arc<Kernel>, name: &str, daemon: bool, f: F) -> Pid
+where
+    F: FnOnce(&mut Ctx) + Send + 'static,
+{
+    let gate = ProcGate::new();
+    let pid = {
+        let mut st = kernel.state.lock();
+        let id = st.next_pid;
+        st.next_pid += 1;
+        Pid(id)
+    };
+    let thread_gate = gate.clone();
+    let thread_kernel = kernel.clone();
+    let pname = name.to_string();
+    let seed = kernel.seed ^ pid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let join = std::thread::Builder::new()
+        .name(format!("sim-{pname}"))
+        .stack_size(256 * 1024)
+        .spawn(move || {
+            match thread_gate.wait_for_run() {
+                RunCmd::Run => {}
+                _ => {
+                    // Exited before first run (shutdown); nothing to clean.
+                    let mut st = thread_kernel.state.lock();
+                    st.proc_exited(pid);
+                    return;
+                }
+            }
+            let mut ctx = Ctx {
+                kernel: thread_kernel.clone(),
+                pid,
+                gate: thread_gate.clone(),
+                rng: StdRng::seed_from_u64(seed),
+                name: pname,
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+            let held = thread_gate.held.load(Ordering::SeqCst);
+            {
+                let mut st = thread_kernel.state.lock();
+                match result {
+                    Ok(()) => {}
+                    Err(p) => {
+                        if !p.is::<ShutdownSignal>() {
+                            st.panic = Some(p);
+                        }
+                    }
+                }
+                st.proc_exited(pid);
+            }
+            if held {
+                thread_gate.held.store(false, Ordering::SeqCst);
+                thread_kernel.signal_kernel();
+            }
+        })
+        .expect("failed to spawn simulation thread");
+    {
+        let mut st = kernel.state.lock();
+        st.procs.insert(
+            pid.0,
+            ProcSlot {
+                name: name.to_string(),
+                gate,
+                join: Some(join),
+                blocked: BlockState::Runnable,
+                epoch: 0,
+                delivered: None,
+                killed: false,
+                park_permit: false,
+                daemon,
+            },
+        );
+        st.live += 1;
+        if !daemon {
+            st.live_nondaemon += 1;
+        }
+        st.runnable.push_back(pid);
+    }
+    pid
+}
+
+// ---------------------------------------------------------------------------
+// Ctx: the process-side API
+// ---------------------------------------------------------------------------
+
+/// The execution context handed to every simulated process.
+///
+/// All methods that block (`sleep`, `recv`, `call`, `park`) release the run
+/// token to the kernel and resume when the corresponding event fires.
+pub struct Ctx {
+    kernel: Arc<Kernel>,
+    pid: Pid,
+    gate: Arc<ProcGate>,
+    rng: StdRng,
+    name: String,
+}
+
+impl fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ctx").field("pid", &self.pid).field("name", &self.name).finish()
+    }
+}
+
+impl Ctx {
+    /// This process's id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// This process's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.state.lock().now
+    }
+
+    /// Deterministic per-process random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Emits a trace line when `SIM_TRACE=1`.
+    pub fn trace(&self, msg: impl AsRef<str>) {
+        let st = self.kernel.state.lock();
+        if st.trace {
+            eprintln!("[{}] {}: {}", st.now, self.name, msg.as_ref());
+        }
+    }
+
+    fn yield_to_kernel(&mut self) {
+        self.gate.held.store(false, Ordering::SeqCst);
+        self.kernel.signal_kernel();
+        match self.gate.wait_for_run() {
+            RunCmd::Run => {}
+            // resume_unwind skips the panic hook: shutdown is not an error.
+            _ => std::panic::resume_unwind(Box::new(ShutdownSignal)),
+        }
+    }
+
+    /// Advances this process's clock by `d` (e.g. network or think time).
+    pub fn sleep(&mut self, d: Duration) {
+        {
+            let mut st = self.kernel.state.lock();
+            let now = st.now;
+            let p = st.procs.get_mut(&self.pid.0).expect("own slot");
+            p.epoch += 1;
+            let epoch = p.epoch;
+            p.blocked = BlockState::Sleeping;
+            st.push_event(now + d, EventKind::Wake { pid: self.pid, epoch });
+        }
+        self.yield_to_kernel();
+    }
+
+    /// Models CPU work taking `d` of virtual time.
+    ///
+    /// Semantically identical to [`Ctx::sleep`], but code reads better; use
+    /// [`crate::cpu::CpuHost`] instead when the CPU is *shared* and
+    /// contention matters.
+    pub fn compute(&mut self, d: Duration) {
+        self.sleep(d);
+    }
+
+    /// Creates a mailbox owned by this process (closed automatically when the
+    /// process exits).
+    pub fn mailbox(&mut self, name: &str) -> Addr {
+        create_mailbox(&self.kernel, name, Some(self.pid))
+    }
+
+    /// Creates an unowned mailbox that outlives this process.
+    pub fn shared_mailbox(&mut self, name: &str) -> Addr {
+        create_mailbox(&self.kernel, name, None)
+    }
+
+    /// Closes a mailbox; further sends to it are dropped.
+    pub fn close_mailbox(&mut self, addr: Addr) {
+        let mut st = self.kernel.state.lock();
+        if let Some(mb) = st.mailboxes.get_mut(&addr.0) {
+            mb.closed = true;
+            mb.queue.clear();
+        }
+    }
+
+    /// Sends `msg` to `to`, arriving after `latency`.
+    pub fn send(&mut self, to: Addr, msg: Msg, latency: Duration) {
+        let mut st = self.kernel.state.lock();
+        let at = st.now + latency;
+        st.push_event(at, EventKind::Deliver { mailbox: to.0, msg });
+    }
+
+    /// Receives the next message from `mb`, blocking until one arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mailbox is closed or another process is already
+    /// receiving on it.
+    pub fn recv(&mut self, mb: Addr) -> Msg {
+        loop {
+            if let Some(m) = self.try_begin_recv(mb, None) {
+                return m;
+            }
+            self.yield_to_kernel();
+            let mut st = self.kernel.state.lock();
+            let p = st.procs.get_mut(&self.pid.0).expect("own slot");
+            if let Some(m) = p.delivered.take() {
+                return m;
+            }
+            // Spurious wake (e.g. mailbox closed under us): retry.
+            drop(st);
+        }
+    }
+
+    /// Receives with a timeout; `None` means the timeout expired first.
+    pub fn recv_timeout(&mut self, mb: Addr, timeout: Duration) -> Option<Msg> {
+        if let Some(m) = self.try_begin_recv(mb, Some(timeout)) {
+            return Some(m);
+        }
+        self.yield_to_kernel();
+        let mut st = self.kernel.state.lock();
+        let p = st.procs.get_mut(&self.pid.0).expect("own slot");
+        if let Some(m) = p.delivered.take() {
+            return Some(m);
+        }
+        // Timed out: withdraw the registration.
+        if let Some(q) = st.mailboxes.get_mut(&mb.0) {
+            if q.waiting == Some(self.pid) {
+                q.waiting = None;
+            }
+        }
+        None
+    }
+
+    /// If a message is queued, returns it; otherwise registers this process
+    /// as the waiter (with an optional timeout event) and returns `None`.
+    fn try_begin_recv(&mut self, mb: Addr, timeout: Option<Duration>) -> Option<Msg> {
+        let mut st = self.kernel.state.lock();
+        let now = st.now;
+        let q = st
+            .mailboxes
+            .get_mut(&mb.0)
+            .unwrap_or_else(|| panic!("recv on unknown mailbox {:?}", mb));
+        assert!(!q.closed, "recv on closed mailbox {} ({:?})", q.name, mb);
+        if let Some(m) = q.queue.pop_front() {
+            return Some(m);
+        }
+        assert!(
+            q.waiting.is_none(),
+            "mailbox {} already has a waiting receiver",
+            q.name
+        );
+        q.waiting = Some(self.pid);
+        let p = st.procs.get_mut(&self.pid.0).expect("own slot");
+        p.epoch += 1;
+        let epoch = p.epoch;
+        p.blocked = BlockState::Receiving { mailbox: mb.0 };
+        if let Some(t) = timeout {
+            st.push_event(now + t, EventKind::Wake { pid: self.pid, epoch });
+        }
+        None
+    }
+
+    /// Returns a queued message without blocking, if any.
+    pub fn try_recv(&mut self, mb: Addr) -> Option<Msg> {
+        let mut st = self.kernel.state.lock();
+        st.mailboxes.get_mut(&mb.0).and_then(|q| q.queue.pop_front())
+    }
+
+    /// Issues a synchronous RPC: sends `req` to `to` and blocks for the
+    /// response. The request travels with `latency`; the response latency is
+    /// chosen by the server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the response cannot be downcast to `Resp`.
+    pub fn call<Req, Resp>(&mut self, to: Addr, req: Req, latency: Duration) -> Resp
+    where
+        Req: Any + Send,
+        Resp: Any + Send,
+    {
+        self.call_sized::<Req, Resp>(to, req, latency, 0)
+    }
+
+    /// Like [`Ctx::call`] but carries a simulated payload size.
+    pub fn call_sized<Req, Resp>(
+        &mut self,
+        to: Addr,
+        req: Req,
+        latency: Duration,
+        size: usize,
+    ) -> Resp
+    where
+        Req: Any + Send,
+        Resp: Any + Send,
+    {
+        let reply_to = self.mailbox("rpc-reply");
+        self.send(
+            to,
+            Msg::sized(
+                Request {
+                    reply_to,
+                    body: Box::new(req),
+                },
+                size,
+            ),
+            latency,
+        );
+        let resp = self.recv(reply_to);
+        self.close_mailbox(reply_to);
+        self.drop_mailbox(reply_to);
+        resp.take::<Resp>()
+    }
+
+    /// Issues an RPC with a timeout; `None` means no reply arrived in time
+    /// (e.g. the server crashed). A late reply is silently dropped.
+    pub fn call_timeout<Req, Resp>(
+        &mut self,
+        to: Addr,
+        req: Req,
+        latency: Duration,
+        timeout: Duration,
+    ) -> Option<Resp>
+    where
+        Req: Any + Send,
+        Resp: Any + Send,
+    {
+        let reply_to = self.mailbox("rpc-reply");
+        self.send(
+            to,
+            Msg::new(Request {
+                reply_to,
+                body: Box::new(req),
+            }),
+            latency,
+        );
+        let resp = self.recv_timeout(reply_to, timeout);
+        self.close_mailbox(reply_to);
+        self.drop_mailbox(reply_to);
+        resp.map(|m| m.take::<Resp>())
+    }
+
+    /// Replies to an RPC received as a [`Request`].
+    pub fn reply<Resp: Any + Send>(&mut self, reply_to: Addr, resp: Resp, latency: Duration) {
+        self.send(reply_to, Msg::new(resp), latency);
+    }
+
+    /// Removes a mailbox entirely (frees its id).
+    fn drop_mailbox(&mut self, addr: Addr) {
+        let mut st = self.kernel.state.lock();
+        st.mailboxes.remove(&addr.0);
+    }
+
+    /// Spawns a child process, runnable at the current virtual time.
+    pub fn spawn<F>(&mut self, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        spawn_process(&self.kernel, name, false, f)
+    }
+
+    /// Spawns a daemon process (see [`Sim::spawn_daemon`]).
+    pub fn spawn_daemon<F>(&mut self, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        spawn_process(&self.kernel, name, true, f)
+    }
+
+    /// Kills another process (see [`Sim::kill`]).
+    pub fn kill(&mut self, pid: Pid) {
+        kill_process(&self.kernel, pid);
+    }
+
+    /// Blocks until another process calls [`Ctx::unpark`] with this pid.
+    /// A pending permit (unpark before park) is consumed immediately.
+    pub fn park(&mut self) {
+        {
+            let mut st = self.kernel.state.lock();
+            let p = st.procs.get_mut(&self.pid.0).expect("own slot");
+            if p.park_permit {
+                p.park_permit = false;
+                return;
+            }
+            p.epoch += 1;
+            p.blocked = BlockState::Parked;
+        }
+        self.yield_to_kernel();
+    }
+
+    /// Makes a parked process runnable, or stores a permit if it is not
+    /// parked yet.
+    pub fn unpark(&mut self, pid: Pid) {
+        let mut st = self.kernel.state.lock();
+        let parked = match st.procs.get_mut(&pid.0) {
+            Some(p) => {
+                if p.blocked == BlockState::Parked {
+                    true
+                } else {
+                    if p.blocked != BlockState::Exited {
+                        p.park_permit = true;
+                    }
+                    false
+                }
+            }
+            None => false,
+        };
+        if parked {
+            st.make_runnable(pid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sim_is_idle() {
+        let mut sim = Sim::new(1);
+        let out = sim.run_until_idle();
+        out.expect_quiescent();
+        assert_eq!(out.time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let mut sim = Sim::new(1);
+        sim.spawn("sleeper", |ctx| {
+            ctx.sleep(Duration::from_millis(10));
+            ctx.sleep(Duration::from_millis(5));
+        });
+        let out = sim.run_until_idle();
+        out.expect_quiescent();
+        assert_eq!(out.time, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn messages_arrive_after_latency() {
+        let mut sim = Sim::new(1);
+        let mb = sim.mailbox("mb");
+        sim.spawn("rx", move |ctx| {
+            let m = ctx.recv(mb);
+            assert_eq!(m.take::<&'static str>(), "hello");
+            assert_eq!(ctx.now(), SimTime::from_millis(2));
+        });
+        sim.spawn("tx", move |ctx| {
+            ctx.send(mb, Msg::new("hello"), Duration::from_millis(2));
+        });
+        sim.run_until_idle().expect_quiescent();
+    }
+
+    #[test]
+    fn queued_message_received_without_waiting() {
+        let mut sim = Sim::new(1);
+        let mb = sim.mailbox("mb");
+        sim.spawn("tx", move |ctx| {
+            ctx.send(mb, Msg::new(1u8), Duration::ZERO);
+            ctx.send(mb, Msg::new(2u8), Duration::ZERO);
+        });
+        sim.spawn("rx", move |ctx| {
+            ctx.sleep(Duration::from_millis(1));
+            assert_eq!(ctx.recv(mb).take::<u8>(), 1);
+            assert_eq!(ctx.recv(mb).take::<u8>(), 2);
+            assert_eq!(ctx.now(), SimTime::from_millis(1));
+        });
+        sim.run_until_idle().expect_quiescent();
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let mut sim = Sim::new(1);
+        let mb = sim.mailbox("mb");
+        sim.spawn("rx", move |ctx| {
+            let r = ctx.recv_timeout(mb, Duration::from_millis(3));
+            assert!(r.is_none());
+            assert_eq!(ctx.now(), SimTime::from_millis(3));
+            // A message after the timeout is still receivable later.
+            let m = ctx.recv(mb);
+            assert_eq!(m.take::<u8>(), 9);
+        });
+        sim.spawn("tx", move |ctx| {
+            ctx.sleep(Duration::from_millis(10));
+            ctx.send(mb, Msg::new(9u8), Duration::ZERO);
+        });
+        sim.run_until_idle().expect_quiescent();
+    }
+
+    #[test]
+    fn recv_timeout_receives_in_time() {
+        let mut sim = Sim::new(1);
+        let mb = sim.mailbox("mb");
+        sim.spawn("tx", move |ctx| {
+            ctx.send(mb, Msg::new(5u8), Duration::from_millis(1));
+        });
+        sim.spawn("rx", move |ctx| {
+            let r = ctx.recv_timeout(mb, Duration::from_millis(100));
+            assert_eq!(r.expect("delivered").take::<u8>(), 5);
+            assert_eq!(ctx.now(), SimTime::from_millis(1));
+        });
+        sim.run_until_idle().expect_quiescent();
+    }
+
+    #[test]
+    fn rpc_round_trip() {
+        let mut sim = Sim::new(1);
+        let server = sim.mailbox("server");
+        sim.spawn("server", move |ctx| {
+            for _ in 0..3 {
+                let req = ctx.recv(server).take::<Request>();
+                let (reply_to, n) = req.take::<u32>();
+                ctx.reply(reply_to, n * 2, Duration::from_micros(100));
+            }
+        });
+        sim.spawn("client", move |ctx| {
+            for i in 0..3u32 {
+                let r: u32 = ctx.call(server, i, Duration::from_micros(100));
+                assert_eq!(r, i * 2);
+            }
+            // 3 calls x 200us round trip
+            assert_eq!(ctx.now(), SimTime::from_nanos(600_000));
+        });
+        sim.run_until_idle().expect_quiescent();
+    }
+
+    #[test]
+    fn call_timeout_on_dead_server() {
+        let mut sim = Sim::new(1);
+        let server = sim.mailbox("server");
+        // No server process: requests pile up unanswered.
+        sim.spawn("client", move |ctx| {
+            let r: Option<u32> =
+                ctx.call_timeout(server, 1u32, Duration::from_micros(100), Duration::from_millis(5));
+            assert!(r.is_none());
+            assert_eq!(ctx.now(), SimTime::from_millis(5));
+        });
+        sim.run_until_idle().expect_quiescent();
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new(1);
+        sim.spawn("sleeper", |ctx| {
+            ctx.sleep(Duration::from_secs(100));
+        });
+        let out = sim.run_until(SimTime::from_secs(1));
+        assert_eq!(out.time, SimTime::from_secs(1));
+        assert_eq!(out.blocked.len(), 1);
+        // Resume to the end.
+        let out = sim.run_until_idle();
+        out.expect_quiescent();
+        assert_eq!(out.time, SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let mut sim = Sim::new(1);
+        let mb = sim.mailbox("never");
+        sim.spawn("stuck", move |ctx| {
+            let _ = ctx.recv(mb);
+        });
+        let out = sim.run_until_idle();
+        assert_eq!(out.blocked, vec!["stuck".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn process_panic_propagates() {
+        let mut sim = Sim::new(1);
+        sim.spawn("bad", |_ctx| panic!("boom"));
+        sim.run_until_idle();
+    }
+
+    #[test]
+    fn kill_blocked_process() {
+        let mut sim = Sim::new(1);
+        let mb = sim.mailbox("never");
+        let pid = sim.spawn("victim", move |ctx| {
+            let _ = ctx.recv(mb);
+            unreachable!("killed before any message");
+        });
+        sim.spawn("killer", move |ctx| {
+            ctx.sleep(Duration::from_millis(1));
+            ctx.kill(pid);
+        });
+        let out = sim.run_until_idle();
+        out.expect_quiescent();
+        assert_eq!(sim.live_processes(), 0);
+    }
+
+    #[test]
+    fn messages_to_dead_process_mailbox_are_dropped() {
+        let mut sim = Sim::new(1);
+        // The victim owns its inbox; when it exits the inbox closes and
+        // later sends are dropped instead of piling up.
+        let inbox_cell: Arc<Mutex<Option<Addr>>> = Arc::new(Mutex::new(None));
+        let cell = inbox_cell.clone();
+        sim.spawn("victim", move |ctx| {
+            let inbox = ctx.mailbox("victim-inbox");
+            *cell.lock() = Some(inbox);
+            // Exits immediately; inbox closes.
+        });
+        let cell = inbox_cell.clone();
+        sim.spawn("sender", move |ctx| {
+            ctx.sleep(Duration::from_millis(1));
+            let inbox = cell.lock().take().expect("victim ran first");
+            ctx.send(inbox, Msg::new(1u8), Duration::ZERO);
+            ctx.sleep(Duration::from_millis(1));
+        });
+        sim.run_until_idle().expect_quiescent();
+    }
+
+    #[test]
+    fn spawn_from_process() {
+        let mut sim = Sim::new(1);
+        let mb = sim.mailbox("mb");
+        sim.spawn("parent", move |ctx| {
+            ctx.spawn("child", move |c| {
+                c.sleep(Duration::from_millis(2));
+                c.send(mb, Msg::new(7u8), Duration::ZERO);
+            });
+            let m = ctx.recv(mb);
+            assert_eq!(m.take::<u8>(), 7);
+            assert_eq!(ctx.now(), SimTime::from_millis(2));
+        });
+        sim.run_until_idle().expect_quiescent();
+    }
+
+    #[test]
+    fn park_unpark_with_permit() {
+        let mut sim = Sim::new(1);
+        sim.spawn("main", move |ctx| {
+            let me = ctx.pid();
+            ctx.spawn("waker", move |c| {
+                c.unpark(me); // permit stored before the park
+            });
+            ctx.sleep(Duration::from_millis(1));
+            ctx.park(); // consumes the permit, no block
+            assert_eq!(ctx.now(), SimTime::from_millis(1));
+        });
+        sim.run_until_idle().expect_quiescent();
+    }
+
+    #[test]
+    fn park_then_unpark() {
+        let mut sim = Sim::new(1);
+        sim.spawn("a", move |ctx| {
+            let me = ctx.pid();
+            ctx.spawn("waker", move |c| {
+                c.sleep(Duration::from_millis(4));
+                c.unpark(me);
+            });
+            ctx.park();
+            assert_eq!(ctx.now(), SimTime::from_millis(4));
+        });
+        sim.run_until_idle().expect_quiescent();
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run(seed: u64) -> Vec<u64> {
+            let mut sim = Sim::new(seed);
+            let mb = sim.mailbox("mb");
+            let log: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+            for i in 0..10u64 {
+                let log = log.clone();
+                sim.spawn(&format!("w{i}"), move |ctx| {
+                    use rand::RngExt;
+                    let jitter: u64 = ctx.rng().random_range(0..1000);
+                    ctx.sleep(Duration::from_micros(jitter));
+                    ctx.send(mb, Msg::new(i), Duration::from_micros(50));
+                    log.lock().push(ctx.now().as_nanos());
+                });
+            }
+            let log2 = log.clone();
+            sim.spawn("collector", move |ctx| {
+                for _ in 0..10 {
+                    let m = ctx.recv(mb);
+                    log2.lock().push(m.take::<u64>());
+                }
+            });
+            sim.run_until_idle().expect_quiescent();
+            let v = log.lock().clone();
+            v
+        }
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b, "same seed must give identical traces");
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn many_processes() {
+        let mut sim = Sim::new(3);
+        let mb = sim.mailbox("sink");
+        const N: u64 = 300;
+        for i in 0..N {
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                ctx.sleep(Duration::from_micros(i));
+                ctx.send(mb, Msg::new(i), Duration::from_micros(10));
+            });
+        }
+        sim.spawn("sink", move |ctx| {
+            let mut sum = 0u64;
+            for _ in 0..N {
+                sum += ctx.recv(mb).take::<u64>();
+            }
+            assert_eq!(sum, N * (N - 1) / 2);
+        });
+        sim.run_until_idle().expect_quiescent();
+    }
+
+    #[test]
+    fn zero_latency_send_still_ordered() {
+        let mut sim = Sim::new(1);
+        let mb = sim.mailbox("mb");
+        sim.spawn("tx", move |ctx| {
+            for i in 0..5u32 {
+                ctx.send(mb, Msg::new(i), Duration::ZERO);
+            }
+        });
+        sim.spawn("rx", move |ctx| {
+            for i in 0..5u32 {
+                assert_eq!(ctx.recv(mb).take::<u32>(), i);
+            }
+        });
+        sim.run_until_idle().expect_quiescent();
+    }
+}

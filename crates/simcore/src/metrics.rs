@@ -1,0 +1,258 @@
+//! Lightweight measurement helpers: latency statistics and time series.
+//!
+//! These are plain owned values (cheaply clonable handles around shared
+//! state) that experiment harnesses read after the simulation finishes.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::time::SimTime;
+
+/// Accumulates latency observations and reports summary statistics.
+///
+/// Stores every sample (simulations here are small enough), so exact
+/// percentiles are available.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::LatencyStats;
+/// use std::time::Duration;
+///
+/// let stats = LatencyStats::new("put");
+/// stats.record(Duration::from_micros(100));
+/// stats.record(Duration::from_micros(300));
+/// assert_eq!(stats.count(), 2);
+/// assert_eq!(stats.mean(), Duration::from_micros(200));
+/// ```
+#[derive(Clone)]
+pub struct LatencyStats {
+    inner: Arc<Mutex<LatencyInner>>,
+}
+
+struct LatencyInner {
+    name: String,
+    samples: Vec<u64>, // nanos
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty accumulator labelled `name`.
+    pub fn new(name: &str) -> LatencyStats {
+        LatencyStats {
+            inner: Arc::new(Mutex::new(LatencyInner {
+                name: name.to_string(),
+                samples: Vec::new(),
+                sorted: true,
+            })),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, d: Duration) {
+        let mut g = self.inner.lock();
+        g.samples.push(d.as_nanos().min(u64::MAX as u128) as u64);
+        g.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.inner.lock().samples.len()
+    }
+
+    /// Mean latency; zero if empty.
+    pub fn mean(&self) -> Duration {
+        let g = self.inner.lock();
+        if g.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let sum: u128 = g.samples.iter().map(|&s| s as u128).sum();
+        Duration::from_nanos((sum / g.samples.len() as u128) as u64)
+    }
+
+    /// Exact percentile in `[0, 100]`; zero if empty.
+    pub fn percentile(&self, p: f64) -> Duration {
+        let mut g = self.inner.lock();
+        if g.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        if !g.sorted {
+            g.samples.sort_unstable();
+            g.sorted = true;
+        }
+        let idx = ((p / 100.0) * (g.samples.len() - 1) as f64).round() as usize;
+        Duration::from_nanos(g.samples[idx.min(g.samples.len() - 1)])
+    }
+
+    /// Minimum observation; zero if empty.
+    pub fn min(&self) -> Duration {
+        let g = self.inner.lock();
+        Duration::from_nanos(g.samples.iter().copied().min().unwrap_or(0))
+    }
+
+    /// Maximum observation; zero if empty.
+    pub fn max(&self) -> Duration {
+        let g = self.inner.lock();
+        Duration::from_nanos(g.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Label given at construction.
+    pub fn name(&self) -> String {
+        self.inner.lock().name.clone()
+    }
+}
+
+impl fmt::Debug for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencyStats")
+            .field("name", &self.name())
+            .field("count", &self.count())
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+/// A shared counter, e.g. completed operations.
+#[derive(Clone, Default)]
+pub struct Counter {
+    inner: Arc<Mutex<u64>>,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        *self.inner.lock() += n;
+    }
+
+    /// Increments by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        *self.inner.lock()
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A time series of `(virtual time, value)` points — e.g. throughput per
+/// second for the Fig. 8 elasticity experiment.
+#[derive(Clone, Default)]
+pub struct Series {
+    inner: Arc<Mutex<Vec<(SimTime, f64)>>>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new() -> Series {
+        Series::default()
+    }
+
+    /// Appends a point.
+    pub fn push(&self, t: SimTime, v: f64) {
+        self.inner.lock().push((t, v));
+    }
+
+    /// Snapshot of all points in insertion order.
+    pub fn points(&self) -> Vec<(SimTime, f64)> {
+        self.inner.lock().clone()
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mean of values within `[from, to)`; `None` if no points fall there.
+    pub fn mean_in(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let g = self.inner.lock();
+        let vals: Vec<f64> =
+            g.iter().filter(|(t, _)| *t >= from && *t < to).map(|(_, v)| *v).collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+}
+
+impl fmt::Debug for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Series(len={})", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_basics() {
+        let s = LatencyStats::new("x");
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.percentile(50.0), Duration::ZERO);
+        for us in [10u64, 20, 30, 40, 50] {
+            s.record(Duration::from_micros(us));
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean(), Duration::from_micros(30));
+        assert_eq!(s.percentile(0.0), Duration::from_micros(10));
+        assert_eq!(s.percentile(50.0), Duration::from_micros(30));
+        assert_eq!(s.percentile(100.0), Duration::from_micros(50));
+        assert_eq!(s.min(), Duration::from_micros(10));
+        assert_eq!(s.max(), Duration::from_micros(50));
+        assert_eq!(s.name(), "x");
+    }
+
+    #[test]
+    fn percentile_after_interleaved_records() {
+        let s = LatencyStats::new("y");
+        s.record(Duration::from_micros(30));
+        let _ = s.percentile(50.0); // forces a sort
+        s.record(Duration::from_micros(10)); // unsorted again
+        assert_eq!(s.percentile(0.0), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn counter() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let c2 = c.clone();
+        c2.incr();
+        assert_eq!(c.get(), 6, "clones share state");
+    }
+
+    #[test]
+    fn series_mean_in_window() {
+        let s = Series::new();
+        s.push(SimTime::from_secs(1), 10.0);
+        s.push(SimTime::from_secs(2), 20.0);
+        s.push(SimTime::from_secs(3), 60.0);
+        assert_eq!(s.len(), 3);
+        let m = s.mean_in(SimTime::from_secs(1), SimTime::from_secs(3)).expect("points");
+        assert!((m - 15.0).abs() < 1e-9);
+        assert!(s.mean_in(SimTime::from_secs(10), SimTime::from_secs(20)).is_none());
+    }
+}

@@ -1,0 +1,67 @@
+//! Single-machine baselines: a VM with a fixed number of cores running
+//! plain threads (Fig. 3's m5.2xlarge / m5.4xlarge curves, and the POJO
+//! Santa Claus solution's host).
+
+use simcore::{CpuHost, Ctx, Sim};
+use std::time::Duration;
+
+/// A virtual machine: `threads` contend for `cores` under processor
+/// sharing, so compute slows down once threads exceed cores.
+#[derive(Clone, Debug)]
+pub struct LocalVm {
+    cpu: CpuHost,
+    cores: u32,
+}
+
+impl LocalVm {
+    /// Creates a VM with `cores` cores.
+    pub fn new(sim: &Sim, name: &str, cores: u32) -> LocalVm {
+        LocalVm {
+            cpu: CpuHost::spawn(sim, name, cores),
+            cores,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Performs `work` of CPU time, sharing the machine's cores.
+    pub fn compute(&self, ctx: &mut Ctx, work: Duration) {
+        self.cpu.compute(ctx, work);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn saturation_beyond_core_count() {
+        // Fig. 3's shape in miniature: scale-up stays ~1 up to the core
+        // count, then degrades as threads/cores.
+        for (threads, expected_slowdown) in [(4u32, 1.0f64), (8, 1.0), (16, 2.0), (32, 4.0)] {
+            let mut sim = Sim::new(41);
+            let vm = LocalVm::new(&sim, "m5.2xlarge", 8);
+            let end = Arc::new(Mutex::new(0.0f64));
+            for t in 0..threads {
+                let vm = vm.clone();
+                let end = end.clone();
+                sim.spawn(&format!("t{t}"), move |ctx| {
+                    vm.compute(ctx, Duration::from_secs(1));
+                    let mut e = end.lock();
+                    *e = e.max(ctx.now().as_secs_f64());
+                });
+            }
+            sim.run_until_idle().expect_quiescent();
+            let took = *end.lock();
+            assert!(
+                (took - expected_slowdown).abs() < 0.05,
+                "{threads} threads on 8 cores took {took}s, expected {expected_slowdown}"
+            );
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! The Santa Claus concurrency problem (§6.3.3) in its three flavours:
+//! plain local objects, `@Shared` DSO objects, and full cloud threads.
+//!
+//! ```sh
+//! cargo run --release --example santa_claus
+//! ```
+
+use crucial_apps::santa::{run_santa_cloud, run_santa_dso, run_santa_local, SantaConfig};
+
+fn main() {
+    let cfg = SantaConfig::default(); // 15 deliveries, 10 elves, 9 reindeer
+    println!(
+        "Santa Claus: {} toy deliveries, {} elf consultations…",
+        cfg.deliveries,
+        cfg.elf_groups()
+    );
+
+    let local = run_santa_local(&cfg);
+    println!("single machine (POJO):   {:?}", local.completion);
+
+    let dso = run_santa_dso(&cfg);
+    let overhead = 100.0 * (dso.completion.as_secs_f64() / local.completion.as_secs_f64() - 1.0);
+    println!("@Shared objects (DSO):   {:?}  ({overhead:+.1}% vs local; paper: ≈ +8%)", dso.completion);
+
+    let cloud = run_santa_cloud(&cfg);
+    let overhead = 100.0 * (cloud.completion.as_secs_f64() / local.completion.as_secs_f64() - 1.0);
+    println!("cloud threads:           {:?}  ({overhead:+.1}% vs local; paper: ≈ DSO)", cloud.completion);
+}
