@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check

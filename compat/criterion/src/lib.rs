@@ -1,0 +1,236 @@
+//! Minimal in-tree replacement for the `criterion` benchmark harness.
+//!
+//! Measures real wall-clock time with `std::time::Instant`: a short warm-up,
+//! then timed batches until a sampling budget is spent. Results are printed
+//! per benchmark and, at the end of the binary (from `criterion_main!`),
+//! written as machine-readable JSON to `BENCH_<bench-name>.json` in the
+//! working directory so baselines can be diffed across commits.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target time spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+/// Warm-up time per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+
+/// One benchmark's aggregated timing.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id (e.g. `"ring/placement_rf2"`).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest observed sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest observed sample (ns/iter).
+    pub max_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// How `iter_batched` amortises setup cost. The compat harness always runs
+/// setup once per iteration outside the timed region, so the variants only
+/// exist for signature compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine inputs.
+    SmallInput,
+    /// Large routine inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `name`, recording and printing its timing.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new(), iters: 0 };
+        f(&mut b);
+        let total: f64 = b.samples.iter().sum();
+        let mean = if b.samples.is_empty() { 0.0 } else { total / b.samples.len() as f64 };
+        let (mut min, mut max) = (f64::INFINITY, 0.0f64);
+        for s in &b.samples {
+            min = min.min(*s);
+            max = max.max(*s);
+        }
+        if !min.is_finite() {
+            min = 0.0;
+        }
+        let result = BenchResult {
+            name: name.to_string(),
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            iters: b.iters,
+        };
+        println!(
+            "{:40} time: [{} .. {} .. {}]  ({} iters)",
+            result.name,
+            fmt_ns(result.min_ns),
+            fmt_ns(result.mean_ns),
+            fmt_ns(result.max_ns),
+            result.iters
+        );
+        RESULTS.lock().expect("results lock").push(result);
+        self
+    }
+}
+
+/// Timing context handed to each benchmark closure. Samples are stored as
+/// nanoseconds *per iteration*.
+pub struct Bencher {
+    samples: Vec<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-iteration cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Aim for ~50 samples within the budget, at least 1 iter per sample.
+        let batch = ((MEASURE_BUDGET.as_secs_f64() / 50.0 / per_iter.max(1e-9)) as u64).max(1);
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64;
+            self.samples.push(ns / batch as f64);
+            self.iters += batch;
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup runs outside the
+    /// timed region.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(routine(setup()));
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed().as_nanos() as f64);
+            self.iters += 1;
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Internal hooks used by the harness macros.
+pub mod private {
+    use super::*;
+
+    /// Writes all recorded results as JSON next to the working directory and
+    /// prints a closing line. Called by `criterion_main!` after all groups.
+    pub fn finish() {
+        let results = RESULTS.lock().expect("results lock");
+        if results.is_empty() {
+            return;
+        }
+        let bench_name = std::env::args()
+            .next()
+            .and_then(|p| {
+                std::path::Path::new(&p).file_stem().map(|s| s.to_string_lossy().into_owned())
+            })
+            .map(|stem| {
+                // cargo names bench binaries `<name>-<hash>`; strip the hash.
+                match stem.rsplit_once('-') {
+                    Some((base, tail))
+                        if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) =>
+                    {
+                        base.to_string()
+                    }
+                    _ => stem,
+                }
+            })
+            .unwrap_or_else(|| "bench".to_string());
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"bench\": \"{bench_name}\",\n"));
+        json.push_str("  \"results\": [\n");
+        for (i, r) in results.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"iters\": {}}}{}\n",
+                r.name,
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                r.iters,
+                if i + 1 == results.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let path = format!("BENCH_{bench_name}.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::private::finish();
+        }
+    };
+}

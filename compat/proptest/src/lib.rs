@@ -1,0 +1,649 @@
+//! Minimal in-tree replacement for the `proptest` crate.
+//!
+//! Provides the generation half of property testing: [`Strategy`] values
+//! drawn from a deterministic per-test RNG, the [`proptest!`] test macro,
+//! `prop_assert*` macros, combinators (`prop_map`, `prop_recursive`,
+//! [`prop_oneof!`]), collection/option strategies, `any::<T>()`, and a small
+//! regex-literal subset (`"[a-z]{1,12}"`-style character-class patterns) for
+//! string strategies. No shrinking: a failing case reports the generated
+//! inputs via the panic message instead of minimising them.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Cases each `proptest!` test runs. Chosen to keep `cargo test` fast while
+/// still exercising the space; the upstream default is 256.
+pub const DEFAULT_CASES: u32 = 96;
+
+// ---------------------------------------------------------------------------
+// core strategy trait
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// Generated type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `f` receives the strategy for the
+    /// previous depth and returns the strategy for one level deeper. At each
+    /// level generation falls back to the base case half of the time, so
+    /// values stay finite. `desired_size`/`expected_branch_size` are accepted
+    /// for upstream signature compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let base = self.boxed();
+        let mut strat = base.clone();
+        for _ in 0..depth {
+            let deeper = f(strat).boxed();
+            strat = Union { options: vec![base.clone(), deeper] }.boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: Arc::new(self) }
+    }
+}
+
+/// Type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        self.inner.new_value(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Uniform choice between same-typed strategies (backs [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Chooses uniformly among `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        let idx = rng.random_range(0..self.options.len());
+        self.options[idx].new_value(rng)
+    }
+}
+
+/// Always produces clones of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// primitive strategies: ranges, tuples, string patterns
+// ---------------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut StdRng) -> $ty {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut StdRng) -> $ty {
+                rng.random_range(self.clone())
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($s:ident => $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0 => 0);
+tuple_strategy!(S0 => 0, S1 => 1);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5);
+
+/// `&str` regex-literal strategies: a sequence of character-class (or
+/// literal) atoms, each optionally followed by `{m}`, `{m,n}`, `?`, `*`, `+`.
+/// Covers the patterns the workspace uses (e.g. `"[a-z]{1,12}"`).
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let n = if lo == hi { *lo } else { rng.random_range(*lo..hi + 1) };
+            for _ in 0..n {
+                out.push(chars[rng.random_range(0..chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        self.as_str().new_value(rng)
+    }
+}
+
+/// Parses the supported regex subset into (choices, min, max) atoms.
+fn parse_pattern(pat: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let mut atoms = Vec::new();
+    let mut chars = pat.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices: Vec<char> = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                for d in chars.by_ref() {
+                    match d {
+                        ']' => break,
+                        '-' => {
+                            // Range like a-z: expand from prev to the next char.
+                            prev = Some('-');
+                            continue;
+                        }
+                        d if prev == Some('-') => {
+                            let lo = *set.last().unwrap_or(&d);
+                            for code in (lo as u32 + 1)..=(d as u32) {
+                                if let Some(ch) = char::from_u32(code) {
+                                    set.push(ch);
+                                }
+                            }
+                            prev = None;
+                        }
+                        d => {
+                            set.push(d);
+                            prev = Some(d);
+                        }
+                    }
+                }
+                set
+            }
+            '\\' => vec![chars.next().expect("escaped char")],
+            '.' => (' '..='~').collect(),
+            c => vec![c],
+        };
+        // Optional repetition suffix.
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().expect("rep lower bound"),
+                        b.trim().parse().expect("rep upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("rep count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(!choices.is_empty(), "empty character class in pattern {pat:?}");
+        atoms.push((choices, lo, hi));
+    }
+    atoms
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($ty:ty),+) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut StdRng) -> $ty {
+                // Truncated raw bits cover the full domain uniformly; bias
+                // toward small magnitudes sometimes to hit edge-ish values.
+                if rng.random_bool(0.1) {
+                    (rng.random_range(0u64..16) as $ty).wrapping_sub(8 as $ty)
+                } else {
+                    rng.next_u64() as $ty
+                }
+            }
+        }
+    )+};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut StdRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut StdRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.random_bool(0.5)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut StdRng) -> char {
+        if rng.random_bool(0.8) {
+            rng.random_range(0x20u32..0x7F).try_into().expect("ascii")
+        } else {
+            char::from_u32(rng.random_range(0u32..0x11_0000)).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+macro_rules! arb_float {
+    ($($ty:ty),+) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut StdRng) -> $ty {
+                // Finite values only: the roundtrip properties compare with
+                // equality, which NaN would trivially break.
+                let specials: [$ty; 5] = [0.0, -0.0, 1.0, -1.0, <$ty>::MIN_POSITIVE];
+                if rng.random_bool(0.1) {
+                    specials[rng.random_range(0..specials.len())]
+                } else {
+                    rng.random_range(-1.0e12..1.0e12) as $ty
+                }
+            }
+        }
+    )+};
+}
+
+arb_float!(f32, f64);
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut StdRng) -> String {
+        "[ -~]{0,16}".new_value(rng)
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// collection / option strategies
+// ---------------------------------------------------------------------------
+
+/// Strategies over collections.
+pub mod collection {
+    use super::*;
+
+    /// Vec strategy with a size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec<T>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.size.clone());
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// BTreeMap strategy with a size range.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// `BTreeMap<K, V>` with *up to* `size` entries (duplicates collapse).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.random_range(self.size.clone());
+            (0..n).map(|_| (self.key.new_value(rng), self.value.new_value(rng))).collect()
+        }
+    }
+}
+
+/// Strategies over `Option`.
+pub mod option {
+    use super::*;
+
+    /// Option strategy: `None` a quarter of the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Option<T>` from an inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.random_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// test runner plumbing
+// ---------------------------------------------------------------------------
+
+/// Failure reporting used by the `prop_assert*` macros.
+pub mod test_runner {
+    use super::fmt;
+
+    /// A failed property case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError { message: message.into() }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Derives the deterministic RNG seed for one test case.
+    pub fn case_seed(test_name: &str, case: u32) -> u64 {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ ((case as u64) << 32 | case as u64)
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, Strategy,
+    };
+}
+
+/// Defines property tests: each `fn name(x in strategy, ...) { body }`
+/// becomes a `#[test]` running [`DEFAULT_CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __strategies = ($($strat,)+);
+            for __case in 0..$crate::DEFAULT_CASES {
+                let __seed =
+                    $crate::test_runner::case_seed(concat!(module_path!(), "::", stringify!($name)), __case);
+                let mut __rng = <$crate::__rng::StdRng as $crate::__rng::SeedableRng>::seed_from_u64(__seed);
+                $crate::__run_case!(__strategies, __rng, __case, ($($pat),+), $body);
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Internal: generates inputs from the strategy tuple and runs one case.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __run_case {
+    ($strategies:ident, $rng:ident, $case:ident, ($($pat:pat),+), $body:block) => {
+        {
+            let ($($pat,)+) = {
+                // Tuples of strategies are themselves strategies.
+                $crate::Strategy::new_value(&$strategies, &mut $rng)
+            };
+            let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| { $body ::core::result::Result::Ok(()) })();
+            if let ::core::result::Result::Err(e) = __result {
+                panic!("property failed at case {}: {}", $case, e);
+            }
+        }
+    };
+}
+
+#[doc(hidden)]
+pub mod __rng {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) so the runner can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($a), stringify!($b), __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a == *__b, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($a),
+            stringify!($b),
+            __a
+        );
+    }};
+}
+
+/// Skips the current case when the assumption does not hold. The compat
+/// runner counts a skipped case as passed rather than drawing a replacement.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_strategy_matches_class() {
+        use crate::__rng::SeedableRng;
+        let mut rng = crate::__rng::StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = crate::Strategy::new_value(&"[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_in_range(x in 5u64..10, v in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(v.len() < 4);
+        }
+    }
+}

@@ -1,0 +1,867 @@
+//! Deserialization half of the serde data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// A data structure deserializable from any serde format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Errors produced by a deserializer.
+pub trait Error: Sized + std::error::Error {
+    /// Builds a custom error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A stateful deserialization seed (a `Deserialize` carrying data).
+pub trait DeserializeSeed<'de>: Sized {
+    /// Produced value.
+    type Value;
+    /// Deserializes the value.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A format that can drive the serde data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type of this deserializer.
+    type Error: Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Whether the format is human readable (affects nothing here).
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+fn unexpected<'de, V: Visitor<'de>, E: Error>(v: &V, what: &str) -> E {
+    struct Expecting<'a, 'de, V: Visitor<'de>>(&'a V, PhantomData<&'de ()>);
+    impl<'a, 'de, V: Visitor<'de>> Display for Expecting<'a, 'de, V> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.expecting(f)
+        }
+    }
+    E::custom(format!("invalid type: {what}, expected {}", Expecting(v, PhantomData)))
+}
+
+/// Drives construction of a value from serde data-model events.
+#[allow(unused_variables)]
+pub trait Visitor<'de>: Sized {
+    /// Value produced by this visitor.
+    type Value;
+
+    /// Describes what this visitor expects, for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        Err(unexpected(&self, "boolean"))
+    }
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        Err(unexpected(&self, "integer"))
+    }
+    fn visit_i128<E: Error>(self, v: i128) -> Result<Self::Value, E> {
+        Err(unexpected(&self, "i128"))
+    }
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        Err(unexpected(&self, "unsigned integer"))
+    }
+    fn visit_u128<E: Error>(self, v: u128) -> Result<Self::Value, E> {
+        Err(unexpected(&self, "u128"))
+    }
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(v as f64)
+    }
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        Err(unexpected(&self, "float"))
+    }
+    fn visit_char<E: Error>(self, v: char) -> Result<Self::Value, E> {
+        self.visit_str(v.encode_utf8(&mut [0u8; 4]))
+    }
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        Err(unexpected(&self, "string"))
+    }
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        Err(unexpected(&self, "bytes"))
+    }
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(unexpected(&self, "Option::None"))
+    }
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        Err(unexpected(&self, "Option::Some"))
+    }
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(unexpected(&self, "unit"))
+    }
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        Err(unexpected(&self, "newtype struct"))
+    }
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        Err(unexpected(&self, "sequence"))
+    }
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        Err(unexpected(&self, "map"))
+    }
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        Err(unexpected(&self, "enum"))
+    }
+}
+
+/// Access to the elements of a sequence.
+pub trait SeqAccess<'de> {
+    type Error: Error;
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the entries of a map.
+pub trait MapAccess<'de> {
+    type Error: Error;
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the discriminant of an enum value.
+pub trait EnumAccess<'de>: Sized {
+    type Error: Error;
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the contents of a single enum variant.
+pub trait VariantAccess<'de>: Sized {
+    type Error: Error;
+    fn unit_variant(self) -> Result<(), Self::Error>;
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// value deserializers (IntoDeserializer)
+// ---------------------------------------------------------------------------
+
+/// Types convertible into a [`Deserializer`] over their own value.
+pub trait IntoDeserializer<'de, E: Error = value::Error> {
+    /// The resulting deserializer.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Converts `self` into a deserializer.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+/// Ready-made deserializers over plain values.
+pub mod value {
+    use super::*;
+
+    /// Plain string error used by the value deserializers.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(String);
+
+    impl Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+    impl std::error::Error for Error {}
+    impl super::Error for Error {
+        fn custom<T: Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    macro_rules! primitive_deserializer {
+        ($ty:ty, $name:ident, $visit:ident) => {
+            /// Deserializer over one primitive value.
+            pub struct $name<E> {
+                value: $ty,
+                marker: PhantomData<E>,
+            }
+
+            impl<E> $name<E> {
+                /// Wraps a value.
+                pub fn new(value: $ty) -> Self {
+                    $name { value, marker: PhantomData }
+                }
+            }
+
+            impl<'de, E: super::Error> Deserializer<'de> for $name<E> {
+                type Error = E;
+
+                fn deserialize_any<V: Visitor<'de>>(
+                    self,
+                    visitor: V,
+                ) -> Result<V::Value, Self::Error> {
+                    visitor.$visit(self.value)
+                }
+
+                forward_to_any! {
+                    deserialize_bool deserialize_i8 deserialize_i16 deserialize_i32
+                    deserialize_i64 deserialize_i128 deserialize_u8 deserialize_u16
+                    deserialize_u32 deserialize_u64 deserialize_u128 deserialize_f32
+                    deserialize_f64 deserialize_char deserialize_str deserialize_string
+                    deserialize_bytes deserialize_byte_buf deserialize_option
+                    deserialize_unit deserialize_seq deserialize_map
+                    deserialize_identifier deserialize_ignored_any
+                }
+
+                fn deserialize_unit_struct<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    visitor: V,
+                ) -> Result<V::Value, Self::Error> {
+                    self.deserialize_any(visitor)
+                }
+                fn deserialize_newtype_struct<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    visitor: V,
+                ) -> Result<V::Value, Self::Error> {
+                    self.deserialize_any(visitor)
+                }
+                fn deserialize_tuple<V: Visitor<'de>>(
+                    self,
+                    _len: usize,
+                    visitor: V,
+                ) -> Result<V::Value, Self::Error> {
+                    self.deserialize_any(visitor)
+                }
+                fn deserialize_tuple_struct<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    _len: usize,
+                    visitor: V,
+                ) -> Result<V::Value, Self::Error> {
+                    self.deserialize_any(visitor)
+                }
+                fn deserialize_struct<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    _fields: &'static [&'static str],
+                    visitor: V,
+                ) -> Result<V::Value, Self::Error> {
+                    self.deserialize_any(visitor)
+                }
+                fn deserialize_enum<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    _variants: &'static [&'static str],
+                    visitor: V,
+                ) -> Result<V::Value, Self::Error> {
+                    self.deserialize_any(visitor)
+                }
+            }
+        };
+    }
+
+    macro_rules! forward_to_any {
+        ($($method:ident)*) => {
+            $(
+                fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+                    self.deserialize_any(visitor)
+                }
+            )*
+        };
+    }
+    primitive_deserializer!(bool, BoolDeserializer, visit_bool);
+    primitive_deserializer!(u8, U8Deserializer, visit_u8);
+    primitive_deserializer!(u16, U16Deserializer, visit_u16);
+    primitive_deserializer!(u32, U32Deserializer, visit_u32);
+    primitive_deserializer!(u64, U64Deserializer, visit_u64);
+    primitive_deserializer!(i8, I8Deserializer, visit_i8);
+    primitive_deserializer!(i16, I16Deserializer, visit_i16);
+    primitive_deserializer!(i32, I32Deserializer, visit_i32);
+    primitive_deserializer!(i64, I64Deserializer, visit_i64);
+}
+
+macro_rules! into_deserializer {
+    ($ty:ty, $name:ident) => {
+        impl<'de, E: Error> IntoDeserializer<'de, E> for $ty {
+            type Deserializer = value::$name<E>;
+            fn into_deserializer(self) -> Self::Deserializer {
+                value::$name::new(self)
+            }
+        }
+    };
+}
+
+into_deserializer!(bool, BoolDeserializer);
+into_deserializer!(u8, U8Deserializer);
+into_deserializer!(u16, U16Deserializer);
+into_deserializer!(u32, U32Deserializer);
+into_deserializer!(u64, U64Deserializer);
+into_deserializer!(i8, I8Deserializer);
+into_deserializer!(i16, I16Deserializer);
+into_deserializer!(i32, I32Deserializer);
+into_deserializer!(i64, I64Deserializer);
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! de_primitive {
+    ($ty:ty, $deserialize:ident, $($visit:ident => $vty:ty),+) => {
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str(stringify!($ty))
+                    }
+                    $(
+                        fn $visit<E: Error>(self, v: $vty) -> Result<$ty, E> {
+                            <$ty>::try_from(v)
+                                .map_err(|_| E::custom("integer out of range"))
+                        }
+                    )+
+                }
+                d.$deserialize(V)
+            }
+        }
+    };
+}
+
+de_primitive!(u8, deserialize_u8, visit_u64 => u64);
+de_primitive!(u16, deserialize_u16, visit_u64 => u64);
+de_primitive!(u32, deserialize_u32, visit_u64 => u64);
+de_primitive!(u64, deserialize_u64, visit_u64 => u64);
+de_primitive!(usize, deserialize_u64, visit_u64 => u64);
+de_primitive!(i8, deserialize_i8, visit_i64 => i64);
+de_primitive!(i16, deserialize_i16, visit_i64 => i64);
+de_primitive!(i32, deserialize_i32, visit_i64 => i64);
+de_primitive!(i64, deserialize_i64, visit_i64 => i64);
+de_primitive!(isize, deserialize_i64, visit_i64 => i64);
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = u128;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("u128")
+            }
+            fn visit_u128<E: Error>(self, v: u128) -> Result<u128, E> {
+                Ok(v)
+            }
+            fn visit_u64<E: Error>(self, v: u64) -> Result<u128, E> {
+                Ok(v as u128)
+            }
+        }
+        d.deserialize_u128(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for i128 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = i128;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("i128")
+            }
+            fn visit_i128<E: Error>(self, v: i128) -> Result<i128, E> {
+                Ok(v)
+            }
+            fn visit_i64<E: Error>(self, v: i64) -> Result<i128, E> {
+                Ok(v as i128)
+            }
+        }
+        d.deserialize_i128(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = bool;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("bool")
+            }
+            fn visit_bool<E: Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        d.deserialize_bool(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = f32;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("f32")
+            }
+            fn visit_f64<E: Error>(self, v: f64) -> Result<f32, E> {
+                Ok(v as f32)
+            }
+        }
+        d.deserialize_f32(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = f64;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("f64")
+            }
+            fn visit_f64<E: Error>(self, v: f64) -> Result<f64, E> {
+                Ok(v)
+            }
+        }
+        d.deserialize_f64(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = char;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("char")
+            }
+            fn visit_char<E: Error>(self, v: char) -> Result<char, E> {
+                Ok(v)
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<char, E> {
+                let mut chars = v.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(E::custom("expected a single character")),
+                }
+            }
+        }
+        d.deserialize_char(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        d.deserialize_string(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        d.deserialize_unit(V)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("option")
+            }
+            fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<Self::Value, D::Error> {
+                T::deserialize(d).map(Some)
+            }
+        }
+        d.deserialize_option(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        d.deserialize_seq(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(Into::into)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V<T, const N: usize>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>, const N: usize> Visitor<'de> for V<T, N> {
+            type Value = [T; N];
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "an array of length {N}")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = Vec::with_capacity(N);
+                for _ in 0..N {
+                    match seq.next_element()? {
+                        Some(v) => out.push(v),
+                        None => return Err(Error::custom("array too short")),
+                    }
+                }
+                out.try_into().map_err(|_| Error::custom("array length mismatch"))
+            }
+        }
+        d.deserialize_tuple(N, V::<T, N>(PhantomData))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V2: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V2>
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V<K, V2>(PhantomData<(K, V2)>);
+        impl<'de, K: Deserialize<'de> + Ord, V2: Deserialize<'de>> Visitor<'de> for V<K, V2> {
+            type Value = std::collections::BTreeMap<K, V2>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeMap::new();
+                while let Some(k) = map.next_key()? {
+                    let v = map.next_value()?;
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        d.deserialize_map(V(PhantomData))
+    }
+}
+
+impl<'de, K, V2, H> Deserialize<'de> for std::collections::HashMap<K, V2, H>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V2: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V<K, V2, H>(PhantomData<(K, V2, H)>);
+        impl<'de, K, V2, H> Visitor<'de> for V<K, V2, H>
+        where
+            K: Deserialize<'de> + Eq + std::hash::Hash,
+            V2: Deserialize<'de>,
+            H: std::hash::BuildHasher + Default,
+        {
+            type Value = std::collections::HashMap<K, V2, H>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::HashMap::with_capacity_and_hasher(0, H::default());
+                while let Some(k) = map.next_key()? {
+                    let v = map.next_value()?;
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        d.deserialize_map(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T, H> Deserialize<'de> for std::collections::HashSet<T, H>
+where
+    T: Deserialize<'de> + Eq + std::hash::Hash,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T: ?Sized> Deserialize<'de> for PhantomData<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V<T: ?Sized>(PhantomData<T>);
+        impl<'de, T: ?Sized> Visitor<'de> for V<T> {
+            type Value = PhantomData<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(PhantomData)
+            }
+        }
+        d.deserialize_unit_struct("PhantomData", V(PhantomData))
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = std::time::Duration;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("struct Duration")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let secs: u64 =
+                    seq.next_element()?.ok_or_else(|| Error::custom("missing field `secs`"))?;
+                let nanos: u32 =
+                    seq.next_element()?.ok_or_else(|| Error::custom("missing field `nanos`"))?;
+                if nanos >= 1_000_000_000 {
+                    return Err(Error::custom("nanos out of range"));
+                }
+                Ok(std::time::Duration::new(secs, nanos))
+            }
+        }
+        d.deserialize_struct("Duration", &["secs", "nanos"], V)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, E2: Deserialize<'de>> Deserialize<'de> for Result<T, E2> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V<T, E2>(PhantomData<(T, E2)>);
+        impl<'de, T: Deserialize<'de>, E2: Deserialize<'de>> Visitor<'de> for V<T, E2> {
+            type Value = Result<T, E2>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("enum Result")
+            }
+            fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+                let (idx, variant) = data.variant::<u32>()?;
+                match idx {
+                    0 => variant.newtype_variant().map(Ok),
+                    1 => variant.newtype_variant().map(Err),
+                    other => Err(Error::custom(format!("invalid Result variant {other}"))),
+                }
+            }
+        }
+        d.deserialize_enum("Result", &["Ok", "Err"], V(PhantomData))
+    }
+}
+
+macro_rules! de_tuple {
+    ($len:expr => $($t:ident)+) => {
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                struct V<$($t),+>(PhantomData<($($t,)+)>);
+                impl<'de, $($t: Deserialize<'de>),+> Visitor<'de> for V<$($t),+> {
+                    type Value = ($($t,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        write!(f, "a tuple of length {}", $len)
+                    }
+                    #[allow(non_snake_case)]
+                    fn visit_seq<A: SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        $(
+                            let $t: $t = seq
+                                .next_element()?
+                                .ok_or_else(|| Error::custom("tuple too short"))?;
+                        )+
+                        Ok(($($t,)+))
+                    }
+                }
+                d.deserialize_tuple($len, V(PhantomData))
+            }
+        }
+    };
+}
+
+de_tuple!(1 => T0);
+de_tuple!(2 => T0 T1);
+de_tuple!(3 => T0 T1 T2);
+de_tuple!(4 => T0 T1 T2 T3);
+de_tuple!(5 => T0 T1 T2 T3 T4);
+de_tuple!(6 => T0 T1 T2 T3 T4 T5);
+de_tuple!(7 => T0 T1 T2 T3 T4 T5 T6);
+de_tuple!(8 => T0 T1 T2 T3 T4 T5 T6 T7);

@@ -1,0 +1,17 @@
+//! Minimal in-tree replacement for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements exactly the subset of the serde data model the workspace uses:
+//! the `Serialize`/`Deserialize` traits, the `Serializer`/`Deserializer`
+//! driver traits with their compound-access helpers, value deserializers for
+//! primitive types, and impls for the std types that appear in workspace
+//! message/config structs. The wire behaviour matches upstream serde for the
+//! bincode-style format implemented in `simcore::codec`.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,674 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The offline build environment has no `syn`/`quote`, so the item is parsed
+//! directly from the [`proc_macro::TokenStream`] and the impls are generated
+//! as strings. Supports the shapes the workspace uses: unit/tuple/named
+//! structs, enums with unit/newtype/tuple/struct variants, simple type
+//! generics (`Foo<T>`), and `#[serde(skip)]` on named fields (excluded from
+//! serialization, filled with `Default::default()` on deserialization).
+//! The generated code matches upstream serde's positional encoding: structs
+//! as field sequences, enum variants by `u32` index.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// item model + parser
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Type parameter names, in declaration order.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Unit,
+    /// Number of fields in a tuple struct/variant.
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// True when the attribute token group is `#[serde(skip)]`.
+fn attr_is_skip(group: &TokenStream) -> bool {
+    let mut toks = group.clone().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) => {
+            name.to_string() == "serde"
+                && args
+                    .stream()
+                    .into_iter()
+                    .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Consumes a leading run of `#[...]` attributes; reports whether any was
+/// `#[serde(skip)]`. Returns the first non-attribute token.
+fn skip_attrs(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        toks.next();
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                skip |= attr_is_skip(&g.stream());
+            }
+            other => panic!("expected attribute body after `#`, found {other:?}"),
+        }
+    }
+    skip
+}
+
+/// Consumes `pub` / `pub(...)` if present.
+fn skip_vis(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+/// Parses `<...>` generics (opening `<` already consumed), returning the type
+/// parameter names. Lifetimes and bounds are tolerated and dropped; the
+/// workspace derives none of those on serde types.
+fn parse_generics(
+    toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    let mut in_lifetime = false;
+    while depth > 0 {
+        match toks.next().expect("unterminated generics") {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    at_param_start = false;
+                }
+                ',' if depth == 1 => {
+                    at_param_start = true;
+                    in_lifetime = false;
+                }
+                '\'' => in_lifetime = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) => {
+                if depth == 1 && at_param_start && !in_lifetime {
+                    let s = id.to_string();
+                    if s != "const" {
+                        params.push(s);
+                    }
+                    at_param_start = false;
+                } else if in_lifetime {
+                    in_lifetime = false;
+                    at_param_start = false;
+                }
+            }
+            _ => at_param_start = false,
+        }
+    }
+    params
+}
+
+/// Counts the fields of a tuple struct/variant body (the `(...)` group).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut count = 0usize;
+    let mut angle = 0usize;
+    let mut saw_tokens = false;
+    let mut prev_dash = false;
+    while let Some(t) = toks.next() {
+        match &t {
+            TokenTree::Punct(p) => {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    // Don't treat the `>` of `->` as closing an angle.
+                    '>' if !prev_dash && angle > 0 => angle -= 1,
+                    ',' if angle == 0 => {
+                        if saw_tokens {
+                            count += 1;
+                        }
+                        saw_tokens = false;
+                        prev_dash = false;
+                        continue;
+                    }
+                    _ => {}
+                }
+                prev_dash = p.as_char() == '-';
+            }
+            _ => prev_dash = false,
+        }
+        saw_tokens = true;
+        let _ = &mut toks;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+/// Parses the fields of a named struct/variant body (the `{...}` group).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        if toks.peek().is_none() {
+            break;
+        }
+        let skip = skip_attrs(&mut toks);
+        skip_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle = 0usize;
+        let mut prev_dash = false;
+        for t in toks.by_ref() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' if !prev_dash && angle > 0 => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+                prev_dash = p.as_char() == '-';
+            } else {
+                prev_dash = false;
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        if toks.peek().is_none() {
+            break;
+        }
+        skip_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                toks.next();
+                Fields::Named(f)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant and/or trailing comma.
+        for t in toks.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs(&mut toks);
+    skip_vis(&mut toks);
+    let kind_kw = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    let generics = match toks.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            toks.next();
+            parse_generics(&mut toks)
+        }
+        _ => Vec::new(),
+    };
+    // Tolerate a `where` clause: skip ahead to the body.
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "where") {
+        while let Some(t) = toks.peek() {
+            match t {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+                TokenTree::Punct(p) if p.as_char() == ';' => break,
+                _ => {
+                    toks.next();
+                }
+            }
+        }
+    }
+    let kind = match kind_kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            other => panic!("expected struct body, found {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("derive target must be a struct or enum, found `{other}`"),
+    };
+    Item { name, generics, kind }
+}
+
+// ---------------------------------------------------------------------------
+// codegen helpers
+// ---------------------------------------------------------------------------
+
+impl Item {
+    /// `<T, U>` or empty.
+    fn ty_args(&self) -> String {
+        if self.generics.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generics.join(", "))
+        }
+    }
+
+    /// Impl generics with the given bound, e.g. `<T: serde::ser::Serialize>`.
+    fn impl_generics(&self, bound: &str, extra_first: &str) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if !extra_first.is_empty() {
+            parts.push(extra_first.to_string());
+        }
+        for g in &self.generics {
+            parts.push(format!("{g}: {bound}"));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", parts.join(", "))
+        }
+    }
+
+    /// PhantomData payload naming every generic, e.g. `fn(T, U)` (or `()`).
+    fn phantom_ty(&self) -> String {
+        if self.generics.is_empty() {
+            "()".to_string()
+        } else {
+            format!("fn({})", self.generics.join(", "))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => ser_struct_body(name, fields),
+        Kind::Enum(variants) => ser_enum_body(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{ig} serde::ser::Serialize for {name}{ta} {{\n\
+             fn serialize<__S: serde::ser::Serializer>(&self, __serializer: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n",
+        ig = item.impl_generics("serde::ser::Serialize", ""),
+        ta = item.ty_args(),
+    )
+}
+
+fn ser_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("__serializer.serialize_unit_struct(\"{name}\")"),
+        Fields::Tuple(1) => {
+            format!("__serializer.serialize_newtype_struct(\"{name}\", &self.0)")
+        }
+        Fields::Tuple(n) => {
+            let mut s =
+                format!("let mut __st = __serializer.serialize_tuple_struct(\"{name}\", {n})?;\n");
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{i})?;\n"
+                ));
+            }
+            s.push_str("serde::ser::SerializeTupleStruct::end(__st)");
+            s
+        }
+        Fields::Named(fs) => {
+            let live: Vec<&Field> = fs.iter().filter(|f| !f.skip).collect();
+            let mut s = format!(
+                "let mut __st = __serializer.serialize_struct(\"{name}\", {})?;\n",
+                live.len()
+            );
+            for f in &live {
+                s.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut __st, \"{0}\", &self.{0})?;\n",
+                    f.name
+                ));
+            }
+            s.push_str("serde::ser::SerializeStruct::end(__st)");
+            s
+        }
+    }
+}
+
+fn ser_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{vname} => __serializer.serialize_unit_variant(\"{name}\", {idx}u32, \"{vname}\"),\n"
+            )),
+            Fields::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vname}(__f0) => __serializer.serialize_newtype_variant(\"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+            )),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let mut arm = format!(
+                    "{name}::{vname}({}) => {{\n\
+                     let mut __tv = __serializer.serialize_tuple_variant(\"{name}\", {idx}u32, \"{vname}\", {n})?;\n",
+                    binds.join(", ")
+                );
+                for b in &binds {
+                    arm.push_str(&format!(
+                        "serde::ser::SerializeTupleVariant::serialize_field(&mut __tv, {b})?;\n"
+                    ));
+                }
+                arm.push_str("serde::ser::SerializeTupleVariant::end(__tv)\n},\n");
+                arms.push_str(&arm);
+            }
+            Fields::Named(fs) => {
+                let live: Vec<&Field> = fs.iter().filter(|f| !f.skip).collect();
+                let all_binds: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+                let mut arm = format!(
+                    "{name}::{vname} {{ {} }} => {{\n\
+                     let mut __sv = __serializer.serialize_struct_variant(\"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                    all_binds.join(", "),
+                    live.len()
+                );
+                for f in &live {
+                    arm.push_str(&format!(
+                        "serde::ser::SerializeStructVariant::serialize_field(&mut __sv, \"{0}\", {0})?;\n",
+                        f.name
+                    ));
+                }
+                for f in fs.iter().filter(|f| f.skip) {
+                    arm.push_str(&format!("let _ = {};\n", f.name));
+                }
+                arm.push_str("serde::ser::SerializeStructVariant::end(__sv)\n},\n");
+                arms.push_str(&arm);
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+/// Emits a `visit_seq` body constructing `ctor` from `fields` in order,
+/// filling skipped fields with `Default::default()`.
+fn de_seq_ctor(ctor: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("::core::result::Result::Ok({ctor})"),
+        Fields::Tuple(n) => {
+            let mut s = String::new();
+            let mut binds = Vec::new();
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "let __f{i} = match serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                         ::core::option::Option::Some(v) => v,\n\
+                         ::core::option::Option::None => return ::core::result::Result::Err(\
+                             serde::de::Error::custom(\"missing tuple field {i}\")),\n\
+                     }};\n"
+                ));
+                binds.push(format!("__f{i}"));
+            }
+            s.push_str(&format!("::core::result::Result::Ok({ctor}({}))", binds.join(", ")));
+            s
+        }
+        Fields::Named(fs) => {
+            let mut s = String::new();
+            let mut inits = Vec::new();
+            for f in fs {
+                if f.skip {
+                    inits.push(format!("{}: ::core::default::Default::default()", f.name));
+                } else {
+                    s.push_str(&format!(
+                        "let __v_{0} = match serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                             ::core::option::Option::Some(v) => v,\n\
+                             ::core::option::Option::None => return ::core::result::Result::Err(\
+                                 serde::de::Error::custom(\"missing field `{0}`\")),\n\
+                         }};\n",
+                        f.name
+                    ));
+                    inits.push(format!("{0}: __v_{0}", f.name));
+                }
+            }
+            s.push_str(&format!("::core::result::Result::Ok({ctor} {{ {} }})", inits.join(", ")));
+            s
+        }
+    }
+}
+
+/// Field-name list literal for `deserialize_struct`, e.g. `&["a", "b"]`.
+fn field_names(fs: &[Field]) -> String {
+    let names: Vec<String> =
+        fs.iter().filter(|f| !f.skip).map(|f| format!("\"{}\"", f.name)).collect();
+    format!("&[{}]", names.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let ta = item.ty_args();
+    let ig = item.impl_generics("serde::de::Deserialize<'de>", "'de");
+    let vis_generics = item.ty_args();
+    let phantom = item.phantom_ty();
+    let body = match &item.kind {
+        Kind::Struct(fields) => de_struct_body(item, fields),
+        Kind::Enum(variants) => de_enum_body(item, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         const _: () = {{\n\
+             impl{ig} serde::de::Deserialize<'de> for {name}{ta} {{\n\
+                 fn deserialize<__D: serde::de::Deserializer<'de>>(__deserializer: __D) \
+                     -> ::core::result::Result<Self, __D::Error> {{\n\
+                     struct __Visitor{vis_generics}(::core::marker::PhantomData<{phantom}>);\n\
+                     impl{ig} serde::de::Visitor<'de> for __Visitor{ta} {{\n\
+                         type Value = {name}{ta};\n\
+                         fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                             __f.write_str(\"{name}\")\n\
+                         }}\n\
+                         {body}\n\
+                     }}\n\
+                     {dispatch}\n\
+                 }}\n\
+             }}\n\
+         }};\n",
+        dispatch = de_dispatch(item),
+    )
+}
+
+/// The `deserialize_*` entry call matching the item shape.
+fn de_dispatch(item: &Item) -> String {
+    let name = &item.name;
+    let v = "__Visitor(::core::marker::PhantomData)";
+    match &item.kind {
+        Kind::Struct(Fields::Unit) => {
+            format!("__deserializer.deserialize_unit_struct(\"{name}\", {v})")
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("__deserializer.deserialize_newtype_struct(\"{name}\", {v})")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            format!("__deserializer.deserialize_tuple_struct(\"{name}\", {n}, {v})")
+        }
+        Kind::Struct(Fields::Named(fs)) => {
+            format!("__deserializer.deserialize_struct(\"{name}\", {}, {v})", field_names(fs))
+        }
+        Kind::Enum(variants) => {
+            let names: Vec<String> = variants.iter().map(|x| format!("\"{}\"", x.name)).collect();
+            format!("__deserializer.deserialize_enum(\"{name}\", &[{}], {v})", names.join(", "))
+        }
+    }
+}
+
+fn de_struct_body(item: &Item, fields: &Fields) -> String {
+    let name = &item.name;
+    let ta = item.ty_args();
+    match fields {
+        Fields::Unit => format!(
+            "fn visit_unit<__E: serde::de::Error>(self) -> ::core::result::Result<Self::Value, __E> {{\n\
+                 ::core::result::Result::Ok({name})\n\
+             }}"
+        ),
+        Fields::Tuple(1) => format!(
+            "fn visit_newtype_struct<__D: serde::de::Deserializer<'de>>(self, __d: __D) \
+                 -> ::core::result::Result<Self::Value, __D::Error> {{\n\
+                 serde::de::Deserialize::deserialize(__d).map({name})\n\
+             }}"
+        ),
+        _ => {
+            format!(
+                "fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                     -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                     {}\n\
+                 }}",
+                de_seq_ctor(&ctor_path(name, &ta), fields)
+            )
+        }
+    }
+}
+
+/// Turbofish-qualified constructor path, e.g. `Foo::<T>` (or plain `Foo`).
+fn ctor_path(name: &str, ty_args: &str) -> String {
+    if ty_args.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}::{ty_args}")
+    }
+}
+
+fn de_enum_body(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let ta = item.ty_args();
+    let de_bound_generics = item.impl_generics("serde::de::Deserialize<'de>", "'de");
+    let phantom = item.phantom_ty();
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        let vpath = format!("{}::{vname}", ctor_path(name, &ta));
+        match &v.fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{idx}u32 => {{ serde::de::VariantAccess::unit_variant(__variant)?; \
+                 ::core::result::Result::Ok({vpath}) }},\n"
+            )),
+            Fields::Tuple(1) => arms.push_str(&format!(
+                "{idx}u32 => serde::de::VariantAccess::newtype_variant(__variant).map({vpath}),\n"
+            )),
+            fields @ (Fields::Tuple(_) | Fields::Named(_)) => {
+                // Inner visitor for the variant contents; redeclares the item
+                // generics since inner items can't capture them.
+                let inner = format!("__Variant{idx}");
+                let seq_body = de_seq_ctor(&vpath, fields);
+                let call = match fields {
+                    Fields::Tuple(n) => format!(
+                        "serde::de::VariantAccess::tuple_variant(__variant, {n}, {inner}(::core::marker::PhantomData))"
+                    ),
+                    Fields::Named(fs) => format!(
+                        "serde::de::VariantAccess::struct_variant(__variant, {}, {inner}(::core::marker::PhantomData))",
+                        field_names(fs)
+                    ),
+                    Fields::Unit => unreachable!(),
+                };
+                arms.push_str(&format!(
+                    "{idx}u32 => {{\n\
+                         struct {inner}{ta}(::core::marker::PhantomData<{phantom}>);\n\
+                         impl{de_bound_generics} serde::de::Visitor<'de> for {inner}{ta} {{\n\
+                             type Value = {name}{ta};\n\
+                             fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                                 __f.write_str(\"variant {vname}\")\n\
+                             }}\n\
+                             fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                                 -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                                 {seq_body}\n\
+                             }}\n\
+                         }}\n\
+                         {call}\n\
+                     }},\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A) \
+             -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+             let (__idx, __variant) = serde::de::EnumAccess::variant::<u32>(__data)?;\n\
+             match __idx {{\n\
+                 {arms}\
+                 __other => ::core::result::Result::Err(serde::de::Error::custom(\
+                     \"invalid variant index for {name}\")),\n\
+             }}\n\
+         }}"
+    )
+}

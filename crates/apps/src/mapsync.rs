@@ -147,8 +147,7 @@ impl Runnable for MapSyncMapper {
             SyncStrategy::KvPolling => {
                 let map: SharedMap<i64> = SharedMap::new("map-out");
                 let (ctx, dso) = env.dso();
-                map.put(ctx, dso, &format!("{}", self.id), &value)
-                    .map_err(|e| e.to_string())?;
+                map.put(ctx, dso, &format!("{}", self.id), &value).map_err(|e| e.to_string())?;
             }
             SyncStrategy::Sqs => {
                 let bytes = simcore::codec::to_bytes(&value).map_err(|e| e.to_string())?;
@@ -233,10 +232,7 @@ pub fn run_mapsync(strategy: SyncStrategy, cfg: &MapSyncConfig) -> MapSyncReport
                 }
                 let mut sum = 0;
                 for id in 0..n {
-                    sum += map
-                        .get(ctx, &mut cli, &format!("{id}"))
-                        .expect("dso")
-                        .expect("present");
+                    sum += map.get(ctx, &mut cli, &format!("{id}")).expect("dso").expect("present");
                 }
                 sum
             }
@@ -250,9 +246,7 @@ pub fn run_mapsync(strategy: SyncStrategy, cfg: &MapSyncConfig) -> MapSyncReport
                     }
                     got.extend(msgs);
                 }
-                got.iter()
-                    .map(|m| simcore::codec::from_bytes::<i64>(m).expect("decode"))
-                    .sum()
+                got.iter().map(|m| simcore::codec::from_bytes::<i64>(m).expect("decode")).sum()
             }
             SyncStrategy::Futures => {
                 let mut sum = 0;
@@ -273,11 +267,7 @@ pub fn run_mapsync(strategy: SyncStrategy, cfg: &MapSyncConfig) -> MapSyncReport
         join_all(ctx, handles).expect("mappers succeed");
         // Sync time: from the *last mapper's* compute end to the result.
         let finishes = bb2.series("map-finish").points();
-        let last_finish = finishes
-            .iter()
-            .map(|(t, _)| *t)
-            .max()
-            .unwrap_or(SimTime::ZERO);
+        let last_finish = finishes.iter().map(|(t, _)| *t).max().unwrap_or(SimTime::ZERO);
         let sync_time = t_result.saturating_duration_since(last_finish);
         let total_points = cfg2.mappers as u64 * cfg2.points;
         *out2.lock() = Some(MapSyncReport {

@@ -13,7 +13,9 @@ use rand::RngExt;
 use serde::{Deserialize, Serialize};
 use simcore::Sim;
 
-use crucial::{join_all, AtomicLong, CrucialConfig, CyclicBarrier, Deployment, FnEnv, RunResult, Runnable};
+use crucial::{
+    join_all, AtomicLong, CrucialConfig, CyclicBarrier, Deployment, FnEnv, RunResult, Runnable,
+};
 use crucial_ml::cost::monte_carlo_cost;
 
 /// Maximum real samples drawn per invocation; beyond this the hit count is
@@ -143,8 +145,7 @@ mod tests {
     #[test]
     fn crucial_pi_end_to_end() {
         let report = run_pi_crucial(3, 8, 1_000_000);
-        assert!((report.estimate - std::f64::consts::PI).abs() < 0.05,
-                "pi ≈ {}", report.estimate);
+        assert!((report.estimate - std::f64::consts::PI).abs() < 0.05, "pi ≈ {}", report.estimate);
         // 1M points at ~11M/s ≈ 91ms of compute, behind one cold start
         // (~1.5 s) and the per-thread start overhead.
         assert!(report.duration > Duration::from_millis(1500), "{:?}", report.duration);
@@ -156,9 +157,6 @@ mod tests {
         let t8 = run_pi_crucial(4, 8, 2_000_000);
         let t32 = run_pi_crucial(4, 32, 2_000_000);
         let speedup = t32.points_per_sec / t8.points_per_sec;
-        assert!(
-            speedup > 3.0 && speedup < 4.2,
-            "32 threads should be ~4x of 8 threads: {speedup}"
-        );
+        assert!(speedup > 3.0 && speedup < 4.2, "32 threads should be ~4x of 8 threads: {speedup}");
     }
 }

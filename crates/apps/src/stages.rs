@@ -15,9 +15,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use simcore::Sim;
 
-use crucial::{
-    join_all, CrucialConfig, CyclicBarrier, Deployment, FnEnv, RunResult, Runnable,
-};
+use crucial::{join_all, CrucialConfig, CyclicBarrier, Deployment, FnEnv, RunResult, Runnable};
 
 /// Experiment parameters.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -205,11 +203,7 @@ pub fn run_stages(cfg: &StagesConfig) -> StagesReport {
             .map(|id| StageTask {
                 id,
                 started_nanos: ctx.now().as_nanos(),
-                cfg: StagesConfig {
-                    compute: Duration::ZERO,
-                    input_bytes: 0,
-                    ..cfg2.clone()
-                },
+                cfg: StagesConfig { compute: Duration::ZERO, input_bytes: 0, ..cfg2.clone() },
                 record: false,
             })
             .collect();

@@ -59,11 +59,7 @@ fn lcs_len(a: &[&str], b: &[&str]) -> usize {
     let mut cur = vec![0usize; b.len() + 1];
     for x in a {
         for (j, y) in b.iter().enumerate() {
-            cur[j + 1] = if x == y {
-                prev[j] + 1
-            } else {
-                cur[j].max(prev[j + 1])
-            };
+            cur[j + 1] = if x == y { prev[j] + 1 } else { cur[j].max(prev[j + 1]) };
         }
         std::mem::swap(&mut prev, &mut cur);
     }
@@ -116,11 +112,7 @@ mod tests {
         assert_eq!(reports.len(), 4);
         for r in &reports {
             assert!(r.total_lines > 20, "{}: suspiciously short listing", r.name);
-            assert!(
-                r.changed_lines > 0,
-                "{}: porting must change something",
-                r.name
-            );
+            assert!(r.changed_lines > 0, "{}: porting must change something", r.name);
             // The paper's Table 4 stays below ~16 lines (< 3 % of each
             // Java program): AspectJ weaves the @Shared fields invisibly.
             // Rust has no aspect weaving — handles, serde derives and

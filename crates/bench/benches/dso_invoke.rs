@@ -1,0 +1,65 @@
+//! Criterion benchmark of the DSO invocation hot path: N independent reads
+//! issued as N sequential round-trips vs. one batched invocation. Real
+//! wall-clock time of the whole simulation — batching removes simulated
+//! messages *and* real scheduler work (context switches, mailbox churn),
+//! so it wins on both clocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dso::api::AtomicLong;
+use dso::{BatchOp, DsoCluster, DsoConfig, ObjectRegistry};
+use simcore::Sim;
+
+const COUNTERS: usize = 64;
+const ROUNDS: usize = 10;
+
+fn run_sim(batched: bool) -> i64 {
+    let mut sim = Sim::new(7);
+    let cluster = DsoCluster::start(&sim, 2, DsoConfig::default(), ObjectRegistry::with_builtins());
+    let handle = cluster.client_handle();
+    let out = std::sync::Arc::new(parking_lot::Mutex::new(0i64));
+    let out2 = out.clone();
+    sim.spawn("client", move |ctx| {
+        let mut cli = handle.connect();
+        let counters: Vec<AtomicLong> =
+            (0..COUNTERS).map(|i| AtomicLong::new(&format!("c{i}"))).collect();
+        for (i, c) in counters.iter().enumerate() {
+            c.set(ctx, &mut cli, i as i64).expect("install");
+        }
+        let mut acc = 0i64;
+        if batched {
+            let ops: Vec<BatchOp> = counters.iter().map(|c| c.raw().read_op("get", &())).collect();
+            for _ in 0..ROUNDS {
+                for r in cli.invoke_batch(ctx, &ops) {
+                    let bytes = r.expect("read");
+                    let v: i64 = simcore::codec::from_bytes(&bytes).expect("decode");
+                    acc += v;
+                }
+            }
+        } else {
+            for _ in 0..ROUNDS {
+                for c in &counters {
+                    acc += c.get(ctx, &mut cli).expect("read");
+                }
+            }
+        }
+        *out2.lock() = acc;
+    });
+    sim.run_until_idle();
+    let acc = *out.lock();
+    assert_eq!(
+        acc,
+        (ROUNDS * COUNTERS * (COUNTERS - 1) / 2) as i64,
+        "both variants must read the same values"
+    );
+    acc
+}
+
+fn bench_invoke(c: &mut Criterion) {
+    c.bench_function("dso_invoke/sequential_64x10", |b| b.iter(|| black_box(run_sim(false))));
+    c.bench_function("dso_invoke/batched_64x10", |b| b.iter(|| black_box(run_sim(true))));
+}
+
+criterion_group!(benches, bench_invoke);
+criterion_main!(benches);

@@ -21,9 +21,7 @@ fn bench_ring(c: &mut Criterion) {
             black_box(ring.placement(&objs[i], 2))
         })
     });
-    c.bench_function("ring/build_8_nodes", |b| {
-        b.iter(|| black_box(Ring::new(&nodes)))
-    });
+    c.bench_function("ring/build_8_nodes", |b| b.iter(|| black_box(Ring::new(&nodes))));
 }
 
 fn bench_codec(c: &mut Criterion) {

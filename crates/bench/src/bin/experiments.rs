@@ -10,27 +10,20 @@
 //!
 //! `--paper` switches to the paper's full parameters (much slower).
 
-use bench::experiments::{ablate, micro, ml, state, sync, Scale};
+use bench::experiments::{ablate, micro, ml, readpath, state, sync, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--paper") {
-        Scale::Paper
-    } else {
-        Scale::Quick
-    };
-    let target = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| {
-            eprintln!("usage: experiments <target> [--paper]");
-            eprintln!(
-                "targets: table2 fig2a fig2b fig3 fig4 fig5 table3 fig6 fig7a \
-                 fig7b fig7c fig8 table4 ablate-rf ablate-workers ablate-barrier all"
-            );
-            std::process::exit(2);
-        });
+    let scale = if args.iter().any(|a| a == "--paper") { Scale::Paper } else { Scale::Quick };
+    let target = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| {
+        eprintln!("usage: experiments <target> [--paper]");
+        eprintln!(
+            "targets: table2 fig2a fig2b fig3 fig4 fig5 table3 fig6 fig7a \
+                 fig7b fig7c fig8 table4 ablate-rf ablate-workers ablate-barrier \
+                 ablate-read-path all"
+        );
+        std::process::exit(2);
+    });
     run(&target, scale);
 }
 
@@ -64,11 +57,26 @@ fn run(target: &str, scale: Scale) {
         "ablate-rf" => ablate::ablate_rf(scale).0.print(),
         "ablate-workers" => ablate::ablate_workers(scale).0.print(),
         "ablate-barrier" => ablate::ablate_barrier(scale).0.print(),
+        "ablate-read-path" => readpath::ablate_read_path(scale).0.print(),
         "all" => {
             for t in [
-                "table2", "fig2a", "fig2b", "fig3", "fig4", "fig5", "table3", "fig6", "fig7a",
-                "fig7b", "fig7c", "fig8", "table4", "ablate-rf", "ablate-workers",
+                "table2",
+                "fig2a",
+                "fig2b",
+                "fig3",
+                "fig4",
+                "fig5",
+                "table3",
+                "fig6",
+                "fig7a",
+                "fig7b",
+                "fig7c",
+                "fig8",
+                "table4",
+                "ablate-rf",
+                "ablate-workers",
                 "ablate-barrier",
+                "ablate-read-path",
             ] {
                 run(t, scale);
             }

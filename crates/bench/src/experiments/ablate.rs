@@ -103,10 +103,7 @@ pub fn ablate_workers(scale: Scale) -> (Table, Vec<(u32, f64)>) {
     let mut rows = Vec::new();
     for workers in [1u32, 2, 4, 8, 16] {
         let mut sim = Sim::new(920 + workers as u64);
-        let cfg = DsoConfig {
-            workers_per_node: workers,
-            ..DsoConfig::default()
-        };
+        let cfg = DsoConfig { workers_per_node: workers, ..DsoConfig::default() };
         let cluster = DsoCluster::start(&sim, 1, cfg, ObjectRegistry::with_builtins());
         let handle = cluster.client_handle();
         let count = Arc::new(Mutex::new(0u64));

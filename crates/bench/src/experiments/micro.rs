@@ -10,7 +10,9 @@ use simcore::{LatencyStats, Sim};
 use cloudstore::{spawn_redis, spawn_s3, RedisConfig, S3Config, ScriptRegistry};
 use crucial_apps::pi::run_pi_crucial;
 use dso::api::{Arithmetic as ArithmeticHandle, AtomicByteArray, RawHandle};
-use dso::{costs, CallCtx, DsoCluster, DsoConfig, Effects, ObjectError, ObjectRegistry, SharedObject};
+use dso::{
+    costs, CallCtx, DsoCluster, DsoConfig, Effects, ObjectError, ObjectRegistry, SharedObject,
+};
 
 use super::Scale;
 use crate::report::{fmt_dur, Table};
@@ -47,7 +49,12 @@ impl RawKv {
 }
 
 impl SharedObject for RawKv {
-    fn invoke(&mut self, _call: &CallCtx, method: &str, args: &[u8]) -> Result<Effects, ObjectError> {
+    fn invoke(
+        &mut self,
+        _call: &CallCtx,
+        method: &str,
+        args: &[u8],
+    ) -> Result<Effects, ObjectError> {
         match method {
             "get" => {
                 let cost = self.kv_cost(self.data.len());
@@ -68,8 +75,8 @@ impl SharedObject for RawKv {
     }
 
     fn restore(&mut self, state: &[u8]) -> Result<(), ObjectError> {
-        self.data = simcore::codec::from_bytes(state)
-            .map_err(|e| ObjectError::BadState(e.to_string()))?;
+        self.data =
+            simcore::codec::from_bytes(state).map_err(|e| ObjectError::BadState(e.to_string()))?;
         Ok(())
     }
 }
@@ -138,11 +145,9 @@ pub fn table2(scale: Scale) -> (Table, Vec<LatencyRow>) {
     }
 
     // Infinispan (raw KV, no Creson stack), Crucial (rf=1), Crucial (rf=2).
-    for (label, rf, raw_kv) in [
-        ("Infinispan", 1u8, true),
-        ("Crucial", 1, false),
-        ("Crucial (rf = 2)", 2, false),
-    ] {
+    for (label, rf, raw_kv) in
+        [("Infinispan", 1u8, true), ("Crucial", 1, false), ("Crucial (rf = 2)", 2, false)]
+    {
         let mut sim = Sim::new(103 + rf as u64 + raw_kv as u64);
         let mut registry = ObjectRegistry::with_builtins();
         registry.register(RawKv::TYPE, RawKv::factory);
@@ -221,7 +226,14 @@ pub struct ThroughputRow {
     pub complex: f64,
 }
 
-fn crucial_throughput(seed: u64, rf: u8, complex: bool, threads: u32, objects: u32, run: Duration) -> f64 {
+fn crucial_throughput(
+    seed: u64,
+    rf: u8,
+    complex: bool,
+    threads: u32,
+    objects: u32,
+    run: Duration,
+) -> f64 {
     let mut sim = Sim::new(seed);
     let cluster = DsoCluster::start(&sim, 2, DsoConfig::default(), ObjectRegistry::with_builtins());
     let handle = cluster.client_handle();
@@ -377,7 +389,8 @@ pub struct ScalePoint {
 /// Runs Fig. 2b: π samples per second as threads scale to 800.
 pub fn fig2b(scale: Scale) -> (Table, Vec<ScalePoint>) {
     let points: u64 = 100_000_000;
-    let thread_counts: Vec<u32> = scale.pick(vec![1, 50, 200, 800], vec![1, 50, 100, 200, 400, 800]);
+    let thread_counts: Vec<u32> =
+        scale.pick(vec![1, 50, 200, 800], vec![1, 50, 100, 200, 400, 800]);
     let mut curve = Vec::new();
     let mut t1 = None;
     for &n in &thread_counts {

@@ -65,12 +65,7 @@ pub fn fig3(scale: Scale) -> (Table, Vec<ScaleUpPoint>) {
         let b_c = *t1_crucial.get_or_insert(c);
         let b8 = *t1_vm8.get_or_insert(v8);
         let b16 = *t1_vm16.get_or_insert(v16);
-        points.push(ScaleUpPoint {
-            threads: n,
-            crucial: b_c / c,
-            vm8: b8 / v8,
-            vm16: b16 / v16,
-        });
+        points.push(ScaleUpPoint { threads: n, crucial: b_c / c, vm8: b8 / v8, vm16: b16 / v16 });
     }
     let mut t = Table::new(
         "Fig. 3 — k-means scale-up (input ∝ threads; 1.0 = perfect)",
@@ -151,22 +146,10 @@ pub fn fig4(scale: Scale) -> (Table, Fig4Result) {
         "Fig. 4a — logistic regression, iteration phase",
         &["System", "Iteration phase (sim)", "Paper (100 iter)"],
     );
-    t.row(&[
-        "Crucial".to_string(),
-        fmt_dur(result.crucial_time),
-        "62.3 s".to_string(),
-    ]);
-    t.row(&[
-        "Spark".to_string(),
-        fmt_dur(result.spark_time),
-        "75.9 s".to_string(),
-    ]);
+    t.row(&["Crucial".to_string(), fmt_dur(result.crucial_time), "62.3 s".to_string()]);
+    t.row(&["Spark".to_string(), fmt_dur(result.spark_time), "75.9 s".to_string()]);
     let gain = 100.0 * (1.0 - result.crucial_time.as_secs_f64() / result.spark_time.as_secs_f64());
-    t.row(&[
-        "Crucial gain".to_string(),
-        format!("{gain:.0}%"),
-        "18%".to_string(),
-    ]);
+    t.row(&["Crucial gain".to_string(), format!("{gain:.0}%"), "18%".to_string()]);
     (t, result)
 }
 
@@ -309,10 +292,7 @@ pub fn table3(scale: Scale) -> Table {
         "Crucial".to_string(),
         fmt_dur(f4.crucial_total),
         format!("{:.3}", f4.crucial_cost),
-        format!(
-            "{:.3}",
-            crucial_iteration_cost(f4.crucial_time, f4.cfg.workers, f4.cfg.memory_mb)
-        ),
+        format!("{:.3}", crucial_iteration_cost(f4.crucial_time, f4.cfg.workers, f4.cfg.memory_mb)),
     ]);
     t.row(&[
         "paper: k=25".to_string(),

@@ -7,6 +7,7 @@
 pub mod ablate;
 pub mod micro;
 pub mod ml;
+pub mod readpath;
 pub mod state;
 pub mod sync;
 

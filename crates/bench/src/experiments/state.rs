@@ -28,6 +28,7 @@ pub fn fig8(scale: Scale) -> (Table, Vec<(u64, u64)>) {
             crash_at: Some(Duration::from_secs(12)),
             add_at: Some(Duration::from_secs(24)),
             per_inference_compute: Duration::ZERO,
+            ..InferenceConfig::default()
         },
         Scale::Paper => InferenceConfig {
             seed: 81,
@@ -41,6 +42,7 @@ pub fn fig8(scale: Scale) -> (Table, Vec<(u64, u64)>) {
             crash_at: Some(Duration::from_secs(120)),
             add_at: Some(Duration::from_secs(240)),
             per_inference_compute: Duration::ZERO,
+            ..InferenceConfig::default()
         },
     };
     let crash_s = cfg.crash_at.expect("crash scheduled").as_secs();
@@ -54,11 +56,7 @@ pub fn fig8(scale: Scale) -> (Table, Vec<(u64, u64)>) {
         "Fig. 8 — inference serving with a crash and a join (rf = 2)",
         &["Window", "Mean inferences/s", "Relative"],
     );
-    t.row(&[
-        format!("steady state (t < {crash_s}s)"),
-        format!("{before:.0}"),
-        "100%".to_string(),
-    ]);
+    t.row(&[format!("steady state (t < {crash_s}s)"), format!("{before:.0}"), "100%".to_string()]);
     t.row(&[
         format!("after crash ({}..{add_s}s)", crash_s + 3),
         format!("{during:.0}"),

@@ -234,17 +234,15 @@ pub fn fig7c(scale: Scale) -> (Table, [Duration; 3]) {
         &["Solution", "Completion (sim)", "vs local"],
     );
     let base = local.as_secs_f64();
-    for (name, d) in [("single machine (POJO)", local), ("@Shared objects (DSO)", dso), ("cloud threads", cloud)] {
+    for (name, d) in
+        [("single machine (POJO)", local), ("@Shared objects (DSO)", dso), ("cloud threads", cloud)]
+    {
         t.row(&[
             name.to_string(),
             fmt_dur(d),
             format!("{:+.1}%", 100.0 * (d.as_secs_f64() / base - 1.0)),
         ]);
     }
-    t.row(&[
-        "paper".to_string(),
-        "DSO ≈ +8% vs POJO; cloud ≈ DSO".to_string(),
-        String::new(),
-    ]);
+    t.row(&["paper".to_string(), "DSO ≈ +8% vs POJO; cloud ≈ DSO".to_string(), String::new()]);
     (t, [local, dso, cloud])
 }

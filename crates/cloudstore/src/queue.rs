@@ -78,10 +78,7 @@ impl SqsHandle {
         let lat = self.cfg.sqs_half.sample(ctx.rng());
         match ctx.call::<SqsReq, SqsResp>(
             self.addr,
-            SqsReq::Send {
-                queue: queue.to_string(),
-                body,
-            },
+            SqsReq::Send { queue: queue.to_string(), body },
             lat,
         ) {
             SqsResp::Ok => {}
@@ -94,10 +91,7 @@ impl SqsHandle {
         let lat = self.cfg.sqs_half.sample(ctx.rng());
         match ctx.call::<SqsReq, SqsResp>(
             self.addr,
-            SqsReq::Receive {
-                queue: queue.to_string(),
-                max,
-            },
+            SqsReq::Receive { queue: queue.to_string(), max },
             lat,
         ) {
             SqsResp::Messages(m) => m,
@@ -110,9 +104,7 @@ impl SqsHandle {
         let lat = self.cfg.sqs_half.sample(ctx.rng());
         match ctx.call::<SqsReq, SqsResp>(
             self.addr,
-            SqsReq::Purge {
-                queue: queue.to_string(),
-            },
+            SqsReq::Purge { queue: queue.to_string() },
             lat,
         ) {
             SqsResp::Ok => {}
@@ -204,10 +196,7 @@ impl SnsHandle {
         let lat = self.cfg.sqs_half.sample(ctx.rng());
         let SnsAck = ctx.call(
             self.addr,
-            SnsReq::Subscribe {
-                topic: topic.to_string(),
-                queue: queue.to_string(),
-            },
+            SnsReq::Subscribe { topic: topic.to_string(), queue: queue.to_string() },
             lat,
         );
     }
@@ -215,14 +204,7 @@ impl SnsHandle {
     /// Publishes to a topic; the message fans out to subscribed queues.
     pub fn publish(&self, ctx: &mut Ctx, topic: &str, body: Vec<u8>) {
         let lat = self.cfg.sqs_half.sample(ctx.rng());
-        let SnsAck = ctx.call(
-            self.addr,
-            SnsReq::Publish {
-                topic: topic.to_string(),
-                body,
-            },
-            lat,
-        );
+        let SnsAck = ctx.call(self.addr, SnsReq::Publish { topic: topic.to_string(), body }, lat);
     }
 }
 
@@ -242,10 +224,7 @@ fn sns_loop(ctx: &mut Ctx, inbox: Addr, sqs: Addr, cfg: QueueConfig) {
                     let lat = cfg.sns_fanout.sample(ctx.rng());
                     ctx.send(
                         sqs,
-                        Msg::new(FanoutDeliver {
-                            queue: q.clone(),
-                            body: body.clone(),
-                        }),
+                        Msg::new(FanoutDeliver { queue: q.clone(), body: body.clone() }),
                         lat,
                     );
                 }

@@ -19,9 +19,8 @@ use simcore::{Addr, Ctx, LatencyModel, Request, Sim};
 /// A server-side script: `(current value, args) -> (reply, new value)`.
 /// The returned [`Duration`] is the CPU time the script burns on the
 /// single-threaded shard.
-pub type RedisScript = Arc<
-    dyn Fn(Option<Vec<u8>>, &[u8]) -> (Vec<u8>, Option<Vec<u8>>, Duration) + Send + Sync,
->;
+pub type RedisScript =
+    Arc<dyn Fn(Option<Vec<u8>>, &[u8]) -> (Vec<u8>, Option<Vec<u8>>, Duration) + Send + Sync>;
 
 /// Registry of scripts, loaded into every shard (like `SCRIPT LOAD`).
 #[derive(Clone, Default)]
@@ -146,10 +145,7 @@ impl RedisHandle {
         let lat = self.cfg.net.sample(ctx.rng());
         match ctx.call::<RedisReq, RedisResp>(
             self.shard_of(key),
-            RedisReq::Set {
-                key: key.to_string(),
-                value,
-            },
+            RedisReq::Set { key: key.to_string(), value },
             lat,
         ) {
             RedisResp::Ok => {}
@@ -166,11 +162,7 @@ impl RedisHandle {
         let lat = self.cfg.net.sample(ctx.rng());
         match ctx.call::<RedisReq, RedisResp>(
             self.shard_of(key),
-            RedisReq::Eval {
-                script: script.to_string(),
-                key: key.to_string(),
-                args,
-            },
+            RedisReq::Eval { script: script.to_string(), key: key.to_string(), args },
             lat,
         ) {
             RedisResp::ScriptReply(v) => v,
@@ -239,9 +231,7 @@ mod tests {
         // Simple: one multiplication on an f64 register.
         reg.register("mul", |cur, args| {
             let x: f64 = simcore::codec::from_bytes(args).expect("args");
-            let v: f64 = cur
-                .map(|b| simcore::codec::from_bytes(&b).expect("state"))
-                .unwrap_or(1.0);
+            let v: f64 = cur.map(|b| simcore::codec::from_bytes(&b).expect("state")).unwrap_or(1.0);
             let out = v * x;
             (
                 simcore::codec::to_bytes(&out).expect("encode"),
@@ -252,9 +242,7 @@ mod tests {
         // Complex: n sequential multiplications at C speed (~35 ns each).
         reg.register("mul_n", |cur, args| {
             let (x, n): (f64, u32) = simcore::codec::from_bytes(args).expect("args");
-            let v: f64 = cur
-                .map(|b| simcore::codec::from_bytes(&b).expect("state"))
-                .unwrap_or(1.0);
+            let v: f64 = cur.map(|b| simcore::codec::from_bytes(&b).expect("state")).unwrap_or(1.0);
             let mut out = v * x.powi(n.min(64) as i32);
             if !out.is_finite() || out == 0.0 {
                 out = 1.0;
@@ -311,9 +299,7 @@ mod tests {
         // single-threaded execution, unlike the DSO worker pool.
         let mut sim = Sim::new(3);
         let mut reg = ScriptRegistry::new();
-        reg.register("slow", |_cur, _args| {
-            (Vec::new(), None, Duration::from_millis(10))
-        });
+        reg.register("slow", |_cur, _args| (Vec::new(), None, Duration::from_millis(10)));
         let redis = spawn_redis(&sim, 1, RedisConfig::default(), reg);
         let ends = std::sync::Arc::new(Mutex::new(Vec::<SimTime>::new()));
         for i in 0..2 {

@@ -78,14 +78,9 @@ impl S3Handle {
     /// Stores an object (ignores any previous value).
     pub fn put(&self, ctx: &mut Ctx, key: &str, value: Vec<u8>) {
         let lat = self.cfg.half_put.sample(ctx.rng());
-        let S3Resp::Ok = ctx.call::<S3Req, S3Resp>(
-            self.addr,
-            S3Req::Put {
-                key: key.to_string(),
-                value,
-            },
-            lat,
-        ) else {
+        let S3Resp::Ok =
+            ctx.call::<S3Req, S3Resp>(self.addr, S3Req::Put { key: key.to_string(), value }, lat)
+        else {
             panic!("protocol: PUT must return Ok");
         };
     }
@@ -102,13 +97,9 @@ impl S3Handle {
     /// Deletes an object (idempotent).
     pub fn delete(&self, ctx: &mut Ctx, key: &str) {
         let lat = self.cfg.half_put.sample(ctx.rng());
-        let S3Resp::Ok = ctx.call::<S3Req, S3Resp>(
-            self.addr,
-            S3Req::Delete {
-                key: key.to_string(),
-            },
-            lat,
-        ) else {
+        let S3Resp::Ok =
+            ctx.call::<S3Req, S3Resp>(self.addr, S3Req::Delete { key: key.to_string() }, lat)
+        else {
             panic!("protocol: DELETE must return Ok");
         };
     }
@@ -116,13 +107,8 @@ impl S3Handle {
     /// Lists visible keys with the given prefix, sorted.
     pub fn list(&self, ctx: &mut Ctx, prefix: &str) -> Vec<String> {
         let lat = self.cfg.half_list.sample(ctx.rng());
-        match ctx.call::<S3Req, S3Resp>(
-            self.addr,
-            S3Req::List {
-                prefix: prefix.to_string(),
-            },
-            lat,
-        ) {
+        match ctx.call::<S3Req, S3Resp>(self.addr, S3Req::List { prefix: prefix.to_string() }, lat)
+        {
             S3Resp::Keys(k) => k,
             other => panic!("protocol: LIST must return Keys, got {other:?}"),
         }
@@ -141,10 +127,7 @@ fn s3_loop(ctx: &mut Ctx, inbox: Addr, cfg: S3Config) {
                 (S3Resp::Ok, &cfg.half_put)
             }
             S3Req::Get { key } => {
-                let v = store
-                    .get(&key)
-                    .filter(|(_, vis)| *vis <= now)
-                    .map(|(v, _)| v.clone());
+                let v = store.get(&key).filter(|(_, vis)| *vis <= now).map(|(v, _)| v.clone());
                 (S3Resp::Value(v), &cfg.half_get)
             }
             S3Req::Delete { key } => {
@@ -173,10 +156,7 @@ mod tests {
     use std::sync::Arc;
 
     fn immediate_cfg() -> S3Config {
-        S3Config {
-            visibility_delay: LatencyModel::fixed(Duration::ZERO),
-            ..S3Config::default()
-        }
+        S3Config { visibility_delay: LatencyModel::fixed(Duration::ZERO), ..S3Config::default() }
     }
 
     #[test]

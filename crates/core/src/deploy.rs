@@ -63,13 +63,7 @@ impl Deployment {
         let s3 = spawn_s3(sim, cfg.s3.clone());
         let functions = FunctionRegistry::new();
         let faas = spawn_platform(sim, cfg.faas.clone(), functions.clone());
-        Deployment {
-            dso,
-            faas,
-            s3,
-            functions,
-            blackboard: Blackboard::new(),
-        }
+        Deployment { dso, faas, s3, functions, blackboard: Blackboard::new() }
     }
 
     /// Deploys a [`Runnable`] type with the default memory (one full vCPU).
@@ -89,8 +83,7 @@ impl Deployment {
             move |fx: &mut FnCtx<'_>, payload: Vec<u8>| {
                 let mut runnable: R =
                     simcore::codec::from_bytes(&payload).map_err(|e| e.to_string())?;
-                let mut env =
-                    FnEnv::new(fx, dso_handle.clone(), s3.clone(), blackboard.clone());
+                let mut env = FnEnv::new(fx, dso_handle.clone(), s3.clone(), blackboard.clone());
                 runnable.run(&mut env)?;
                 Ok(Vec::new())
             },

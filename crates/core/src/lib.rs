@@ -83,4 +83,4 @@ pub use dso::api::{
     Arithmetic, AtomicBoolean, AtomicByteArray, AtomicLong, CountDownLatch, CyclicBarrier,
     RawHandle, Semaphore, SharedFuture, SharedList, SharedMap,
 };
-pub use dso::{DsoClient, DsoClientHandle, DsoError};
+pub use dso::{BatchOp, ConsistencyMode, DsoClient, DsoClientHandle, DsoError};

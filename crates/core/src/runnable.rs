@@ -78,13 +78,7 @@ impl<'a, 'b> FnEnv<'a, 'b> {
         s3: S3Handle,
         blackboard: Blackboard,
     ) -> FnEnv<'a, 'b> {
-        FnEnv {
-            dso: dso_factory.connect(),
-            fx,
-            dso_factory,
-            s3,
-            blackboard,
-        }
+        FnEnv { dso: dso_factory.connect(), fx, dso_factory, s3, blackboard }
     }
 
     /// Connects an additional DSO client (for application structures that

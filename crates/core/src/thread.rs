@@ -50,20 +50,14 @@ pub struct RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy {
-            max_attempts: 1,
-            backoff: Duration::from_millis(100),
-        }
+        RetryPolicy { max_attempts: 1, backoff: Duration::from_millis(100) }
     }
 }
 
 impl RetryPolicy {
     /// A policy retrying up to `max_attempts` total attempts.
     pub fn retries(max_attempts: u32) -> RetryPolicy {
-        RetryPolicy {
-            max_attempts: max_attempts.max(1),
-            ..RetryPolicy::default()
-        }
+        RetryPolicy { max_attempts: max_attempts.max(1), ..RetryPolicy::default() }
     }
 }
 
@@ -84,11 +78,7 @@ pub struct ThreadFactory {
 impl ThreadFactory {
     /// Creates a factory with the default (no-retry) policy.
     pub fn new(faas: FaasHandle) -> ThreadFactory {
-        ThreadFactory {
-            faas,
-            retry: RetryPolicy::default(),
-            start_overhead: THREAD_START_OVERHEAD,
-        }
+        ThreadFactory { faas, retry: RetryPolicy::default(), start_overhead: THREAD_START_OVERHEAD }
     }
 
     /// Returns a factory with a different retry policy.

@@ -10,8 +10,8 @@ use serde::{Deserialize, Serialize};
 use simcore::Sim;
 
 use crucial::{
-    join_all, AtomicLong, CrucialConfig, CyclicBarrier, Deployment, FnEnv, RetryPolicy,
-    RunResult, Runnable, SharedList,
+    join_all, AtomicLong, CrucialConfig, CyclicBarrier, Deployment, FnEnv, RetryPolicy, RunResult,
+    Runnable, SharedList,
 };
 
 #[derive(Serialize, Deserialize)]
@@ -39,12 +39,8 @@ fn fork_join_accumulates_shared_state() {
     let total2 = total.clone();
     sim.spawn("main", move |ctx| {
         let counter = AtomicLong::new("sum");
-        let runnables: Vec<Adder> = (1..=10)
-            .map(|i| Adder {
-                amount: i,
-                counter: counter.clone(),
-            })
-            .collect();
+        let runnables: Vec<Adder> =
+            (1..=10).map(|i| Adder { amount: i, counter: counter.clone() }).collect();
         let handles = threads.start_all(ctx, &runnables);
         join_all(ctx, handles).expect("all threads succeed");
         let mut cli = dso.connect();
@@ -89,11 +85,7 @@ fn barrier_keeps_cloud_threads_in_lockstep() {
         let barrier = CyclicBarrier::new("phase-barrier", PARTIES);
         let order: SharedList<(u32, u64)> = SharedList::new("order");
         let runnables: Vec<BarrierWorker> = (0..PARTIES)
-            .map(|id| BarrierWorker {
-                id,
-                barrier: barrier.clone(),
-                order: order.clone(),
-            })
+            .map(|id| BarrierWorker { id, barrier: barrier.clone(), order: order.clone() })
             .collect();
         let handles = threads.start_all(ctx, &runnables);
         join_all(ctx, handles).expect("all threads succeed");
@@ -126,9 +118,7 @@ impl Runnable for IdempotentWorker {
         let done = self.progress.get(ctx, dso).map_err(|e| e.to_string())?;
         for step in done..self.steps {
             self.acc.add_and_get(ctx, dso, 1).map_err(|e| e.to_string())?;
-            self.progress
-                .compare_and_set(ctx, dso, step, step + 1)
-                .map_err(|e| e.to_string())?;
+            self.progress.compare_and_set(ctx, dso, step, step + 1).map_err(|e| e.to_string())?;
         }
         Ok(())
     }
@@ -204,12 +194,8 @@ fn many_cloud_threads_run_concurrently() {
     const N: usize = 100;
     sim.spawn("main", move |ctx| {
         let counter = AtomicLong::new("wide");
-        let runnables: Vec<Adder> = (0..N)
-            .map(|_| Adder {
-                amount: 1,
-                counter: counter.clone(),
-            })
-            .collect();
+        let runnables: Vec<Adder> =
+            (0..N).map(|_| Adder { amount: 1, counter: counter.clone() }).collect();
         let t0 = ctx.now();
         let handles = threads.start_all(ctx, &runnables);
         join_all(ctx, handles).expect("all succeed");

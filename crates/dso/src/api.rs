@@ -13,12 +13,14 @@
 
 use std::marker::PhantomData;
 
+use bytes::Bytes;
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use simcore::Ctx;
 
-use crate::client::DsoClient;
+use crate::client::{BatchOp, DsoClient};
 use crate::error::DsoError;
+use crate::intern::intern;
 use crate::object::ObjectRef;
 use crate::objects;
 
@@ -27,7 +29,7 @@ use crate::objects;
 pub struct RawHandle {
     obj: ObjectRef,
     rf: u8,
-    create_args: Vec<u8>,
+    create_args: Bytes,
 }
 
 impl RawHandle {
@@ -36,7 +38,9 @@ impl RawHandle {
         RawHandle {
             obj: ObjectRef::new(type_name, key),
             rf: rf.max(1),
-            create_args: simcore::codec::to_bytes(create_args).expect("creation args encode"),
+            create_args: simcore::codec::to_bytes(create_args)
+                .expect("creation args encode")
+                .into(),
         }
     }
 
@@ -66,7 +70,40 @@ impl RawHandle {
         A: Serialize,
         R: DeserializeOwned,
     {
-        cli.call(ctx, &self.obj, method, args, self.rf, Some(self.create_args.clone()), false)
+        cli.call(
+            ctx,
+            &self.obj,
+            method,
+            args,
+            self.rf,
+            Some(self.create_args.clone()),
+            false,
+            false,
+        )
+    }
+
+    /// Invokes a *declared read-only* method. Read-only calls take the
+    /// read fast path: no state-machine replication on the server, replica
+    /// routing under [`crate::ConsistencyMode::ReplicaReads`], and
+    /// client-side caching when enabled. The method must be classified
+    /// read-only by the object (`SharedObject::is_readonly`), or the
+    /// server rejects the call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DsoError`] from the client.
+    pub fn call_read<A, R>(
+        &self,
+        ctx: &mut Ctx,
+        cli: &mut DsoClient,
+        method: &str,
+        args: &A,
+    ) -> Result<R, DsoError>
+    where
+        A: Serialize,
+        R: DeserializeOwned,
+    {
+        cli.call(ctx, &self.obj, method, args, self.rf, Some(self.create_args.clone()), false, true)
     }
 
     /// Invokes a potentially parking method (no client-side timeout).
@@ -85,7 +122,36 @@ impl RawHandle {
         A: Serialize,
         R: DeserializeOwned,
     {
-        cli.call(ctx, &self.obj, method, args, self.rf, Some(self.create_args.clone()), true)
+        cli.call(ctx, &self.obj, method, args, self.rf, Some(self.create_args.clone()), true, false)
+    }
+
+    /// Builds a mutating [`BatchOp`] for [`DsoClient::invoke_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args` cannot be encoded.
+    pub fn op<A: Serialize>(&self, method: &str, args: &A) -> BatchOp {
+        self.make_op(method, args, false)
+    }
+
+    /// Builds a *read-only* [`BatchOp`] for [`DsoClient::invoke_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args` cannot be encoded.
+    pub fn read_op<A: Serialize>(&self, method: &str, args: &A) -> BatchOp {
+        self.make_op(method, args, true)
+    }
+
+    fn make_op<A: Serialize>(&self, method: &str, args: &A, readonly: bool) -> BatchOp {
+        BatchOp {
+            obj: self.obj.clone(),
+            method: intern(method),
+            args: simcore::codec::to_bytes(args).expect("batch args encode").into(),
+            rf: self.rf,
+            create: Some(self.create_args.clone()),
+            readonly,
+        }
     }
 
     /// Explicitly materializes the object on its server (idempotent).
@@ -108,17 +174,13 @@ macro_rules! delegate_ctor {
 
             /// Handle with an explicit initial value.
             pub fn with_value(key: &str, init: $init_ty) -> $name {
-                $name {
-                    raw: RawHandle::new($type_const, key, 1, &init),
-                }
+                $name { raw: RawHandle::new($type_const, key, 1, &init) }
             }
 
             /// Handle to a *persistent* object replicated `rf` times —
             /// the `@Shared(persistence=true)` of the paper.
             pub fn persistent(key: &str, init: $init_ty, rf: u8) -> $name {
-                $name {
-                    raw: RawHandle::new($type_const, key, rf, &init),
-                }
+                $name { raw: RawHandle::new($type_const, key, rf, &init) }
             }
 
             /// The underlying untyped handle.
@@ -152,7 +214,7 @@ impl AtomicLong {
     ///
     /// Propagates [`DsoError`].
     pub fn get(&self, ctx: &mut Ctx, cli: &mut DsoClient) -> Result<i64, DsoError> {
-        self.raw.call(ctx, cli, "get", &())
+        self.raw.call_read(ctx, cli, "get", &())
     }
 
     /// Overwrites the value.
@@ -222,7 +284,7 @@ impl AtomicBoolean {
     ///
     /// Propagates [`DsoError`].
     pub fn get(&self, ctx: &mut Ctx, cli: &mut DsoClient) -> Result<bool, DsoError> {
-        self.raw.call(ctx, cli, "get", &())
+        self.raw.call_read(ctx, cli, "get", &())
     }
 
     /// Overwrites the value.
@@ -266,7 +328,7 @@ impl AtomicByteArray {
     ///
     /// Propagates [`DsoError`].
     pub fn get(&self, ctx: &mut Ctx, cli: &mut DsoClient) -> Result<Vec<u8>, DsoError> {
-        self.raw.call(ctx, cli, "get", &())
+        self.raw.call_read(ctx, cli, "get", &())
     }
 
     /// Replaces the whole array.
@@ -284,7 +346,7 @@ impl AtomicByteArray {
     ///
     /// Propagates [`DsoError`].
     pub fn len(&self, ctx: &mut Ctx, cli: &mut DsoClient) -> Result<u64, DsoError> {
-        self.raw.call(ctx, cli, "len", &())
+        self.raw.call_read(ctx, cli, "len", &())
     }
 
     /// Whether the array is empty.
@@ -313,7 +375,7 @@ impl<T: Serialize + DeserializeOwned> SharedList<T> {
     pub fn new(key: &str) -> SharedList<T> {
         SharedList {
             raw: RawHandle::new(objects::ListObject::TYPE, key, 1, &Vec::<Vec<u8>>::new()),
-        _ty: PhantomData,
+            _ty: PhantomData,
         }
     }
 
@@ -342,7 +404,7 @@ impl<T: Serialize + DeserializeOwned> SharedList<T> {
     ///
     /// Propagates [`DsoError`]; fails if the element cannot be decoded.
     pub fn get(&self, ctx: &mut Ctx, cli: &mut DsoClient, i: u64) -> Result<Option<T>, DsoError> {
-        let raw: Option<Vec<u8>> = self.raw.call(ctx, cli, "get", &i)?;
+        let raw: Option<Vec<u8>> = self.raw.call_read(ctx, cli, "get", &i)?;
         raw.map(|b| {
             simcore::codec::from_bytes(&b)
                 .map_err(|e| DsoError::Object(crate::error::ObjectError::BadState(e.to_string())))
@@ -356,7 +418,7 @@ impl<T: Serialize + DeserializeOwned> SharedList<T> {
     ///
     /// Propagates [`DsoError`].
     pub fn size(&self, ctx: &mut Ctx, cli: &mut DsoClient) -> Result<u64, DsoError> {
-        self.raw.call(ctx, cli, "size", &())
+        self.raw.call_read(ctx, cli, "size", &())
     }
 
     /// Removes all elements.
@@ -374,7 +436,7 @@ impl<T: Serialize + DeserializeOwned> SharedList<T> {
     ///
     /// Propagates [`DsoError`]; fails if an element cannot be decoded.
     pub fn to_vec(&self, ctx: &mut Ctx, cli: &mut DsoClient) -> Result<Vec<T>, DsoError> {
-        let raw: Vec<Vec<u8>> = self.raw.call(ctx, cli, "toVec", &())?;
+        let raw: Vec<Vec<u8>> = self.raw.call_read(ctx, cli, "toVec", &())?;
         raw.iter()
             .map(|b| {
                 simcore::codec::from_bytes(b).map_err(|e| {
@@ -443,7 +505,7 @@ impl<V: Serialize + DeserializeOwned> SharedMap<V> {
     ///
     /// Propagates [`DsoError`]; fails on codec errors.
     pub fn get(&self, ctx: &mut Ctx, cli: &mut DsoClient, k: &str) -> Result<Option<V>, DsoError> {
-        let raw: Option<Vec<u8>> = self.raw.call(ctx, cli, "get", &k.to_string())?;
+        let raw: Option<Vec<u8>> = self.raw.call_read(ctx, cli, "get", &k.to_string())?;
         raw.map(|b| {
             simcore::codec::from_bytes(&b)
                 .map_err(|e| DsoError::Object(crate::error::ObjectError::BadState(e.to_string())))
@@ -476,7 +538,7 @@ impl<V: Serialize + DeserializeOwned> SharedMap<V> {
     ///
     /// Propagates [`DsoError`].
     pub fn size(&self, ctx: &mut Ctx, cli: &mut DsoClient) -> Result<u64, DsoError> {
-        self.raw.call(ctx, cli, "size", &())
+        self.raw.call_read(ctx, cli, "size", &())
     }
 
     /// All keys, sorted.
@@ -485,7 +547,7 @@ impl<V: Serialize + DeserializeOwned> SharedMap<V> {
     ///
     /// Propagates [`DsoError`].
     pub fn keys(&self, ctx: &mut Ctx, cli: &mut DsoClient) -> Result<Vec<String>, DsoError> {
-        self.raw.call(ctx, cli, "keys", &())
+        self.raw.call_read(ctx, cli, "keys", &())
     }
 }
 
@@ -502,9 +564,7 @@ pub struct CyclicBarrier {
 impl CyclicBarrier {
     /// Handle to a barrier for `parties` cloud threads.
     pub fn new(key: &str, parties: u32) -> CyclicBarrier {
-        CyclicBarrier {
-            raw: RawHandle::new(objects::CyclicBarrier::TYPE, key, 1, &parties),
-        }
+        CyclicBarrier { raw: RawHandle::new(objects::CyclicBarrier::TYPE, key, 1, &parties) }
     }
 
     /// Blocks until all parties arrive; returns the generation index.
@@ -531,9 +591,7 @@ pub struct Semaphore {
 impl Semaphore {
     /// Handle to a semaphore with `permits` initial permits.
     pub fn new(key: &str, permits: i64) -> Semaphore {
-        Semaphore {
-            raw: RawHandle::new(objects::Semaphore::TYPE, key, 1, &permits),
-        }
+        Semaphore { raw: RawHandle::new(objects::Semaphore::TYPE, key, 1, &permits) }
     }
 
     /// Acquires `n` permits, blocking until available.
@@ -550,7 +608,12 @@ impl Semaphore {
     /// # Errors
     ///
     /// Propagates [`DsoError`].
-    pub fn try_acquire(&self, ctx: &mut Ctx, cli: &mut DsoClient, n: i64) -> Result<bool, DsoError> {
+    pub fn try_acquire(
+        &self,
+        ctx: &mut Ctx,
+        cli: &mut DsoClient,
+        n: i64,
+    ) -> Result<bool, DsoError> {
         self.raw.call(ctx, cli, "tryAcquire", &n)
     }
 
@@ -569,7 +632,7 @@ impl Semaphore {
     ///
     /// Propagates [`DsoError`].
     pub fn available_permits(&self, ctx: &mut Ctx, cli: &mut DsoClient) -> Result<i64, DsoError> {
-        self.raw.call(ctx, cli, "availablePermits", &())
+        self.raw.call_read(ctx, cli, "availablePermits", &())
     }
 }
 
@@ -582,9 +645,7 @@ pub struct CountDownLatch {
 impl CountDownLatch {
     /// Handle to a latch starting at `count`.
     pub fn new(key: &str, count: u64) -> CountDownLatch {
-        CountDownLatch {
-            raw: RawHandle::new(objects::CountDownLatch::TYPE, key, 1, &count),
-        }
+        CountDownLatch { raw: RawHandle::new(objects::CountDownLatch::TYPE, key, 1, &count) }
     }
 
     /// Blocks until the latch reaches zero.
@@ -611,7 +672,7 @@ impl CountDownLatch {
     ///
     /// Propagates [`DsoError`].
     pub fn count(&self, ctx: &mut Ctx, cli: &mut DsoClient) -> Result<u64, DsoError> {
-        self.raw.call(ctx, cli, "getCount", &())
+        self.raw.call_read(ctx, cli, "getCount", &())
     }
 }
 
@@ -657,7 +718,7 @@ impl<T: Serialize + DeserializeOwned> SharedFuture<T> {
     ///
     /// Propagates [`DsoError`].
     pub fn is_done(&self, ctx: &mut Ctx, cli: &mut DsoClient) -> Result<bool, DsoError> {
-        self.raw.call(ctx, cli, "isDone", &())
+        self.raw.call_read(ctx, cli, "isDone", &())
     }
 }
 
@@ -700,7 +761,7 @@ impl Arithmetic {
     ///
     /// Propagates [`DsoError`].
     pub fn get(&self, ctx: &mut Ctx, cli: &mut DsoClient) -> Result<f64, DsoError> {
-        self.raw.call(ctx, cli, "get", &())
+        self.raw.call_read(ctx, cli, "get", &())
     }
 }
 

@@ -1,16 +1,22 @@
-//! The client side of the DSO layer: view discovery, primary routing,
-//! retries with backoff, and the raw `invoke` used by the typed handles in
-//! [`crate::api`].
+//! The client side of the DSO layer: view discovery, read/write routing,
+//! retries with backoff, the read fast path (replica reads, version-validated
+//! caching, monotonic-read enforcement), batched invocation, and the raw
+//! `invoke` used by the typed handles in [`crate::api`].
 
+use std::collections::HashMap;
 use std::fmt;
 use std::time::Duration;
 
-use simcore::{Addr, Ctx};
+use bytes::Bytes;
+use simcore::{Addr, Ctx, SimTime};
 
-use crate::config::DsoConfig;
+use crate::config::{ConsistencyMode, DsoConfig};
 use crate::error::DsoError;
+use crate::intern::{intern, MethodName};
 use crate::object::ObjectRef;
-use crate::protocol::{GetView, InvokeReq, InvokeResp, View};
+use crate::protocol::{
+    BatchItemResp, BatchReq, GetView, InvokeReq, InvokeResp, VersionReq, VersionResp, View,
+};
 use crate::ring::Ring;
 
 /// Cheap, `Send` handle describing how to reach a DSO deployment. Each
@@ -39,20 +45,100 @@ impl DsoClientHandle {
         DsoClient {
             h: self.clone(),
             view: None,
+            monotonic: MonotonicReads::new(),
+            cache: HashMap::new(),
+            read_rr: 0,
         }
     }
 }
+
+/// One operation of a batched invocation (see [`DsoClient::invoke_batch`]).
+///
+/// Cheap to clone (interned method, shared buffers), so a hot loop can
+/// build its batch once and clone it per round.
+#[derive(Clone, Debug)]
+pub struct BatchOp {
+    /// Target object.
+    pub obj: ObjectRef,
+    /// Method name.
+    pub method: MethodName,
+    /// Codec-encoded arguments.
+    pub args: Bytes,
+    /// Replication factor.
+    pub rf: u8,
+    /// Creation arguments (idempotent materialization).
+    pub create: Option<Bytes>,
+    /// Declared read-only (see [`InvokeReq::readonly`]).
+    pub readonly: bool,
+}
+
+/// Client-side monotonic-read enforcement: the highest version observed per
+/// object. A replica may trail the primary, so a read served by one could
+/// travel back in time relative to an earlier read (or write) by the same
+/// client; rejecting any version below the high-water mark restores the
+/// *monotonic reads* session guarantee under
+/// [`ConsistencyMode::ReplicaReads`].
+#[derive(Debug, Default)]
+pub struct MonotonicReads {
+    seen: HashMap<ObjectRef, u64>,
+}
+
+impl MonotonicReads {
+    /// An empty tracker.
+    pub fn new() -> MonotonicReads {
+        MonotonicReads::default()
+    }
+
+    /// Records `version` as observed for `obj` (writes and accepted reads).
+    pub fn observe(&mut self, obj: &ObjectRef, version: u64) {
+        let e = self.seen.entry(obj.clone()).or_insert(0);
+        if version > *e {
+            *e = version;
+        }
+    }
+
+    /// Whether a read of `obj` at `version` is admissible (not older than
+    /// anything this client already observed). Accepting also records it.
+    pub fn admit(&mut self, obj: &ObjectRef, version: u64) -> bool {
+        if version < self.high_water(obj) {
+            return false;
+        }
+        self.observe(obj, version);
+        true
+    }
+
+    /// The highest version observed for `obj` (0 if never seen).
+    pub fn high_water(&self, obj: &ObjectRef) -> u64 {
+        self.seen.get(obj).copied().unwrap_or(0)
+    }
+}
+
+struct CacheEntry {
+    bytes: Bytes,
+    version: u64,
+    validated_at: SimTime,
+}
+
+/// Local cost of serving a read from the client cache within its lease
+/// (hashing + copy). Non-zero so a closed loop of leased hits still
+/// advances simulated time.
+const CACHE_HIT_COST: Duration = Duration::from_micros(1);
 
 /// A per-process DSO client with a cached view.
 pub struct DsoClient {
     h: DsoClientHandle,
     view: Option<(View, Ring)>,
+    monotonic: MonotonicReads,
+    cache: HashMap<(ObjectRef, MethodName, Bytes), CacheEntry>,
+    /// Round-robin counter spreading replica reads over the placement set.
+    read_rr: u64,
 }
 
 impl fmt::Debug for DsoClient {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DsoClient")
             .field("view", &self.view.as_ref().map(|(v, _)| v.id))
+            .field("cached", &self.cache.len())
             .finish()
     }
 }
@@ -61,6 +147,11 @@ impl DsoClient {
     /// The client configuration.
     pub fn config(&self) -> &DsoConfig {
         &self.h.cfg
+    }
+
+    /// The highest version this client has observed for `obj`.
+    pub fn observed_version(&self, obj: &ObjectRef) -> u64 {
+        self.monotonic.high_water(obj)
     }
 
     /// Forces a view refresh from the coordinator.
@@ -79,13 +170,41 @@ impl DsoClient {
         self.view.as_ref().expect("view cached")
     }
 
-    /// Invokes `method(args)` on the object, routing to its primary under
-    /// the current view and retrying transparently on ownership changes,
-    /// transfers in progress, and node failures.
+    /// Picks the node to contact for one attempt: the primary for writes
+    /// (and for all reads under [`ConsistencyMode::Linearizable`]), any
+    /// node of the placement set — round-robin — for read-only calls under
+    /// [`ConsistencyMode::ReplicaReads`].
+    fn route(&mut self, ctx: &mut Ctx, obj: &ObjectRef, rf: u8, readonly: bool) -> Option<Addr> {
+        let replica_reads =
+            readonly && rf > 1 && self.h.cfg.consistency == ConsistencyMode::ReplicaReads;
+        let rr = self.read_rr;
+        let (view, ring) = self.view(ctx);
+        let node = if replica_reads {
+            let placement = ring.placement(obj, rf.max(1));
+            if placement.is_empty() {
+                None
+            } else {
+                Some(placement[(rr % placement.len() as u64) as usize])
+            }
+        } else {
+            ring.primary(obj)
+        };
+        let addr = node.and_then(|n| view.addr_of(n));
+        if replica_reads {
+            self.read_rr = self.read_rr.wrapping_add(1);
+        }
+        addr
+    }
+
+    /// Invokes `method(args)` on the object, routing per the consistency
+    /// mode and retrying transparently on ownership changes, transfers in
+    /// progress, stale replicas, and node failures.
     ///
     /// `blocking` marks methods that may legitimately park on the server
     /// (barrier `await`, future `get`): such calls are issued without a
-    /// client-side timeout.
+    /// client-side timeout. `readonly` marks declared read-only methods,
+    /// which take the read fast path (no SMR, optional replica routing and
+    /// caching).
     ///
     /// # Errors
     ///
@@ -97,16 +216,31 @@ impl DsoClient {
         ctx: &mut Ctx,
         obj: &ObjectRef,
         method: &str,
-        args: Vec<u8>,
+        args: Bytes,
         rf: u8,
-        create: Option<Vec<u8>>,
+        create: Option<Bytes>,
         blocking: bool,
-    ) -> Result<Vec<u8>, DsoError> {
+        readonly: bool,
+    ) -> Result<Bytes, DsoError> {
+        // Cache fast path: a validated (or leased) earlier result.
+        if readonly && self.h.cfg.read_cache {
+            if let Some(bytes) = self.cached_read(ctx, obj, method, &args, rf) {
+                return Ok(bytes);
+            }
+        }
+        // Built once; every retry reuses it with a cheap clone (satellite
+        // of the read-path work: no per-attempt String/Vec churn).
+        let req =
+            InvokeReq { obj: obj.clone(), method: intern(method), args, rf, create, readonly };
         let max = self.h.cfg.max_retries;
+        let mut force_primary = false;
         for attempt in 0..max {
-            let (view, ring) = self.view(ctx);
-            let primary = ring.primary(obj);
-            let target = primary.and_then(|p| view.addr_of(p));
+            let target = if force_primary {
+                let (view, ring) = self.view(ctx);
+                ring.primary(obj).and_then(|p| view.addr_of(p))
+            } else {
+                self.route(ctx, obj, rf, readonly)
+            };
             let Some(addr) = target else {
                 // Empty view: wait for servers to join.
                 let backoff = self.h.cfg.backoff_for(attempt);
@@ -114,21 +248,32 @@ impl DsoClient {
                 self.refresh_view(ctx);
                 continue;
             };
-            let req = InvokeReq {
-                obj: obj.clone(),
-                method: method.to_string(),
-                args: args.clone(),
-                rf,
-                create: create.clone(),
-            };
             let lat = self.h.cfg.client_net.sample(ctx.rng());
             let resp: Option<InvokeResp> = if blocking {
-                Some(ctx.call(addr, req, lat))
+                Some(ctx.call(addr, req.clone(), lat))
             } else {
-                ctx.call_timeout(addr, req, lat, self.h.cfg.call_timeout)
+                ctx.call_timeout(addr, req.clone(), lat, self.h.cfg.call_timeout)
             };
             match resp {
-                Some(InvokeResp::Value(v)) => return Ok(v),
+                Some(InvokeResp::Value { bytes, version }) => {
+                    if readonly && !self.monotonic.admit(obj, version) {
+                        // Stale replica: behind something this client
+                        // already observed. Go straight to the primary,
+                        // which is never behind an acknowledged write.
+                        force_primary = true;
+                        continue;
+                    }
+                    if !readonly {
+                        self.monotonic.observe(obj, version);
+                        self.invalidate(obj);
+                    } else if self.h.cfg.read_cache {
+                        self.cache.insert(
+                            (obj.clone(), req.method.clone(), req.args.clone()),
+                            CacheEntry { bytes: bytes.clone(), version, validated_at: ctx.now() },
+                        );
+                    }
+                    return Ok(bytes);
+                }
                 Some(InvokeResp::Error(e)) => return Err(DsoError::Object(e)),
                 Some(InvokeResp::NotOwner { .. }) => {
                     self.refresh_view(ctx);
@@ -149,6 +294,172 @@ impl DsoClient {
         Err(DsoError::GaveUp { attempts: max })
     }
 
+    /// Serves a read from the client cache if possible: within the lease
+    /// without any message, otherwise after a dispatcher-level version
+    /// probe confirming the entry is current. Returns `None` on miss (the
+    /// entry, if any, is dropped).
+    fn cached_read(
+        &mut self,
+        ctx: &mut Ctx,
+        obj: &ObjectRef,
+        method: &str,
+        args: &Bytes,
+        rf: u8,
+    ) -> Option<Bytes> {
+        let key = (obj.clone(), intern(method), args.clone());
+        let (version, lease_ok) = {
+            let entry = self.cache.get(&key)?;
+            let lease_ok = self
+                .h
+                .cfg
+                .cache_lease
+                .is_some_and(|l| ctx.now().saturating_duration_since(entry.validated_at) < l);
+            (entry.version, lease_ok)
+        };
+        if lease_ok {
+            ctx.sleep(CACHE_HIT_COST);
+            return self.cache.get(&key).map(|e| e.bytes.clone());
+        }
+        // Validate: one round-trip, no worker hop, no method CPU.
+        let target = self.route(ctx, obj, rf, true)?;
+        let lat = self.h.cfg.client_net.sample(ctx.rng());
+        let resp: Option<VersionResp> = ctx.call_timeout(
+            target,
+            VersionReq { obj: obj.clone(), rf },
+            lat,
+            self.h.cfg.call_timeout,
+        );
+        match resp {
+            Some(VersionResp(Some(v))) if v == version && v >= self.monotonic.high_water(obj) => {
+                self.monotonic.observe(obj, v);
+                let entry = self.cache.get_mut(&key).expect("entry still present");
+                entry.validated_at = ctx.now();
+                Some(entry.bytes.clone())
+            }
+            _ => {
+                // Changed version, unknown object, not an owner, or
+                // timeout: drop the entry and take the full read path.
+                self.cache.remove(&key);
+                None
+            }
+        }
+    }
+
+    /// Drops every cached result for `obj` (called on mutations through
+    /// this client).
+    fn invalidate(&mut self, obj: &ObjectRef) {
+        self.cache.retain(|(o, _, _), _| o != obj);
+    }
+
+    /// Invokes a batch of independent, non-blocking operations, grouping
+    /// them by destination node so each node receives *one* message for
+    /// all its operations instead of one round-trip per operation. Results
+    /// come back per-operation and are returned in input order.
+    ///
+    /// Items that cannot be answered from the batch (ownership moved, node
+    /// crashed, object in transfer, stale replica) transparently fall back
+    /// to the single-call path with its full retry loop, so the error
+    /// behaviour matches N separate [`DsoClient::invoke`] calls.
+    ///
+    /// Blocking (parking) methods are not allowed in batches; the server
+    /// rejects them.
+    pub fn invoke_batch(&mut self, ctx: &mut Ctx, ops: &[BatchOp]) -> Vec<Result<Bytes, DsoError>> {
+        let mut results: Vec<Option<Result<Bytes, DsoError>>> = Vec::new();
+        results.resize_with(ops.len(), || None);
+
+        // Cache fast path per read-only item.
+        if self.h.cfg.read_cache {
+            for (i, op) in ops.iter().enumerate() {
+                if op.readonly {
+                    if let Some(bytes) = self.cached_read(ctx, &op.obj, &op.method, &op.args, op.rf)
+                    {
+                        results[i] = Some(Ok(bytes));
+                    }
+                }
+            }
+        }
+
+        // Group the remainder by destination address.
+        let mut groups: HashMap<Addr, Vec<(u32, InvokeReq)>> = HashMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            if results[i].is_some() {
+                continue;
+            }
+            let Some(addr) = self.route(ctx, &op.obj, op.rf, op.readonly) else {
+                continue; // empty view: the fallback path will wait it out
+            };
+            groups.entry(addr).or_default().push((
+                i as u32,
+                InvokeReq {
+                    obj: op.obj.clone(),
+                    method: op.method.clone(),
+                    args: op.args.clone(),
+                    rf: op.rf,
+                    create: op.create.clone(),
+                    readonly: op.readonly,
+                },
+            ));
+        }
+
+        for (addr, items) in groups {
+            let n = items.len();
+            let lat = self.h.cfg.client_net.sample(ctx.rng());
+            let replies: Vec<BatchItemResp> =
+                ctx.call_collect(addr, BatchReq { items }, lat, n, self.h.cfg.call_timeout);
+            for BatchItemResp { tag, resp } in replies {
+                let i = tag as usize;
+                let op = &ops[i];
+                match resp {
+                    InvokeResp::Value { bytes, version } => {
+                        if op.readonly && !self.monotonic.admit(&op.obj, version) {
+                            continue; // stale replica: retry via fallback
+                        }
+                        if !op.readonly {
+                            self.monotonic.observe(&op.obj, version);
+                            self.invalidate(&op.obj);
+                        } else if self.h.cfg.read_cache {
+                            self.cache.insert(
+                                (op.obj.clone(), op.method.clone(), op.args.clone()),
+                                CacheEntry {
+                                    bytes: bytes.clone(),
+                                    version,
+                                    validated_at: ctx.now(),
+                                },
+                            );
+                        }
+                        results[i] = Some(Ok(bytes));
+                    }
+                    InvokeResp::Error(e) => {
+                        results[i] = Some(Err(DsoError::Object(e)));
+                    }
+                    InvokeResp::NotOwner { .. } | InvokeResp::Retry => {
+                        // Left unanswered: the fallback below retries with
+                        // view refresh and backoff.
+                    }
+                }
+            }
+        }
+
+        // Fallback: anything still unanswered goes through the standard
+        // retrying single-call path.
+        ops.iter()
+            .zip(results)
+            .map(|(op, r)| match r {
+                Some(r) => r,
+                None => self.invoke(
+                    ctx,
+                    &op.obj,
+                    &op.method,
+                    op.args.clone(),
+                    op.rf,
+                    op.create.clone(),
+                    false,
+                    op.readonly,
+                ),
+            })
+            .collect()
+    }
+
     /// Typed invocation: encodes `args`, decodes the reply.
     ///
     /// # Errors
@@ -163,8 +474,9 @@ impl DsoClient {
         method: &str,
         args: &A,
         rf: u8,
-        create: Option<Vec<u8>>,
+        create: Option<Bytes>,
         blocking: bool,
+        readonly: bool,
     ) -> Result<R, DsoError>
     where
         A: serde::Serialize,
@@ -172,7 +484,7 @@ impl DsoClient {
     {
         let bytes = simcore::codec::to_bytes(args)
             .map_err(|e| DsoError::Object(crate::error::ObjectError::BadArgs(e.to_string())))?;
-        let out = self.invoke(ctx, obj, method, bytes, rf, create, blocking)?;
+        let out = self.invoke(ctx, obj, method, bytes.into(), rf, create, blocking, readonly)?;
         simcore::codec::from_bytes(&out)
             .map_err(|e| DsoError::Object(crate::error::ObjectError::BadState(e.to_string())))
     }
@@ -182,17 +494,91 @@ impl DsoClient {
     /// # Errors
     ///
     /// See [`DsoClient::invoke`].
+    #[allow(clippy::too_many_arguments)]
     pub fn timed_invoke(
         &mut self,
         ctx: &mut Ctx,
         obj: &ObjectRef,
         method: &str,
-        args: Vec<u8>,
+        args: Bytes,
         rf: u8,
-        create: Option<Vec<u8>>,
-    ) -> Result<(Vec<u8>, Duration), DsoError> {
+        create: Option<Bytes>,
+        readonly: bool,
+    ) -> Result<(Bytes, Duration), DsoError> {
         let t0 = ctx.now();
-        let v = self.invoke(ctx, obj, method, args, rf, create, false)?;
+        let v = self.invoke(ctx, obj, method, args, rf, create, false, readonly)?;
         Ok((v, ctx.now().saturating_duration_since(t0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(k: &str) -> ObjectRef {
+        ObjectRef::new("T", k)
+    }
+
+    #[test]
+    fn monotonic_tracker_rejects_regressions() {
+        let mut m = MonotonicReads::new();
+        assert!(m.admit(&obj("a"), 0));
+        assert!(m.admit(&obj("a"), 3));
+        assert!(!m.admit(&obj("a"), 2), "older than high water");
+        assert!(m.admit(&obj("a"), 3), "equal is fine");
+        assert!(m.admit(&obj("b"), 1), "independent per object");
+        m.observe(&obj("a"), 10);
+        assert_eq!(m.high_water(&obj("a")), 10);
+        assert!(!m.admit(&obj("a"), 9));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // Model of a replicated object: the primary applies every write
+    // immediately; each replica has applied some *prefix* of the write
+    // sequence (replicas trail, they never reorder — Skeen delivery is
+    // totally ordered). A "read" probes a schedule-chosen replica and is
+    // filtered through `MonotonicReads`, retrying at the primary when
+    // rejected — exactly the client's read path.
+    //
+    // Property: the sequence of versions returned to the client never
+    // decreases, whatever the interleaving of writes, replica lags, and
+    // replica choices.
+    proptest! {
+        #[test]
+        fn replica_reads_are_monotonic(
+            // Each event: (is_write, replica_index, lag) — lag is how far
+            // the probed replica trails the primary at that moment.
+            events in proptest::collection::vec((any::<bool>(), 0usize..3, 0u64..5), 1..120),
+        ) {
+            let mut primary_version = 0u64;
+            let mut tracker = MonotonicReads::new();
+            let target = ObjectRef::new("AtomicLong", "x");
+            let mut returned = Vec::new();
+            for (is_write, _replica, lag) in events {
+                if is_write {
+                    primary_version += 1;
+                    tracker.observe(&target, primary_version);
+                } else {
+                    let replica_version = primary_version.saturating_sub(lag);
+                    let v = if tracker.admit(&target, replica_version) {
+                        replica_version
+                    } else {
+                        // Stale: the client retries at the primary.
+                        tracker.observe(&target, primary_version);
+                        primary_version
+                    };
+                    returned.push(v);
+                }
+            }
+            prop_assert!(
+                returned.windows(2).all(|w| w[0] <= w[1]),
+                "returned versions must be non-decreasing: {returned:?}"
+            );
+        }
     }
 }

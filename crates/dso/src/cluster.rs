@@ -44,13 +44,8 @@ impl DsoCluster {
     /// Starts a coordinator and `n` storage nodes.
     pub fn start(sim: &Sim, n: u32, cfg: DsoConfig, registry: ObjectRegistry) -> DsoCluster {
         let coordinator = spawn_coordinator(sim, cfg.clone());
-        let mut cluster = DsoCluster {
-            coordinator,
-            cfg,
-            registry,
-            servers: Vec::new(),
-            next_node: 0,
-        };
+        let mut cluster =
+            DsoCluster { coordinator, cfg, registry, servers: Vec::new(), next_node: 0 };
         for _ in 0..n {
             cluster.add_node(sim);
         }

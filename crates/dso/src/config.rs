@@ -2,7 +2,28 @@
 
 use std::time::Duration;
 
+use serde::{Deserialize, Serialize};
 use simcore::LatencyModel;
+
+/// How read-only method calls are routed (see DESIGN.md §4).
+///
+/// Writes always go through the primary (and, for replicated objects, the
+/// SMR total-order multicast); this mode only governs *declared read-only*
+/// methods on replicated objects.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ConsistencyMode {
+    /// Reads are served by the object's primary only. Together with
+    /// per-object serialization on the primary this preserves
+    /// linearizability, and is the default.
+    #[default]
+    Linearizable,
+    /// Reads may be served by *any* replica in the object's placement set.
+    /// Replicas can trail the primary, so reads may be stale; the client
+    /// enforces **monotonic reads** per object via returned version
+    /// numbers (a read never observes an older version than one the same
+    /// client already saw).
+    ReplicaReads,
+}
 
 /// Configuration of a DSO deployment.
 ///
@@ -30,6 +51,18 @@ pub struct DsoConfig {
     pub retry_backoff: Duration,
     /// Bandwidth used for state transfer during rebalancing, bytes/s.
     pub transfer_bandwidth: f64,
+    /// Routing of declared read-only methods (default: primary-only,
+    /// linearizable).
+    pub consistency: ConsistencyMode,
+    /// Opt-in client-side cache for read-only results, validated against
+    /// the object's version (or served within [`DsoConfig::cache_lease`]).
+    /// Mutations through the same client invalidate the object's entries.
+    pub read_cache: bool,
+    /// With `read_cache`, how long a validated entry may be re-served
+    /// without *any* server round-trip. `None` (the default) validates
+    /// every hit with a cheap dispatcher-level version probe; reads are
+    /// then never staler than the probed replica.
+    pub cache_lease: Option<Duration>,
 }
 
 impl Default for DsoConfig {
@@ -44,6 +77,9 @@ impl Default for DsoConfig {
             max_retries: 12,
             retry_backoff: Duration::from_millis(1),
             transfer_bandwidth: 200.0 * 1024.0 * 1024.0,
+            consistency: ConsistencyMode::default(),
+            read_cache: false,
+            cache_lease: None,
         }
     }
 }
@@ -66,6 +102,10 @@ mod tests {
         assert!(c.workers_per_node >= 1);
         assert!(c.failure_timeout > c.heartbeat_interval * 2);
         assert!(c.call_timeout > c.client_net.base * 4);
+        // The read fast path must be opt-in: linearizable, uncached.
+        assert_eq!(c.consistency, ConsistencyMode::Linearizable);
+        assert!(!c.read_cache);
+        assert_eq!(c.cache_lease, None);
     }
 
     #[test]

@@ -94,15 +94,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(
-            ObjectError::MethodNotFound("foo".into()).to_string(),
-            "method not found: foo"
-        );
+        assert_eq!(ObjectError::MethodNotFound("foo".into()).to_string(), "method not found: foo");
         assert_eq!(DsoError::Timeout.to_string(), "request timed out");
-        assert_eq!(
-            DsoError::GaveUp { attempts: 3 }.to_string(),
-            "gave up after 3 attempts"
-        );
+        assert_eq!(DsoError::GaveUp { attempts: 3 }.to_string(), "gave up after 3 attempts");
     }
 
     #[test]

@@ -55,6 +55,7 @@ mod client;
 mod cluster;
 mod config;
 mod error;
+pub mod intern;
 mod membership;
 mod object;
 pub mod objects;
@@ -65,10 +66,11 @@ pub mod server;
 pub mod skeen;
 pub mod verify;
 
-pub use client::{DsoClient, DsoClientHandle};
+pub use client::{BatchOp, DsoClient, DsoClientHandle};
 pub use cluster::DsoCluster;
-pub use config::DsoConfig;
+pub use config::{ConsistencyMode, DsoConfig};
 pub use error::{DsoError, ObjectError};
+pub use intern::{intern, MethodName};
 pub use membership::spawn_coordinator;
 pub use object::{
     costs, CallCtx, Effects, ObjectFactory, ObjectRef, ObjectRegistry, Reply, SharedObject, Ticket,

@@ -47,13 +47,7 @@ fn coordinator_loop(ctx: &mut Ctx, inbox: Addr, cfg: DsoConfig) {
                 Err(other) => match other.take::<MemberMsg>() {
                     MemberMsg::Join { node, addr } => {
                         ctx.trace(format!("join {node}"));
-                        members.insert(
-                            node,
-                            MemberState {
-                                addr,
-                                last_heartbeat: ctx.now(),
-                            },
-                        );
+                        members.insert(node, MemberState { addr, last_heartbeat: ctx.now() });
                         changed = true;
                     }
                     MemberMsg::Heartbeat { node } => {
@@ -94,10 +88,7 @@ fn coordinator_loop(ctx: &mut Ctx, inbox: Addr, cfg: DsoConfig) {
 }
 
 fn make_view(id: u64, members: &BTreeMap<NodeId, MemberState>) -> View {
-    View {
-        id,
-        members: members.iter().map(|(&n, m)| (n, m.addr)).collect(),
-    }
+    View { id, members: members.iter().map(|(&n, m)| (n, m.addr)).collect() }
 }
 
 #[cfg(test)]

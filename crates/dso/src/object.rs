@@ -37,10 +37,7 @@ pub struct ObjectRef {
 impl ObjectRef {
     /// Creates a reference from a type name and key.
     pub fn new(type_name: impl Into<String>, key: impl Into<String>) -> ObjectRef {
-        ObjectRef {
-            type_name: type_name.into(),
-            key: key.into(),
-        }
+        ObjectRef { type_name: type_name.into(), key: key.into() }
     }
 
     /// The object's registered type name.
@@ -121,11 +118,7 @@ impl Effects {
 
     /// Parks the current caller (reply comes later via a wake).
     pub fn park() -> Effects {
-        Effects {
-            reply: Reply::Park,
-            cost: costs::SIMPLE_OP,
-            wakes: Vec::new(),
-        }
+        Effects { reply: Reply::Park, cost: costs::SIMPLE_OP, wakes: Vec::new() }
     }
 
     /// Adds a deferred completion to this invocation's effects.
@@ -134,10 +127,8 @@ impl Effects {
     ///
     /// Fails if the wake value cannot be encoded.
     pub fn wake<T: Serialize>(mut self, t: Ticket, v: &T) -> Result<Effects, ObjectError> {
-        self.wakes.push((
-            t,
-            simcore::codec::to_bytes(v).map_err(|e| ObjectError::App(e.to_string()))?,
-        ));
+        self.wakes
+            .push((t, simcore::codec::to_bytes(v).map_err(|e| ObjectError::App(e.to_string()))?));
         Ok(self)
     }
 }
@@ -190,7 +181,19 @@ pub trait SharedObject: Send + 'static {
     /// Returns an [`ObjectError`] for unknown methods, undecodable
     /// arguments, or application failures; the error is shipped back to the
     /// calling client.
-    fn invoke(&mut self, call: &CallCtx, method: &str, args: &[u8]) -> Result<Effects, ObjectError>;
+    fn invoke(&mut self, call: &CallCtx, method: &str, args: &[u8])
+        -> Result<Effects, ObjectError>;
+
+    /// Whether `method` is read-only (never mutates the object).
+    ///
+    /// Read-only methods skip the SMR broadcast on replicated objects, do
+    /// not advance the object's version, and — under
+    /// [`crate::ConsistencyMode::ReplicaReads`] — may be served by any
+    /// replica. The default classifies every method as mutating, which is
+    /// always safe; objects opt methods in explicitly.
+    fn is_readonly(&self, _method: &str) -> bool {
+        false
+    }
 
     /// Serializes the object's full state.
     fn save(&self) -> Vec<u8>;

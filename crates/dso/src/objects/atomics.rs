@@ -70,6 +70,10 @@ impl SharedObject for AtomicLong {
         }
     }
 
+    fn is_readonly(&self, method: &str) -> bool {
+        matches!(method, "get")
+    }
+
     fn save(&self) -> Vec<u8> {
         simcore::codec::to_bytes(&self.value).expect("i64 encodes")
     }
@@ -122,6 +126,10 @@ impl SharedObject for AtomicBoolean {
             }
             other => Err(ObjErr::MethodNotFound(other.to_string())),
         }
+    }
+
+    fn is_readonly(&self, method: &str) -> bool {
+        matches!(method, "get")
     }
 
     fn save(&self) -> Vec<u8> {
@@ -186,6 +194,10 @@ impl SharedObject for AtomicByteArray {
         }
     }
 
+    fn is_readonly(&self, method: &str) -> bool {
+        matches!(method, "get" | "len" | "getByte")
+    }
+
     fn save(&self) -> Vec<u8> {
         simcore::codec::to_bytes(&self.data).expect("bytes encode")
     }
@@ -233,10 +245,8 @@ mod tests {
     #[test]
     fn atomic_long_unknown_method() {
         let mut o = AtomicLong::default();
-        let call_ctx = crate::object::CallCtx {
-            ticket: crate::object::Ticket(0),
-            replicated: false,
-        };
+        let call_ctx =
+            crate::object::CallCtx { ticket: crate::object::Ticket(0), replicated: false };
         let err = o.invoke(&call_ctx, "frobnicate", &[]).unwrap_err();
         assert!(matches!(err, ObjErr::MethodNotFound(_)));
     }
@@ -260,10 +270,8 @@ mod tests {
         assert_eq!(call::<Option<u8>>(o.as_mut(), "getByte", &9u64), None);
         let _: () = call(o.as_mut(), "setByte", &(0u64, 9u8));
         assert_eq!(call::<Vec<u8>>(o.as_mut(), "get", &()), vec![9, 2, 3]);
-        let call_ctx = crate::object::CallCtx {
-            ticket: crate::object::Ticket(0),
-            replicated: false,
-        };
+        let call_ctx =
+            crate::object::CallCtx { ticket: crate::object::Ticket(0), replicated: false };
         let args = simcore::codec::to_bytes(&(9u64, 1u8)).expect("encode");
         assert!(o.invoke(&call_ctx, "setByte", &args).is_err());
     }
@@ -271,10 +279,8 @@ mod tests {
     #[test]
     fn bad_args_reported() {
         let mut o = AtomicLong::default();
-        let call_ctx = crate::object::CallCtx {
-            ticket: crate::object::Ticket(0),
-            replicated: false,
-        };
+        let call_ctx =
+            crate::object::CallCtx { ticket: crate::object::Ticket(0), replicated: false };
         let err = o.invoke(&call_ctx, "set", &[1, 2]).unwrap_err();
         assert!(matches!(err, ObjErr::BadArgs(_)));
     }

@@ -60,6 +60,10 @@ impl SharedObject for ListObject {
         }
     }
 
+    fn is_readonly(&self, method: &str) -> bool {
+        matches!(method, "get" | "size" | "toVec")
+    }
+
     fn save(&self) -> Vec<u8> {
         simcore::codec::to_bytes(&self.items).expect("list encodes")
     }
@@ -120,6 +124,10 @@ impl SharedObject for MapObject {
         }
     }
 
+    fn is_readonly(&self, method: &str) -> bool {
+        matches!(method, "get" | "containsKey" | "size" | "keys")
+    }
+
     fn save(&self) -> Vec<u8> {
         simcore::codec::to_bytes(&self.entries).expect("map encodes")
     }
@@ -145,10 +153,7 @@ mod tests {
         assert_eq!(call::<Option<Vec<u8>>>(&mut o, "get", &0u64), Some(vec![1]));
         assert_eq!(call::<Option<Vec<u8>>>(&mut o, "get", &5u64), None);
         let _: () = call(&mut o, "set", &(1u64, vec![9u8]));
-        assert_eq!(
-            call::<Vec<Vec<u8>>>(&mut o, "toVec", &()),
-            vec![vec![1u8], vec![9u8]]
-        );
+        assert_eq!(call::<Vec<Vec<u8>>>(&mut o, "toVec", &()), vec![vec![1u8], vec![9u8]]);
         let _: () = call(&mut o, "clear", &());
         assert_eq!(call::<u64>(&mut o, "size", &()), 0);
     }
@@ -156,10 +161,7 @@ mod tests {
     #[test]
     fn list_set_out_of_bounds() {
         let mut o = ListObject::default();
-        let cc = crate::object::CallCtx {
-            ticket: crate::object::Ticket(0),
-            replicated: false,
-        };
+        let cc = crate::object::CallCtx { ticket: crate::object::Ticket(0), replicated: false };
         let args = simcore::codec::to_bytes(&(0u64, vec![1u8])).expect("encode");
         assert!(o.invoke(&cc, "set", &args).is_err());
     }
@@ -167,10 +169,7 @@ mod tests {
     #[test]
     fn map_basic_flow() {
         let mut o = MapObject::default();
-        assert_eq!(
-            call::<Option<Vec<u8>>>(&mut o, "put", &("a".to_string(), vec![1u8])),
-            None
-        );
+        assert_eq!(call::<Option<Vec<u8>>>(&mut o, "put", &("a".to_string(), vec![1u8])), None);
         assert_eq!(
             call::<Option<Vec<u8>>>(&mut o, "put", &("a".to_string(), vec![2u8])),
             Some(vec![1])
@@ -179,10 +178,7 @@ mod tests {
         assert!(!call::<bool>(&mut o, "containsKey", &"b".to_string()));
         assert_eq!(call::<u64>(&mut o, "size", &()), 1);
         assert_eq!(call::<Vec<String>>(&mut o, "keys", &()), vec!["a".to_string()]);
-        assert_eq!(
-            call::<Option<Vec<u8>>>(&mut o, "remove", &"a".to_string()),
-            Some(vec![2])
-        );
+        assert_eq!(call::<Option<Vec<u8>>>(&mut o, "remove", &"a".to_string()), Some(vec![2]));
         assert_eq!(call::<u64>(&mut o, "size", &()), 0);
     }
 

@@ -79,10 +79,7 @@ pub(crate) mod testutil {
         args: &impl serde::Serialize,
         ticket: Ticket,
     ) -> Effects {
-        let call = CallCtx {
-            ticket,
-            replicated: false,
-        };
+        let call = CallCtx { ticket, replicated: false };
         let bytes = simcore::codec::to_bytes(args).expect("encode args");
         obj.invoke(&call, method, &bytes).expect("invoke ok")
     }

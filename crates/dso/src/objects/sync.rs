@@ -35,11 +35,7 @@ impl CyclicBarrier {
     /// Factory: creation args are the number of parties.
     pub fn factory(args: &[u8]) -> Result<Box<dyn SharedObject>, ObjErr> {
         let parties = dec_create(args, 0u32)?;
-        Ok(Box::new(CyclicBarrier {
-            parties,
-            generation: 0,
-            waiting: Vec::new(),
-        }))
+        Ok(Box::new(CyclicBarrier { parties, generation: 0, waiting: Vec::new() }))
     }
 }
 
@@ -70,6 +66,10 @@ impl SharedObject for CyclicBarrier {
             "getNumberWaiting" => Effects::value(&(self.waiting.len() as u32)),
             other => Err(ObjErr::MethodNotFound(other.to_string())),
         }
+    }
+
+    fn is_readonly(&self, method: &str) -> bool {
+        matches!(method, "getParties" | "getNumberWaiting")
     }
 
     fn save(&self) -> Vec<u8> {
@@ -103,10 +103,7 @@ impl Semaphore {
     /// Factory: creation args are the initial permit count.
     pub fn factory(args: &[u8]) -> Result<Box<dyn SharedObject>, ObjErr> {
         let permits = dec_create(args, 0i64)?;
-        Ok(Box::new(Semaphore {
-            permits,
-            queue: VecDeque::new(),
-        }))
+        Ok(Box::new(Semaphore { permits, queue: VecDeque::new() }))
     }
 
     fn drain(&mut self, mut fx: Effects) -> Result<Effects, ObjErr> {
@@ -157,6 +154,10 @@ impl SharedObject for Semaphore {
         }
     }
 
+    fn is_readonly(&self, method: &str) -> bool {
+        matches!(method, "availablePermits")
+    }
+
     fn save(&self) -> Vec<u8> {
         simcore::codec::to_bytes(&self.permits).expect("semaphore encodes")
     }
@@ -184,10 +185,7 @@ impl CountDownLatch {
     /// Factory: creation args are the initial count.
     pub fn factory(args: &[u8]) -> Result<Box<dyn SharedObject>, ObjErr> {
         let count = dec_create(args, 0u64)?;
-        Ok(Box::new(CountDownLatch {
-            count,
-            waiting: Vec::new(),
-        }))
+        Ok(Box::new(CountDownLatch { count, waiting: Vec::new() }))
     }
 }
 
@@ -219,6 +217,10 @@ impl SharedObject for CountDownLatch {
         }
     }
 
+    fn is_readonly(&self, method: &str) -> bool {
+        matches!(method, "getCount")
+    }
+
     fn save(&self) -> Vec<u8> {
         simcore::codec::to_bytes(&self.count).expect("latch encodes")
     }
@@ -247,10 +249,7 @@ impl FutureObject {
     /// Factory: creation args must be empty (futures start unset).
     pub fn factory(args: &[u8]) -> Result<Box<dyn SharedObject>, ObjErr> {
         let value = dec_create(args, None)?;
-        Ok(Box::new(FutureObject {
-            value,
-            waiting: Vec::new(),
-        }))
+        Ok(Box::new(FutureObject { value, waiting: Vec::new() }))
     }
 
     fn raw_value_effects(bytes: Vec<u8>) -> Effects {
@@ -288,6 +287,10 @@ impl SharedObject for FutureObject {
             "isDone" => Effects::value(&self.value.is_some()),
             other => Err(ObjErr::MethodNotFound(other.to_string())),
         }
+    }
+
+    fn is_readonly(&self, method: &str) -> bool {
+        matches!(method, "isDone")
     }
 
     fn save(&self) -> Vec<u8> {
@@ -339,10 +342,7 @@ mod tests {
     #[test]
     fn barrier_zero_parties_rejected() {
         let mut b = CyclicBarrier::default();
-        let cc = CallCtx {
-            ticket: t(0),
-            replicated: false,
-        };
+        let cc = CallCtx { ticket: t(0), replicated: false };
         let args = simcore::codec::to_bytes(&()).expect("encode");
         assert!(b.invoke(&cc, "await", &args).is_err());
     }

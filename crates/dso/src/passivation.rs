@@ -72,11 +72,7 @@ pub fn passivate(
         bytes += payload.len();
         s3.put(ctx, &storage_key(prefix, &r.obj), payload);
     }
-    Ok(PassivationReport {
-        objects: objects.len(),
-        bytes,
-        nodes,
-    })
+    Ok(PassivationReport { objects: objects.len(), bytes, nodes })
 }
 
 /// Restores every object stored under `prefix` into the cluster.
@@ -100,9 +96,9 @@ pub fn restore(
         let payload = s3.get(ctx, &key).ok_or(DsoError::Retry)?;
         let record: ObjectRecord = simcore::codec::from_bytes(&payload)
             .map_err(|e| DsoError::Object(crate::error::ObjectError::BadState(e.to_string())))?;
-        let args = simcore::codec::to_bytes(&(record.state, record.version))
-            .expect("restore args encode");
-        cli.invoke(ctx, &record.obj, "__restore", args, record.rf, None, false)?;
+        let args =
+            simcore::codec::to_bytes(&(record.state, record.version)).expect("restore args encode");
+        cli.invoke(ctx, &record.obj, "__restore", args.into(), record.rf, None, false, false)?;
         restored += 1;
     }
     Ok(restored)
@@ -120,10 +116,7 @@ mod tests {
     use std::time::Duration;
 
     fn immediate_s3() -> S3Config {
-        S3Config {
-            visibility_delay: LatencyModel::fixed(Duration::ZERO),
-            ..S3Config::default()
-        }
+        S3Config { visibility_delay: LatencyModel::fixed(Duration::ZERO), ..S3Config::default() }
     }
 
     #[test]

@@ -3,10 +3,12 @@
 
 use std::fmt;
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use simcore::Addr;
 
 use crate::error::ObjectError;
+use crate::intern::MethodName;
 use crate::object::ObjectRef;
 use crate::skeen::{Mid, SkeenMsg, Stamp};
 
@@ -38,10 +40,7 @@ pub struct View {
 impl View {
     /// An empty pre-initialization view.
     pub fn empty() -> View {
-        View {
-            id: 0,
-            members: Vec::new(),
-        }
+        View { id: 0, members: Vec::new() }
     }
 
     /// Node ids of the members.
@@ -56,26 +55,43 @@ impl View {
 }
 
 /// A client's invocation request (also carried inside SMR payloads).
+///
+/// Cloning is cheap: the method name is interned and the payloads are
+/// reference-counted [`Bytes`], so the client constructs the request once
+/// and clones it per retry or batch item.
 #[derive(Clone, Debug)]
 pub struct InvokeReq {
     /// Target object.
     pub obj: ObjectRef,
     /// Method name; `"__create"` is reserved for idempotent initialization.
-    pub method: String,
+    pub method: MethodName,
     /// Codec-encoded arguments.
-    pub args: Vec<u8>,
+    pub args: Bytes,
     /// Replication factor of the object (1 = ephemeral, unreplicated).
     pub rf: u8,
     /// Creation arguments, sent once per client proxy so the object can be
     /// materialized if absent (idempotent).
-    pub create: Option<Vec<u8>>,
+    pub create: Option<Bytes>,
+    /// Declared read-only: the method must not mutate the object. Read-only
+    /// requests skip the SMR path on replicated objects and, under
+    /// [`crate::ConsistencyMode::ReplicaReads`], may be served by any
+    /// replica.
+    pub readonly: bool,
 }
 
 /// Server's reply to an invocation.
 #[derive(Clone, Debug, PartialEq)]
 pub enum InvokeResp {
     /// The method's encoded return value.
-    Value(Vec<u8>),
+    Value {
+        /// Encoded return value.
+        bytes: Bytes,
+        /// The object's version (mutation count) when the method ran; `0`
+        /// also for replies without a meaningful version (deferred wakes,
+        /// unit replies of maintenance methods). Clients use it for
+        /// monotonic reads and cache validation.
+        version: u64,
+    },
     /// Contacted node is not an owner; the attached view id hints the
     /// client to refresh.
     NotOwner {
@@ -96,7 +112,45 @@ pub struct SmrOp {
     /// Reply address of the calling client; only the initiating node
     /// responds, the others apply silently.
     pub respond_to: Option<Addr>,
+    /// When the operation arrived inside a [`BatchReq`], the item tag the
+    /// reply must carry (the reply is then a [`BatchItemResp`]).
+    pub respond_tag: Option<u32>,
 }
+
+/// A batch of independent invocations for objects homed on one node,
+/// shipped as a single message. The server fans the items out to its
+/// workers; each item is answered individually as a [`BatchItemResp`]
+/// carrying the item's tag, so replies stream back as they complete.
+#[derive(Debug)]
+pub struct BatchReq {
+    /// `(tag, operation)` pairs; tags are echoed in the replies.
+    pub items: Vec<(u32, InvokeReq)>,
+}
+
+/// Reply to one item of a [`BatchReq`].
+#[derive(Clone, Debug)]
+pub struct BatchItemResp {
+    /// The tag of the [`BatchReq`] item this answers.
+    pub tag: u32,
+    /// The item's outcome.
+    pub resp: InvokeResp,
+}
+
+/// Cheap version probe, answered directly by a node's dispatcher without
+/// touching a worker: used by clients to validate cached read results.
+#[derive(Debug, Clone)]
+pub struct VersionReq {
+    /// The object whose version is asked for.
+    pub obj: ObjectRef,
+    /// Its replication factor (needed for the ownership check).
+    pub rf: u8,
+}
+
+/// Reply to a [`VersionReq`]. `None` means the node does not currently
+/// store the object (not an owner, or not yet materialized) — clients must
+/// treat that as a cache miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionResp(pub Option<u64>);
 
 /// Server-to-server messages.
 #[derive(Debug)]
@@ -194,10 +248,7 @@ mod tests {
     fn view_lookup() {
         let a = Addr::from_raw(1);
         let b = Addr::from_raw(2);
-        let v = View {
-            id: 3,
-            members: vec![(NodeId(0), a), (NodeId(2), b)],
-        };
+        let v = View { id: 3, members: vec![(NodeId(0), a), (NodeId(2), b)] };
         assert_eq!(v.node_ids(), vec![NodeId(0), NodeId(2)]);
         assert_eq!(v.addr_of(NodeId(2)), Some(b));
         assert_eq!(v.addr_of(NodeId(1)), None);

@@ -70,10 +70,7 @@ impl Ring {
                 points.insert(mix(h), n);
             }
         }
-        Ring {
-            points,
-            nodes: sorted,
-        }
+        Ring { points, nodes: sorted }
     }
 
     /// The distinct nodes on the ring, sorted by id.
@@ -183,10 +180,7 @@ mod tests {
         }
         for (&node, &c) in &counts {
             let frac = c as f64 / N as f64;
-            assert!(
-                (frac - 0.25).abs() < 0.12,
-                "node {node:?} got fraction {frac}"
-            );
+            assert!((frac - 0.25).abs() < 0.12, "node {node:?} got fraction {frac}");
         }
     }
 
@@ -217,14 +211,10 @@ mod tests {
             let o = obj(i);
             let p = before.placement(&o, 2);
             let dead = p[0];
-            let remaining: Vec<NodeId> =
-                nodes(3).into_iter().filter(|n| *n != dead).collect();
+            let remaining: Vec<NodeId> = nodes(3).into_iter().filter(|n| *n != dead).collect();
             let after = Ring::new(&remaining);
             let new_primary = after.primary(&o).expect("primary");
-            assert_eq!(
-                new_primary, p[1],
-                "new primary should be the old secondary for {o}"
-            );
+            assert_eq!(new_primary, p[1], "new primary should be the old secondary for {o}");
         }
     }
 }

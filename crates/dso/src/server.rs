@@ -22,7 +22,8 @@ use simcore::{Addr, Ctx, Msg, Pid, Request, Sim};
 use crate::config::DsoConfig;
 use crate::object::{CallCtx, ObjectRef, ObjectRegistry, Reply, SharedObject, Ticket};
 use crate::protocol::{
-    InvokeReq, InvokeResp, MemberMsg, NodeId, PeerMsg, SmrOp, View, ViewUpdate,
+    BatchItemResp, BatchReq, InvokeReq, InvokeResp, MemberMsg, NodeId, PeerMsg, SmrOp, VersionReq,
+    VersionResp, View, ViewUpdate,
 };
 use crate::ring::Ring;
 use crate::skeen::{Action, Skeen};
@@ -71,8 +72,15 @@ struct NodeShared {
 }
 
 enum WorkItem {
-    Client { req: InvokeReq, reply_to: Addr },
-    Apply { op: SmrOp },
+    Client {
+        req: InvokeReq,
+        reply_to: Addr,
+        /// Batch-item tag the reply must echo (see [`BatchReq`]).
+        tag: Option<u32>,
+    },
+    Apply {
+        op: SmrOp,
+    },
 }
 
 /// Spawns a storage node (dispatcher + workers). The node joins the
@@ -86,10 +94,7 @@ pub fn spawn_server(
     coordinator: Addr,
 ) -> ServerHandle {
     let pids = Arc::new(Mutex::new(Vec::new()));
-    let handle = ServerHandle {
-        node,
-        pids: pids.clone(),
-    };
+    let handle = ServerHandle { node, pids: pids.clone() };
     let shared = Arc::new(NodeShared {
         node,
         cfg,
@@ -160,9 +165,41 @@ fn server_main(
                     ctx.reply(reply_to, crate::protocol::SnapshotReply(records), lat);
                     continue;
                 }
+                if req.body.is::<VersionReq>() {
+                    // Version probe: answered straight from the dispatcher,
+                    // no worker hop, no method CPU — the cheap half of the
+                    // client cache's validate-then-reuse protocol.
+                    let (reply_to, probe) = req.take::<VersionReq>();
+                    let owned = ring.placement(&probe.obj, probe.rf.max(1)).contains(&shared.node);
+                    let version = if owned {
+                        shared.objects.lock().get(&probe.obj).map(|s| s.version)
+                    } else {
+                        None
+                    };
+                    let lat = cfg.client_net.sample(ctx.rng());
+                    ctx.reply(reply_to, VersionResp(version), lat);
+                    continue;
+                }
+                if req.body.is::<BatchReq>() {
+                    let (reply_to, batch) = req.take::<BatchReq>();
+                    for (tag, item) in batch.items {
+                        handle_client_invoke(
+                            ctx,
+                            &shared,
+                            &view,
+                            &ring,
+                            &workers,
+                            &mut skeen,
+                            item,
+                            reply_to,
+                            Some(tag),
+                        );
+                    }
+                    continue;
+                }
                 let (reply_to, invoke) = req.take::<InvokeReq>();
                 handle_client_invoke(
-                    ctx, &shared, &view, &ring, &workers, &mut skeen, invoke, reply_to,
+                    ctx, &shared, &view, &ring, &workers, &mut skeen, invoke, reply_to, None,
                 );
                 continue;
             }
@@ -215,24 +252,36 @@ fn handle_client_invoke(
     skeen: &mut Skeen<SmrOp>,
     req: InvokeReq,
     reply_to: Addr,
+    tag: Option<u32>,
 ) {
     let cfg = &shared.cfg;
     let placement = ring.placement(&req.obj, req.rf.max(1));
     if !placement.contains(&shared.node) {
         let lat = cfg.client_net.sample(ctx.rng());
-        ctx.reply(reply_to, InvokeResp::NotOwner { view: view.id }, lat);
+        reply_tagged(ctx, reply_to, tag, InvokeResp::NotOwner { view: view.id }, lat);
         return;
     }
-    if req.rf > 1 && placement.len() > 1 {
+    // Declared read-only operations never mutate, so they skip the SMR
+    // broadcast even on replicated objects: this node serves them from its
+    // local copy (the read fast path). Under the default primary-only
+    // routing this stays linearizable; under replica reads the client
+    // enforces monotonicity via the returned version.
+    if req.rf > 1 && placement.len() > 1 && !req.readonly {
         // SMR path: totally-order the operation among the replica group.
-        let op = SmrOp {
-            req,
-            respond_to: Some(reply_to),
-        };
+        let op = SmrOp { req, respond_to: Some(reply_to), respond_tag: tag };
         let (_mid, actions) = skeen.multicast(placement, op);
         process_skeen_actions(ctx, shared, view, workers, skeen, actions);
     } else {
-        route_to_worker(ctx, shared, workers, WorkItem::Client { req, reply_to });
+        route_to_worker(ctx, shared, workers, WorkItem::Client { req, reply_to, tag });
+    }
+}
+
+/// Replies to a client, wrapping the response in a [`BatchItemResp`] when
+/// the request arrived as a batch item.
+fn reply_tagged(ctx: &mut Ctx, reply_to: Addr, tag: Option<u32>, resp: InvokeResp, lat: Duration) {
+    match tag {
+        Some(tag) => ctx.reply(reply_to, BatchItemResp { tag, resp }, lat),
+        None => ctx.reply(reply_to, resp, lat),
     }
 }
 
@@ -260,15 +309,7 @@ fn process_skeen_actions(
                     stack.extend(more);
                 } else if let Some(addr) = view.addr_of(to) {
                     let lat = shared.cfg.peer_net.sample(ctx.rng());
-                    ctx.send(
-                        addr,
-                        Msg::new(PeerMsg::Smr {
-                            from: node,
-                            epoch: view.id,
-                            msg,
-                        }),
-                        lat,
-                    );
+                    ctx.send(addr, Msg::new(PeerMsg::Smr { from: node, epoch: view.id, msg }), lat);
                 } else {
                     // Peer not in our view (crashed / not yet seen): the
                     // multicast stalls and the client retries after its
@@ -293,6 +334,8 @@ fn route_to_worker(ctx: &mut Ctx, _shared: &Arc<NodeShared>, workers: &[Addr], i
         WorkItem::Client { req, .. } => &req.obj,
         WorkItem::Apply { op } => &op.req.obj,
     };
+    // One worker per object (by placement hash): per-object serialization,
+    // disjoint-access parallelism across objects.
     let idx = (obj.placement_hash() % workers.len() as u64) as usize;
     // Intra-node handoff costs nothing on the simulated network.
     ctx.send(workers[idx], Msg::new(item), Duration::ZERO);
@@ -331,14 +374,7 @@ fn install_transfer(
         Err(_) => return, // unknown type on this node: drop the transfer
     };
     if instance.restore(&state).is_ok() {
-        objects.insert(
-            obj,
-            Stored {
-                obj: instance,
-                rf,
-                version,
-            },
-        );
+        objects.insert(obj, Stored { obj: instance, rf, version });
     }
 }
 
@@ -364,10 +400,7 @@ fn rebalance(
             let oldp = old_ring.placement(obj_ref, rf);
             let keep = newp.contains(&node);
             let targets: Vec<NodeId> = if keep {
-                newp.iter()
-                    .copied()
-                    .filter(|p| *p != node && !oldp.contains(p))
-                    .collect()
+                newp.iter().copied().filter(|p| *p != node && !oldp.contains(p)).collect()
             } else {
                 to_remove.push(obj_ref.clone());
                 newp
@@ -385,16 +418,7 @@ fn rebalance(
     for (addr, obj, rf, state, version) in to_send {
         let lat = shared.cfg.peer_net.sample(ctx.rng())
             + Duration::from_secs_f64(state.len() as f64 / shared.cfg.transfer_bandwidth);
-        ctx.send(
-            addr,
-            Msg::new(PeerMsg::Transfer {
-                obj,
-                rf,
-                state,
-                version,
-            }),
-            lat,
-        );
+        ctx.send(addr, Msg::new(PeerMsg::Transfer { obj, rf, state, version }), lat);
     }
     if !to_remove.is_empty() {
         let mut objects = shared.objects.lock();
@@ -417,11 +441,11 @@ fn worker_loop(ctx: &mut Ctx, inbox: Addr, shared: Arc<NodeShared>) {
     loop {
         let item = ctx.recv(inbox).take::<WorkItem>();
         match item {
-            WorkItem::Client { req, reply_to } => {
-                execute(ctx, &shared, req, Some(reply_to), false);
+            WorkItem::Client { req, reply_to, tag } => {
+                execute(ctx, &shared, req, Some(reply_to), tag, false);
             }
             WorkItem::Apply { op } => {
-                execute(ctx, &shared, op.req, op.respond_to, true);
+                execute(ctx, &shared, op.req, op.respond_to, op.respond_tag, true);
             }
         }
     }
@@ -435,6 +459,7 @@ fn execute(
     shared: &Arc<NodeShared>,
     req: InvokeReq,
     reply_to: Option<Addr>,
+    tag: Option<u32>,
     replicated: bool,
 ) {
     let ticket = Ticket(shared.next_ticket.fetch_add(1, Ordering::SeqCst));
@@ -442,9 +467,9 @@ fn execute(
         shared.parked.lock().insert(ticket, rt);
     }
     let mut wakes: Vec<(Ticket, Vec<u8>)> = Vec::new();
-    if req.method == "__restore" {
+    if &req.method == "__restore" {
         let outcome = restore_object(shared, &req);
-        finish(ctx, shared, ticket, reply_to, outcome, &[]);
+        finish(ctx, shared, ticket, reply_to, tag, outcome, &[]);
         return;
     }
     let outcome = {
@@ -462,6 +487,7 @@ fn execute(
                         shared,
                         ticket,
                         reply_to,
+                        tag,
                         CallOutcome::Reply(InvokeResp::Retry, Duration::ZERO),
                         &[],
                     );
@@ -474,6 +500,7 @@ fn execute(
                         shared,
                         ticket,
                         reply_to,
+                        tag,
                         CallOutcome::Reply(InvokeResp::Error(e), Duration::ZERO),
                         &[],
                     );
@@ -482,26 +509,52 @@ fn execute(
             }
         }
         let stored = objects.get_mut(&req.obj).expect("object just ensured");
-        if req.method == "__create" {
+        if &req.method == "__create" {
             // Idempotent explicit creation: materialization above (or a
             // pre-existing object) is all that is needed.
             CallOutcome::Reply(
-                InvokeResp::Value(simcore::codec::to_bytes(&()).expect("unit encodes")),
+                InvokeResp::Value { bytes: unit_bytes(), version: stored.version },
                 crate::object::costs::SIMPLE_OP,
             )
+        } else if req.readonly && !stored.obj.is_readonly(&req.method) {
+            // The client flagged the call read-only but the object does
+            // not classify the method as such: executing it could mutate
+            // state outside the SMR order. Reject rather than corrupt.
+            CallOutcome::Reply(
+                InvokeResp::Error(crate::error::ObjectError::App(format!(
+                    "method {} is not read-only",
+                    req.method
+                ))),
+                Duration::ZERO,
+            )
         } else {
+            let mutating = !stored.obj.is_readonly(&req.method);
             let call = CallCtx { ticket, replicated };
             match stored.obj.invoke(&call, &req.method, &req.args) {
                 Ok(effects) => {
-                    stored.version += 1;
+                    // The version counts *mutations*, so read-only calls
+                    // leave it unchanged — that is what lets replicas and
+                    // caches compare versions meaningfully.
+                    if mutating {
+                        stored.version += 1;
+                    }
+                    let version = stored.version;
                     wakes = effects.wakes;
                     match effects.reply {
-                        Reply::Value(v) => {
-                            CallOutcome::Reply(InvokeResp::Value(v), effects.cost)
-                        }
+                        Reply::Value(v) => CallOutcome::Reply(
+                            InvokeResp::Value { bytes: v.into(), version },
+                            effects.cost,
+                        ),
                         Reply::Park if replicated => CallOutcome::Reply(
                             InvokeResp::Error(crate::error::ObjectError::App(
                                 "blocking methods are not allowed on replicated objects"
+                                    .to_string(),
+                            )),
+                            effects.cost,
+                        ),
+                        Reply::Park if tag.is_some() => CallOutcome::Reply(
+                            InvokeResp::Error(crate::error::ObjectError::App(
+                                "blocking methods are not allowed in batched invocations"
                                     .to_string(),
                             )),
                             effects.cost,
@@ -513,7 +566,12 @@ fn execute(
             }
         }
     };
-    finish(ctx, shared, ticket, reply_to, outcome, &wakes);
+    finish(ctx, shared, ticket, reply_to, tag, outcome, &wakes);
+}
+
+/// The encoded unit value `()`, shared by maintenance replies.
+fn unit_bytes() -> bytes::Bytes {
+    simcore::codec::to_bytes(&()).expect("unit encodes").into()
 }
 
 /// Un-passivates an object: rebuilds it from a marshalled snapshot,
@@ -538,24 +596,14 @@ fn restore_object(shared: &Arc<NodeShared>, req: &InvokeReq) -> CallOutcome {
             .and_then(|mut o| o.restore(&state).map(|()| o));
         match instance {
             Ok(obj) => {
-                objects.insert(
-                    req.obj.clone(),
-                    Stored {
-                        obj,
-                        rf: req.rf.max(1),
-                        version,
-                    },
-                );
+                objects.insert(req.obj.clone(), Stored { obj, rf: req.rf.max(1), version });
             }
             Err(e) => return CallOutcome::Reply(InvokeResp::Error(e), Duration::ZERO),
         }
     }
-    let cost = crate::object::costs::SIMPLE_OP
-        + crate::object::costs::PER_BYTE * state.len() as u32;
-    CallOutcome::Reply(
-        InvokeResp::Value(simcore::codec::to_bytes(&()).expect("unit encodes")),
-        cost,
-    )
+    let cost =
+        crate::object::costs::SIMPLE_OP + crate::object::costs::PER_BYTE * state.len() as u32;
+    CallOutcome::Reply(InvokeResp::Value { bytes: unit_bytes(), version }, cost)
 }
 
 /// Creates the object for `req` if possible: from the request's creation
@@ -572,11 +620,7 @@ fn materialize(
         None => return Ok(None),
     };
     let obj = shared.registry.create(req.obj.type_name(), args)?;
-    Ok(Some(Stored {
-        obj,
-        rf: req.rf.max(1),
-        version: 0,
-    }))
+    Ok(Some(Stored { obj, rf: req.rf.max(1), version: 0 }))
 }
 
 /// Charges the CPU cost, wakes deferred callers, and replies.
@@ -585,6 +629,7 @@ fn finish(
     shared: &Arc<NodeShared>,
     ticket: Ticket,
     reply_to: Option<Addr>,
+    tag: Option<u32>,
     outcome: CallOutcome,
     wakes: &[(Ticket, Vec<u8>)],
 ) {
@@ -599,7 +644,9 @@ fn finish(
         let target = shared.parked.lock().remove(t);
         if let Some(addr) = target {
             let lat = shared.cfg.client_net.sample(ctx.rng());
-            ctx.reply(addr, InvokeResp::Value(bytes.clone()), lat);
+            // Deferred wakes complete blocking calls; those never come
+            // from batches, and version 0 marks "no version observed".
+            ctx.reply(addr, InvokeResp::Value { bytes: bytes.clone().into(), version: 0 }, lat);
         }
     }
     match outcome {
@@ -607,7 +654,7 @@ fn finish(
             shared.parked.lock().remove(&ticket);
             if let Some(rt) = reply_to {
                 let lat = shared.cfg.client_net.sample(ctx.rng());
-                ctx.reply(rt, resp, lat);
+                reply_tagged(ctx, rt, tag, resp, lat);
             }
         }
         CallOutcome::Parked(_) => {

@@ -195,28 +195,17 @@ impl<M: Clone> Skeen<M> {
     /// Panics if `group` is empty.
     pub fn multicast(&mut self, group: Vec<NodeId>, payload: M) -> (Mid, Vec<Action<M>>) {
         assert!(!group.is_empty(), "multicast group must not be empty");
-        let mid = Mid {
-            node: self.node,
-            seq: self.next_seq,
-        };
+        let mid = Mid { node: self.node, seq: self.next_seq };
         self.next_seq += 1;
         self.collecting.insert(
             mid,
-            Collecting {
-                group: group.clone(),
-                max: (0, NodeId(0)),
-                awaiting: group.len(),
-            },
+            Collecting { group: group.clone(), max: (0, NodeId(0)), awaiting: group.len() },
         );
         let actions = group
             .iter()
             .map(|&to| Action::Send {
                 to,
-                msg: SkeenMsg::Run {
-                    mid,
-                    group: group.clone(),
-                    payload: payload.clone(),
-                },
+                msg: SkeenMsg::Run { mid, group: group.clone(), payload: payload.clone() },
             })
             .collect();
         (mid, actions)
@@ -228,19 +217,9 @@ impl<M: Clone> Skeen<M> {
             SkeenMsg::Run { mid, payload, .. } => {
                 self.clock += 1;
                 let ts: Stamp = (self.clock, self.node);
-                self.pending.insert(
-                    mid,
-                    Pending {
-                        ts,
-                        is_final: false,
-                        payload,
-                    },
-                );
+                self.pending.insert(mid, Pending { ts, is_final: false, payload });
                 self.order.insert((ts, mid), mid);
-                vec![Action::Send {
-                    to: mid.node,
-                    msg: SkeenMsg::Propose { mid, ts },
-                }]
+                vec![Action::Send { to: mid.node, msg: SkeenMsg::Propose { mid, ts } }]
             }
             SkeenMsg::Propose { mid, ts } => {
                 let done = {
@@ -261,10 +240,7 @@ impl<M: Clone> Skeen<M> {
                 let c = self.collecting.remove(&mid).expect("collecting entry");
                 c.group
                     .iter()
-                    .map(|&to| Action::Send {
-                        to,
-                        msg: SkeenMsg::Final { mid, ts: c.max },
-                    })
+                    .map(|&to| Action::Send { to, msg: SkeenMsg::Final { mid, ts: c.max } })
                     .collect()
             }
             SkeenMsg::Final { mid, ts } => {
@@ -292,11 +268,7 @@ impl<M: Clone> Skeen<M> {
             }
             self.order.remove(&(ts, mid));
             let p = self.pending.remove(&mid).expect("pending entry");
-            out.push(Action::Deliver {
-                mid,
-                ts,
-                payload: p.payload,
-            });
+            out.push(Action::Deliver { mid, ts, payload: p.payload });
         }
         out
     }
@@ -434,10 +406,7 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         };
-        let self_propose = SkeenMsg::Propose {
-            mid,
-            ts: (1, NodeId(0)),
-        };
+        let self_propose = SkeenMsg::Propose { mid, ts: (1, NodeId(0)) };
         let _ = a.handle(NodeId(0), self_propose);
         let acts_a = a.handle(NodeId(1), propose);
         // Hop 3: Finals (one reaches b, one loops to a).

@@ -44,6 +44,9 @@ pub enum Violation {
         /// The later (started-after) operation.
         later: Op,
     },
+    /// A read returned a counter value outside `0..=n` — a state the
+    /// object can never have been in.
+    ReadOutOfRange(Op),
 }
 
 impl std::fmt::Display for Violation {
@@ -57,6 +60,11 @@ impl std::fmt::Display for Violation {
                 f,
                 "real-time order violated: op ending at {} returned {} but op starting at {} returned {}",
                 earlier.end, earlier.value, later.start, later.value
+            ),
+            Violation::ReadOutOfRange(op) => write!(
+                f,
+                "read returned {} — a value the counter never held",
+                op.value
             ),
         }
     }
@@ -121,10 +129,7 @@ pub fn check_unit_counter(history: &[Op]) -> Result<(), Violation> {
     for op in &by_value {
         if let Some(prev) = max_start_so_far {
             if op.end < prev.start {
-                return Err(Violation::RealTimeOrder {
-                    earlier: **op,
-                    later: *prev,
-                });
+                return Err(Violation::RealTimeOrder { earlier: **op, later: *prev });
             }
         }
         match max_start_so_far {
@@ -135,16 +140,95 @@ pub fn check_unit_counter(history: &[Op]) -> Result<(), Violation> {
     Ok(())
 }
 
+/// Checks a history mixing unit increments and plain reads (`get`) on a
+/// counter that started at zero — the read-fast-path analogue of
+/// [`check_unit_counter`].
+///
+/// The increments alone must satisfy [`check_unit_counter`]. A read
+/// returning `v` linearizes in the window where the counter held `v`:
+/// after the increment that produced `v` (if `v > 0`) and before the one
+/// producing `v + 1` (if any). Mapping an increment returning `v` to key
+/// `2v` and a read returning `v` to key `2v + 1` makes the required
+/// linearization order exactly the key order (ties — concurrent reads of
+/// the same state — are unordered), so one real-time scan over the merged,
+/// key-sorted history decides the whole thing.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found; `Ok(())` means the combined
+/// history is linearizable.
+///
+/// # Examples
+///
+/// ```
+/// use dso::verify::{check_counter_with_reads, Op};
+/// use simcore::SimTime;
+///
+/// let t = SimTime::from_millis;
+/// let incs = vec![
+///     Op { start: t(0), end: t(1), value: 1 },
+///     Op { start: t(10), end: t(11), value: 2 },
+/// ];
+/// // A read strictly between the increments must see 1.
+/// let reads = vec![Op { start: t(4), end: t(5), value: 1 }];
+/// assert!(check_counter_with_reads(&incs, &reads).is_ok());
+/// // Seeing 2 there is a real-time violation (stale-future read).
+/// let reads = vec![Op { start: t(12), end: t(13), value: 1 }];
+/// assert!(check_counter_with_reads(&incs, &reads).is_err());
+/// ```
+pub fn check_counter_with_reads(incs: &[Op], reads: &[Op]) -> Result<(), Violation> {
+    check_unit_counter(incs)?;
+    let n = incs.len() as i64;
+    for r in reads {
+        if r.end < r.start {
+            return Err(Violation::Malformed);
+        }
+        if r.value < 0 || r.value > n {
+            return Err(Violation::ReadOutOfRange(*r));
+        }
+    }
+    // Merge, keyed by required linearization order.
+    let mut keyed: Vec<(i64, &Op)> = incs
+        .iter()
+        .map(|o| (2 * o.value, o))
+        .chain(reads.iter().map(|o| (2 * o.value + 1, o)))
+        .collect();
+    keyed.sort_by_key(|(k, _)| *k);
+    // Same scan as `check_unit_counter`, except ops sharing a key (reads
+    // of the same state) are mutually unordered: each op is compared only
+    // against the latest-starting op among *strictly smaller* keys.
+    let mut max_start_prev: Option<&Op> = None;
+    let mut group_key = i64::MIN;
+    let mut group_max: Option<&Op> = None;
+    for (k, op) in keyed {
+        if k != group_key {
+            max_start_prev = match (max_start_prev, group_max) {
+                (Some(a), Some(b)) => Some(if a.start >= b.start { a } else { b }),
+                (a, None) => a,
+                (None, b) => b,
+            };
+            group_key = k;
+            group_max = None;
+        }
+        if let Some(prev) = max_start_prev {
+            if op.end < prev.start {
+                return Err(Violation::RealTimeOrder { earlier: *op, later: *prev });
+            }
+        }
+        match group_max {
+            Some(g) if g.start >= op.start => {}
+            _ => group_max = Some(op),
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn op(start_ms: u64, end_ms: u64, value: i64) -> Op {
-        Op {
-            start: SimTime::from_millis(start_ms),
-            end: SimTime::from_millis(end_ms),
-            value,
-        }
+        Op { start: SimTime::from_millis(start_ms), end: SimTime::from_millis(end_ms), value }
     }
 
     #[test]
@@ -207,6 +291,75 @@ mod tests {
         let err = check_unit_counter(&[op(0, 1, 2), op(5, 6, 1)]).unwrap_err();
         assert!(err.to_string().contains("real-time order"));
         assert!(Violation::NotABijection.to_string().contains("permutation"));
+        assert!(Violation::ReadOutOfRange(op(0, 1, 9)).to_string().contains("never held"));
+    }
+
+    #[test]
+    fn reads_between_increments_are_fine() {
+        let incs = vec![op(0, 1, 1), op(10, 11, 2)];
+        let reads = vec![op(2, 3, 1), op(4, 5, 1), op(12, 13, 2)];
+        assert!(check_counter_with_reads(&incs, &reads).is_ok());
+    }
+
+    #[test]
+    fn read_before_any_increment_sees_zero() {
+        let incs = vec![op(10, 11, 1)];
+        assert!(check_counter_with_reads(&incs, &[op(0, 1, 0)]).is_ok());
+        // Seeing 0 *after* the increment completed is a violation.
+        let err = check_counter_with_reads(&incs, &[op(20, 21, 0)]).unwrap_err();
+        assert!(matches!(err, Violation::RealTimeOrder { .. }), "{err}");
+    }
+
+    #[test]
+    fn stale_read_after_later_increment_is_caught() {
+        let incs = vec![op(0, 1, 1), op(10, 11, 2)];
+        // Read starting after inc(2) completed must not return 1.
+        let err = check_counter_with_reads(&incs, &[op(15, 16, 1)]).unwrap_err();
+        assert!(matches!(err, Violation::RealTimeOrder { .. }), "{err}");
+    }
+
+    #[test]
+    fn future_read_before_increment_is_caught() {
+        let incs = vec![op(10, 11, 1)];
+        // Read completing before inc(1) even started cannot return 1.
+        let err = check_counter_with_reads(&incs, &[op(0, 1, 1)]).unwrap_err();
+        assert!(matches!(err, Violation::RealTimeOrder { .. }), "{err}");
+    }
+
+    #[test]
+    fn read_out_of_range_is_caught() {
+        let incs = vec![op(0, 1, 1)];
+        assert_eq!(
+            check_counter_with_reads(&incs, &[op(2, 3, 7)]).unwrap_err(),
+            Violation::ReadOutOfRange(op(2, 3, 7))
+        );
+        assert_eq!(
+            check_counter_with_reads(&incs, &[op(2, 3, -1)]).unwrap_err(),
+            Violation::ReadOutOfRange(op(2, 3, -1))
+        );
+    }
+
+    #[test]
+    fn concurrent_reads_of_same_state_are_unordered() {
+        // Two disjoint reads returning the same value: both observe the
+        // state between the increments — fine in either order.
+        let incs = vec![op(0, 1, 1), op(100, 101, 2)];
+        let reads = vec![op(10, 11, 1), op(20, 21, 1)];
+        assert!(check_counter_with_reads(&incs, &reads).is_ok());
+    }
+
+    #[test]
+    fn overlapping_read_may_see_either_side() {
+        let incs = vec![op(10, 20, 1)];
+        // Read overlapping the increment can return 0 or 1.
+        assert!(check_counter_with_reads(&incs, &[op(5, 15, 0)]).is_ok());
+        assert!(check_counter_with_reads(&incs, &[op(5, 15, 1)]).is_ok());
+    }
+
+    #[test]
+    fn bad_increments_fail_regardless_of_reads() {
+        let incs = vec![op(0, 1, 1), op(2, 3, 1)];
+        assert_eq!(check_counter_with_reads(&incs, &[]).unwrap_err(), Violation::NotABijection);
     }
 }
 
@@ -245,6 +398,51 @@ mod proptests {
                 h.rotate_left(k);
             }
             prop_assert!(check_unit_counter(&h).is_ok());
+        }
+
+        #[test]
+        fn linearizable_histories_with_reads_pass(
+            n in 1usize..30,
+            read_slots in proptest::collection::vec((0usize..30, 0u64..900), 0..60),
+        ) {
+            let incs = linearizable_history(n, &[]);
+            // A read in slot i (after the i-th increment) returns i; the
+            // i-th increment linearizes at (i+1)*1000, so place the read
+            // strictly inside (i*1000, (i+1)*1000).
+            let reads: Vec<Op> = read_slots
+                .iter()
+                .map(|&(slot, jitter)| {
+                    let v = slot % (n + 1);
+                    let base = v as u64 * 1000;
+                    Op {
+                        start: SimTime::from_nanos(base + 10 + jitter.min(880)),
+                        end: SimTime::from_nanos(base + 20 + jitter.min(880)),
+                        value: v as i64,
+                    }
+                })
+                .collect();
+            prop_assert!(check_counter_with_reads(&incs, &reads).is_ok());
+        }
+
+        #[test]
+        fn displaced_disjoint_read_fails(
+            n in 2usize..30,
+            slot in 0usize..30,
+            wrong in 0usize..30,
+        ) {
+            let incs = linearizable_history(n, &[]);
+            let v = slot % (n + 1);
+            let wrong_v = wrong % (n + 1);
+            prop_assume!(wrong_v != v);
+            // A zero-jitter read inside slot v that *returns* a different
+            // value is disjoint from every op of the other slot: always a
+            // violation.
+            let read = Op {
+                start: SimTime::from_nanos(v as u64 * 1000 + 100),
+                end: SimTime::from_nanos(v as u64 * 1000 + 200),
+                value: wrong_v as i64,
+            };
+            prop_assert!(check_counter_with_reads(&incs, &[read]).is_err());
         }
 
         #[test]

@@ -305,8 +305,10 @@ fn smr_latency_is_roughly_double_the_unreplicated_latency() {
     sim.run_until_idle().expect_quiescent();
     let (plain, repl) = *out.lock();
     // Table 2: ~230 µs unreplicated, ~505 µs with rf=2.
-    assert!(plain > Duration::from_micros(150) && plain < Duration::from_micros(350),
-            "unreplicated latency {plain:?}");
+    assert!(
+        plain > Duration::from_micros(150) && plain < Duration::from_micros(350),
+        "unreplicated latency {plain:?}"
+    );
     let ratio = repl.as_secs_f64() / plain.as_secs_f64();
     assert!(ratio > 1.6 && ratio < 3.0, "rf=2 latency ratio {ratio}");
 }
@@ -336,4 +338,204 @@ fn deterministic_across_runs() {
     let a = run();
     let b = run();
     assert_eq!(a, b, "same seed must reproduce byte-identical outcomes");
+}
+
+// ---------------------------------------------------------------------------
+// Read fast path: replica reads, client cache, batched invocation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn replica_reads_observe_monotonic_versions_and_values() {
+    use dso::ConsistencyMode;
+    let mut sim = Sim::new(71);
+    let cfg = DsoConfig { consistency: ConsistencyMode::ReplicaReads, ..DsoConfig::default() };
+    let cluster = DsoCluster::start(&sim, 3, cfg, ObjectRegistry::with_builtins());
+    let handle = cluster.client_handle();
+    let writer = handle.clone();
+    sim.spawn("writer", move |ctx| {
+        let mut cli = writer.connect();
+        let c = api::AtomicLong::persistent("rr", 0, 3);
+        for _ in 0..60 {
+            c.increment_and_get(ctx, &mut cli).expect("write");
+            ctx.sleep(Duration::from_micros(300));
+        }
+    });
+    let observations: Arc<Mutex<Vec<(i64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let obs2 = observations.clone();
+    sim.spawn("reader", move |ctx| {
+        let mut cli = handle.connect();
+        let c = api::AtomicLong::persistent("rr", 0, 3);
+        for _ in 0..120 {
+            let v = c.get(ctx, &mut cli).expect("read");
+            let version = cli.observed_version(c.raw().object_ref());
+            obs2.lock().push((v, version));
+            ctx.sleep(Duration::from_micros(150));
+        }
+    });
+    sim.run_until_idle().expect_quiescent();
+    let obs = observations.lock();
+    assert_eq!(obs.len(), 120);
+    // Reads rotate over all three replicas, yet the session never moves
+    // backwards: values and versions are non-decreasing.
+    assert!(
+        obs.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1),
+        "monotonic reads violated: {obs:?}"
+    );
+    assert!(obs.last().expect("nonempty").0 > 0, "reader saw progress");
+}
+
+#[test]
+fn read_cache_with_lease_skips_round_trips_and_writes_invalidate() {
+    let mut sim = Sim::new(72);
+    let cfg = DsoConfig {
+        read_cache: true,
+        cache_lease: Some(Duration::from_millis(5)),
+        ..DsoConfig::default()
+    };
+    let cluster = DsoCluster::start(&sim, 2, cfg, ObjectRegistry::with_builtins());
+    let handle = cluster.client_handle();
+    let checked = Arc::new(Mutex::new(false));
+    let checked2 = checked.clone();
+    sim.spawn("client", move |ctx| {
+        let mut cli = handle.connect();
+        let c = api::AtomicLong::new("cached");
+        c.set(ctx, &mut cli, 7).expect("write");
+        let first = c.get(ctx, &mut cli).expect("read");
+        assert_eq!(first, 7);
+        // Within the lease the cached read costs only local work — far
+        // below a network round-trip.
+        let t0 = ctx.now();
+        let second = c.get(ctx, &mut cli).expect("read");
+        assert_eq!(second, 7);
+        assert!(
+            ctx.now() - t0 < Duration::from_micros(5),
+            "leased cache hit must skip the network: {:?}",
+            ctx.now() - t0
+        );
+        // A write through the same client invalidates the entry.
+        c.set(ctx, &mut cli, 8).expect("write");
+        assert_eq!(c.get(ctx, &mut cli).expect("read"), 8);
+        *checked2.lock() = true;
+    });
+    sim.run_until_idle().expect_quiescent();
+    assert!(*checked.lock());
+}
+
+#[test]
+fn read_cache_validation_catches_other_clients_writes() {
+    let mut sim = Sim::new(73);
+    let cfg = DsoConfig {
+        read_cache: true,
+        cache_lease: None, // validate every hit against the object version
+        ..DsoConfig::default()
+    };
+    let cluster = DsoCluster::start(&sim, 2, cfg, ObjectRegistry::with_builtins());
+    let handle = cluster.client_handle();
+    let handle2 = handle.clone();
+    let checked = Arc::new(Mutex::new(false));
+    let checked2 = checked.clone();
+    sim.spawn("reader", move |ctx| {
+        let mut cli = handle.connect();
+        let c = api::AtomicLong::new("xwrite");
+        c.set(ctx, &mut cli, 1).expect("write");
+        assert_eq!(c.get(ctx, &mut cli).expect("read"), 1);
+        // Let the other client write.
+        ctx.sleep(Duration::from_millis(50));
+        // Version validation must reject the cached 1 and refetch.
+        assert_eq!(c.get(ctx, &mut cli).expect("read"), 2);
+        *checked2.lock() = true;
+    });
+    sim.spawn("writer", move |ctx| {
+        ctx.sleep(Duration::from_millis(20));
+        let mut cli = handle2.connect();
+        let c = api::AtomicLong::new("xwrite");
+        c.set(ctx, &mut cli, 2).expect("write");
+    });
+    sim.run_until_idle().expect_quiescent();
+    assert!(*checked.lock());
+}
+
+#[test]
+fn batched_invocation_matches_singles_and_is_faster() {
+    let mut sim = Sim::new(74);
+    let cluster = start(&sim, 3);
+    let handle = cluster.client_handle();
+    let checked = Arc::new(Mutex::new(false));
+    let checked2 = checked.clone();
+    sim.spawn("client", move |ctx| {
+        let mut cli = handle.connect();
+        const N: usize = 32;
+        let counters: Vec<api::AtomicLong> =
+            (0..N).map(|i| api::AtomicLong::new(&format!("b{i}"))).collect();
+        for (i, c) in counters.iter().enumerate() {
+            c.set(ctx, &mut cli, i as i64).expect("write");
+        }
+        // Sequential reads: N round-trips.
+        let t0 = ctx.now();
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.get(ctx, &mut cli).expect("read"), i as i64);
+        }
+        let sequential = ctx.now() - t0;
+        // One batch: grouped into (at most) 3 node-level messages.
+        let ops: Vec<dso::BatchOp> = counters.iter().map(|c| c.raw().read_op("get", &())).collect();
+        let t0 = ctx.now();
+        let results = cli.invoke_batch(ctx, &ops);
+        let batched = ctx.now() - t0;
+        for (i, r) in results.iter().enumerate() {
+            let bytes = r.as_ref().expect("batch read");
+            let v: i64 = simcore::codec::from_bytes(bytes).expect("decode");
+            assert_eq!(v, i as i64);
+        }
+        assert!(
+            batched * 4 < sequential,
+            "batching must collapse round-trips: sequential={sequential:?} batched={batched:?}"
+        );
+        *checked2.lock() = true;
+    });
+    sim.run_until_idle().expect_quiescent();
+    assert!(*checked.lock());
+}
+
+#[test]
+fn batch_rejects_blocking_methods() {
+    let mut sim = Sim::new(75);
+    let cluster = start(&sim, 2);
+    let handle = cluster.client_handle();
+    let checked = Arc::new(Mutex::new(false));
+    let checked2 = checked.clone();
+    sim.spawn("client", move |ctx| {
+        let mut cli = handle.connect();
+        let b = api::CyclicBarrier::new("bb", 2);
+        let ops = vec![b.raw().op("await", &())];
+        let res = cli.invoke_batch(ctx, &ops);
+        assert!(
+            matches!(res[0], Err(dso::DsoError::Object(_))),
+            "parking inside a batch must be rejected: {:?}",
+            res[0]
+        );
+        *checked2.lock() = true;
+    });
+    sim.run_until_idle().expect_quiescent();
+    assert!(*checked.lock());
+}
+
+#[test]
+fn declared_readonly_mismatch_is_rejected() {
+    let mut sim = Sim::new(76);
+    let cluster = start(&sim, 2);
+    let handle = cluster.client_handle();
+    let checked = Arc::new(Mutex::new(false));
+    let checked2 = checked.clone();
+    sim.spawn("client", move |ctx| {
+        let mut cli = handle.connect();
+        let c = api::AtomicLong::new("strict");
+        c.set(ctx, &mut cli, 1).expect("write");
+        // Claiming a mutating method is read-only must fail loudly rather
+        // than silently skipping replication.
+        let err = c.raw().call_read::<i64, i64>(ctx, &mut cli, "addAndGet", &1).unwrap_err();
+        assert!(matches!(err, dso::DsoError::Object(_)), "{err}");
+        *checked2.lock() = true;
+    });
+    sim.run_until_idle().expect_quiescent();
+    assert!(*checked.lock());
 }

@@ -71,3 +71,91 @@ fn single_client_history_is_strictly_sequential() {
     }
     check_unit_counter(&h).expect("sequential history is linearizable");
 }
+
+// ---------------------------------------------------------------------------
+// Histories with reads: the read fast path must stay linearizable in the
+// default (primary-reads) mode.
+// ---------------------------------------------------------------------------
+
+fn record_mixed_history(
+    seed: u64,
+    nodes: u32,
+    writers: u32,
+    readers: u32,
+    ops_per_thread: u32,
+    rf: u8,
+) -> (Vec<Op>, Vec<Op>) {
+    let mut sim = Sim::new(seed);
+    let cluster =
+        DsoCluster::start(&sim, nodes, DsoConfig::default(), ObjectRegistry::with_builtins());
+    let handle = cluster.client_handle();
+    let incs: Arc<Mutex<Vec<Op>>> = Arc::new(Mutex::new(Vec::new()));
+    let reads: Arc<Mutex<Vec<Op>>> = Arc::new(Mutex::new(Vec::new()));
+    let counter_for = move |rf: u8| {
+        if rf > 1 {
+            AtomicLong::persistent("mixed-counter", 0, rf)
+        } else {
+            AtomicLong::new("mixed-counter")
+        }
+    };
+    for t in 0..writers {
+        let handle = handle.clone();
+        let incs = incs.clone();
+        sim.spawn(&format!("w{t}"), move |ctx| {
+            use rand::RngExt;
+            let mut cli = handle.connect();
+            let counter = counter_for(rf);
+            for _ in 0..ops_per_thread {
+                let think: u64 = ctx.rng().random_range(0..2_000_000);
+                ctx.sleep(std::time::Duration::from_nanos(think));
+                let start = ctx.now();
+                let value = counter.increment_and_get(ctx, &mut cli).expect("dso");
+                let end = ctx.now();
+                incs.lock().push(Op { start, end, value });
+            }
+        });
+    }
+    for t in 0..readers {
+        let handle = handle.clone();
+        let reads = reads.clone();
+        sim.spawn(&format!("r{t}"), move |ctx| {
+            use rand::RngExt;
+            let mut cli = handle.connect();
+            let counter = counter_for(rf);
+            for _ in 0..ops_per_thread {
+                let think: u64 = ctx.rng().random_range(0..2_000_000);
+                ctx.sleep(std::time::Duration::from_nanos(think));
+                let start = ctx.now();
+                let value = counter.get(ctx, &mut cli).expect("dso");
+                let end = ctx.now();
+                reads.lock().push(Op { start, end, value });
+            }
+        });
+    }
+    sim.run_until_idle().expect_quiescent();
+    let i = incs.lock().clone();
+    let r = reads.lock().clone();
+    (i, r)
+}
+
+#[test]
+fn mixed_increments_and_reads_are_linearizable() {
+    use dso::verify::check_counter_with_reads;
+    for seed in [31, 32, 33] {
+        let (incs, reads) = record_mixed_history(seed, 2, 10, 10, 15, 1);
+        assert_eq!(incs.len(), 10 * 15);
+        assert_eq!(reads.len(), 10 * 15);
+        check_counter_with_reads(&incs, &reads).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+    }
+}
+
+#[test]
+fn replicated_mixed_history_is_linearizable() {
+    use dso::verify::check_counter_with_reads;
+    for seed in [41, 42] {
+        let (incs, reads) = record_mixed_history(seed, 3, 8, 8, 12, 2);
+        assert_eq!(incs.len(), 8 * 12);
+        assert_eq!(reads.len(), 8 * 12);
+        check_counter_with_reads(&incs, &reads).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+    }
+}

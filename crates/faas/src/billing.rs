@@ -18,10 +18,7 @@ pub struct Pricing {
 
 impl Default for Pricing {
     fn default() -> Self {
-        Pricing {
-            per_gb_second: 0.000_016_666_7,
-            per_request: 0.000_000_2,
-        }
+        Pricing { per_gb_second: 0.000_016_666_7, per_request: 0.000_000_2 }
     }
 }
 
@@ -83,8 +80,7 @@ impl Billing {
 
     /// Dollar cost under `pricing`.
     pub fn cost(&self, pricing: Pricing) -> f64 {
-        self.gb_seconds() * pricing.per_gb_second
-            + self.invocations() as f64 * pricing.per_request
+        self.gb_seconds() * pricing.per_gb_second + self.invocations() as f64 * pricing.per_request
     }
 
     /// Forgets all records (e.g. to exclude a warm-up phase from Table 3).

@@ -28,11 +28,7 @@ pub struct FnCtx<'a> {
 impl<'a> FnCtx<'a> {
     /// Creates a context for a container with the given memory.
     pub fn new(ctx: &'a mut Ctx, memory_mb: u32) -> FnCtx<'a> {
-        FnCtx {
-            ctx,
-            cpu_share: cpu_share_for(memory_mb),
-            memory_mb,
-        }
+        FnCtx { ctx, cpu_share: cpu_share_for(memory_mb), memory_mb }
     }
 
     /// Performs `work` of single-vCPU CPU time, stretched by this
@@ -122,13 +118,9 @@ impl FunctionRegistry {
 
     /// Deploys (or replaces) a function.
     pub fn register<F: CloudFunction>(&self, name: &str, memory_mb: u32, handler: F) {
-        self.inner.lock().insert(
-            name.to_string(),
-            FunctionSpec {
-                handler: Arc::new(handler),
-                memory_mb,
-            },
-        );
+        self.inner
+            .lock()
+            .insert(name.to_string(), FunctionSpec { handler: Arc::new(handler), memory_mb });
     }
 
     /// Resolves a function by name.

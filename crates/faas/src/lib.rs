@@ -118,10 +118,7 @@ mod tests {
     #[test]
     fn concurrency_limit_queues_invocations() {
         let mut sim = Sim::new(4);
-        let cfg = FaasConfig {
-            concurrency_limit: 1,
-            ..FaasConfig::default()
-        };
+        let cfg = FaasConfig { concurrency_limit: 1, ..FaasConfig::default() };
         let faas = spawn_platform(&sim, cfg, echo_registry());
         let latest = Arc::new(Mutex::new(SimTime::ZERO));
         for i in 0..4 {
@@ -183,10 +180,7 @@ mod tests {
     #[test]
     fn failure_injection_fails_some_invocations() {
         let mut sim = Sim::new(6);
-        let cfg = FaasConfig {
-            failure_rate: 0.5,
-            ..FaasConfig::default()
-        };
+        let cfg = FaasConfig { failure_rate: 0.5, ..FaasConfig::default() };
         let faas = spawn_platform(&sim, cfg, echo_registry());
         let failures = Arc::new(Mutex::new(0usize));
         let f2 = failures.clone();
@@ -206,16 +200,16 @@ mod tests {
     fn handler_errors_propagate() {
         let mut sim = Sim::new(7);
         let reg = FunctionRegistry::new();
-        reg.register("bad", 1792, |_env: &mut FnCtx<'_>, _| {
-            Err("application exploded".to_string())
-        });
+        reg.register(
+            "bad",
+            1792,
+            |_env: &mut FnCtx<'_>, _| Err("application exploded".to_string()),
+        );
         let faas = spawn_platform(&sim, FaasConfig::default(), reg);
         let f2 = faas.clone();
-        sim.spawn("client", move |ctx| {
-            match f2.invoke(ctx, "bad", vec![]) {
-                Err(FaasError::Failed(e)) => assert!(e.contains("exploded")),
-                other => panic!("expected failure, got {other:?}"),
-            }
+        sim.spawn("client", move |ctx| match f2.invoke(ctx, "bad", vec![]) {
+            Err(FaasError::Failed(e)) => assert!(e.contains("exploded")),
+            other => panic!("expected failure, got {other:?}"),
         });
         sim.run_until_idle().expect_quiescent();
         assert_eq!(faas.billing().invocations(), 1);
@@ -224,10 +218,7 @@ mod tests {
     #[test]
     fn timeout_cap_enforced() {
         let mut sim = Sim::new(8);
-        let cfg = FaasConfig {
-            max_duration: Duration::from_millis(50),
-            ..FaasConfig::default()
-        };
+        let cfg = FaasConfig { max_duration: Duration::from_millis(50), ..FaasConfig::default() };
         let reg = FunctionRegistry::new();
         reg.register("forever", 1792, |env: &mut FnCtx<'_>, _| {
             env.compute(Duration::from_secs(10));

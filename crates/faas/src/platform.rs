@@ -115,14 +115,7 @@ impl FaasHandle {
     /// exactly as the paper argues (§4.4).
     pub fn invoke(&self, ctx: &mut Ctx, function: &str, payload: Vec<u8>) -> InvokeResult {
         let lat = self.cfg.warm_dispatch.sample(ctx.rng());
-        ctx.call(
-            self.addr,
-            InvokeFn {
-                function: function.to_string(),
-                payload,
-            },
-            lat,
-        )
+        ctx.call(self.addr, InvokeFn { function: function.to_string(), payload }, lat)
     }
 
     /// The shared billing ledger.
@@ -140,11 +133,7 @@ impl FaasHandle {
 pub fn spawn_platform(sim: &Sim, cfg: FaasConfig, registry: FunctionRegistry) -> FaasHandle {
     let inbox = sim.mailbox("faas");
     let billing = Billing::new();
-    let handle = FaasHandle {
-        addr: inbox,
-        billing: billing.clone(),
-        cfg: cfg.clone(),
-    };
+    let handle = FaasHandle { addr: inbox, billing: billing.clone(), cfg: cfg.clone() };
     sim.spawn_daemon("faas", move |ctx| {
         platform_loop(ctx, inbox, cfg, registry, billing);
     });
@@ -172,15 +161,22 @@ fn platform_loop(
         let msg = match msg.try_take::<ContainerFree>() {
             Ok(free) => {
                 running = running.saturating_sub(1);
-                warm.entry(free.function).or_default().push(WarmContainer {
-                    addr: free.container,
-                    last_used: ctx.now(),
-                });
+                warm.entry(free.function)
+                    .or_default()
+                    .push(WarmContainer { addr: free.container, last_used: ctx.now() });
                 // Admit one queued invocation, if any.
                 if let Some((function, job)) = pending.pop_front() {
                     dispatch(
-                        ctx, inbox, &cfg, &registry, &billing, &mut warm, &mut running,
-                        &mut next_container, function, job,
+                        ctx,
+                        inbox,
+                        &cfg,
+                        &registry,
+                        &billing,
+                        &mut warm,
+                        &mut running,
+                        &mut next_container,
+                        function,
+                        job,
                     );
                 }
                 continue;
@@ -197,18 +193,22 @@ fn platform_loop(
             );
             continue;
         }
-        let job = Job {
-            payload: invoke.payload,
-            reply_to,
-            cold: false,
-        };
+        let job = Job { payload: invoke.payload, reply_to, cold: false };
         if running >= cfg.concurrency_limit {
             pending.push_back((invoke.function, job));
             continue;
         }
         dispatch(
-            ctx, inbox, &cfg, &registry, &billing, &mut warm, &mut running,
-            &mut next_container, invoke.function, job,
+            ctx,
+            inbox,
+            &cfg,
+            &registry,
+            &billing,
+            &mut warm,
+            &mut running,
+            &mut next_container,
+            invoke.function,
+            job,
         );
     }
 }
@@ -296,19 +296,13 @@ fn container_loop(
             cold_start: job.cold,
             failed: result.is_err() || timed_out,
         });
-        let reply: InvokeResult = if timed_out {
-            Err(FaasError::TimedOut)
-        } else {
-            result.map_err(FaasError::Failed)
-        };
+        let reply: InvokeResult =
+            if timed_out { Err(FaasError::TimedOut) } else { result.map_err(FaasError::Failed) };
         let lat = cfg.response.sample(ctx.rng());
         ctx.reply(job.reply_to, reply, lat);
         ctx.send(
             platform,
-            Msg::new(ContainerFree {
-                function: function.clone(),
-                container: inbox,
-            }),
+            Msg::new(ContainerFree { function: function.clone(), container: inbox }),
             Duration::ZERO,
         );
     }

@@ -29,11 +29,7 @@ pub struct DatasetScale {
 
 impl Default for DatasetScale {
     fn default() -> Self {
-        DatasetScale {
-            total_points: 55_600_000,
-            dims: 100,
-            partitions: 80,
-        }
+        DatasetScale { total_points: 55_600_000, dims: 100, partitions: 80 }
     }
 }
 

@@ -45,9 +45,7 @@ fn gaussian(rng: &mut StdRng) -> f64 {
 /// partition so the global structure is coherent).
 pub fn true_centers(seed: u64, k: usize, dims: usize) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
-    (0..k)
-        .map(|_| (0..dims).map(|_| rng.random_range(-10.0..10.0)).collect())
-        .collect()
+    (0..k).map(|_| (0..dims).map(|_| rng.random_range(-10.0..10.0)).collect()).collect()
 }
 
 /// Generates one k-means partition: `n` points around `k` shared centers

@@ -10,7 +10,10 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use simcore::{Sim, SimTime};
 
-use crucial::{join_all, AtomicByteArray, CrucialConfig, Deployment, FnEnv, RunResult, Runnable};
+use crucial::{
+    join_all, AtomicByteArray, BatchOp, ConsistencyMode, CrucialConfig, Deployment, FnEnv,
+    RunResult, Runnable,
+};
 
 /// Parameters of the serving experiment.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -38,6 +41,15 @@ pub struct InferenceConfig {
     pub add_at: Option<Duration>,
     /// Local distance computation per inference on one vCPU.
     pub per_inference_compute: Duration,
+    /// Fetch the whole model with one batched invocation per node instead
+    /// of `centroids` sequential round-trips.
+    pub batch_reads: bool,
+    /// Routing of the (read-only) centroid fetches.
+    pub consistency: ConsistencyMode,
+    /// Client-side read cache (version-validated).
+    pub read_cache: bool,
+    /// Lease during which cached reads skip the validation round-trip.
+    pub cache_lease: Option<Duration>,
 }
 
 impl Default for InferenceConfig {
@@ -54,6 +66,10 @@ impl Default for InferenceConfig {
             crash_at: Some(Duration::from_secs(120)),
             add_at: Some(Duration::from_secs(240)),
             per_inference_compute: Duration::from_millis(8),
+            batch_reads: false,
+            consistency: ConsistencyMode::default(),
+            read_cache: false,
+            cache_lease: None,
         }
     }
 }
@@ -74,12 +90,8 @@ impl InferenceReport {
         if to <= from {
             return 0.0;
         }
-        let sum: u64 = self
-            .per_second
-            .iter()
-            .filter(|(s, _)| *s >= from && *s < to)
-            .map(|(_, n)| *n)
-            .sum();
+        let sum: u64 =
+            self.per_second.iter().filter(|(s, _)| *s >= from && *s < to).map(|(_, n)| *n).sum();
         sum as f64 / (to - from) as f64
     }
 }
@@ -101,33 +113,34 @@ impl Runnable for InferenceWorker {
         let completions = env.blackboard().series("inference-completions");
         let errors = env.blackboard().series("inference-errors");
         let model: Vec<AtomicByteArray> = (0..self.cfg.centroids)
-            .map(|i| {
-                AtomicByteArray::persistent(
-                    &format!("centroid-{i}"),
-                    Vec::new(),
-                    self.cfg.rf,
-                )
-            })
+            .map(|i| AtomicByteArray::persistent(&format!("centroid-{i}"), Vec::new(), self.cfg.rf))
             .collect();
+        let batch: Vec<BatchOp> = if self.cfg.batch_reads {
+            model.iter().map(|c| c.raw().read_op("get", &())).collect()
+        } else {
+            Vec::new()
+        };
         let deadline = SimTime::from_nanos(self.deadline_nanos);
         while env.ctx().now() < deadline {
             let mut ok = true;
-            for c in &model {
+            if self.cfg.batch_reads {
                 let (ctx, dso) = env.dso();
-                match c.get(ctx, dso) {
-                    Ok(_bytes) => {}
-                    Err(_e) => {
-                        // Node failure window: back off briefly and retry
-                        // the whole inference.
+                ok = dso.invoke_batch(ctx, &batch).iter().all(Result::is_ok);
+            } else {
+                for c in &model {
+                    let (ctx, dso) = env.dso();
+                    if c.get(ctx, dso).is_err() {
                         ok = false;
-                        let now = env.ctx().now();
-                        errors.push(now, 1.0);
-                        env.ctx().sleep(Duration::from_millis(100));
                         break;
                     }
                 }
             }
             if !ok {
+                // Node failure window: back off briefly and retry the
+                // whole inference.
+                let now = env.ctx().now();
+                errors.push(now, 1.0);
+                env.ctx().sleep(Duration::from_millis(100));
                 continue;
             }
             env.compute(self.cfg.per_inference_compute);
@@ -142,12 +155,12 @@ impl Runnable for InferenceWorker {
 /// serving functions, node crash and node arrival per `cfg`.
 pub fn run_inference_serving(cfg: &InferenceConfig) -> InferenceReport {
     let mut sim = Sim::new(cfg.seed);
-    let ccfg = CrucialConfig {
-        dso_nodes: cfg.dso_nodes,
-        ..CrucialConfig::default()
-    };
+    let ccfg = CrucialConfig { dso_nodes: cfg.dso_nodes, ..CrucialConfig::default() };
     let mut ccfg = ccfg;
     ccfg.dso.workers_per_node = cfg.dso_workers_per_node;
+    ccfg.dso.consistency = cfg.consistency;
+    ccfg.dso.read_cache = cfg.read_cache;
+    ccfg.dso.cache_lease = cfg.cache_lease;
     let mut dep = Deployment::start(&sim, ccfg);
     dep.register::<InferenceWorker>();
     let threads = dep.threads();
@@ -167,11 +180,7 @@ pub fn run_inference_serving(cfg: &InferenceConfig) -> InferenceReport {
         }
         let deadline_nanos = (ctx.now() + cfg2.duration).as_nanos();
         let workers: Vec<InferenceWorker> = (0..cfg2.threads)
-            .map(|thread_id| InferenceWorker {
-                thread_id,
-                cfg: cfg2.clone(),
-                deadline_nanos,
-            })
+            .map(|thread_id| InferenceWorker { thread_id, cfg: cfg2.clone(), deadline_nanos })
             .collect();
         let handles = threads.start_all(ctx, &workers);
         join_all(ctx, handles).expect("serving functions finish");
@@ -222,10 +231,7 @@ pub fn run_inference_serving(cfg: &InferenceConfig) -> InferenceReport {
         }
         eprintln!("total errors: {}", errors.len());
     }
-    InferenceReport {
-        per_second: buckets.into_iter().collect(),
-        total: points.len() as u64,
-    }
+    InferenceReport { per_second: buckets.into_iter().collect(), total: points.len() as u64 }
 }
 
 /// Debug variant printing per-second completions and errors (scratch).
@@ -255,6 +261,10 @@ mod tests {
             crash_at: Some(Duration::from_secs(10)),
             add_at: Some(Duration::from_secs(20)),
             per_inference_compute: Duration::from_millis(8),
+            batch_reads: false,
+            consistency: ConsistencyMode::default(),
+            read_cache: false,
+            cache_lease: None,
         }
     }
 
@@ -269,13 +279,28 @@ mod tests {
         // After the new node joined and rebalancing settled.
         let after = report.mean_rate(25, 30);
         assert!(before > 0.0);
+        assert!(during < before, "crash must dent throughput: before={before} during={during}");
+        assert!(after > during, "new node must restore throughput: during={during} after={after}");
+    }
+
+    #[test]
+    fn batched_reads_beat_sequential_round_trips() {
+        let mut seq = tiny_cfg();
+        seq.crash_at = None;
+        seq.add_at = None;
+        seq.duration = Duration::from_secs(15);
+        let mut bat = seq.clone();
+        bat.batch_reads = true;
+        let r_seq = run_inference_serving(&seq);
+        let r_bat = run_inference_serving(&bat);
+        // 24 sequential round-trips vs one batched message per node: the
+        // model fetch shrinks from ~24 RTTs to ~1, so total completions
+        // in the same virtual time must rise.
         assert!(
-            during < before,
-            "crash must dent throughput: before={before} during={during}"
-        );
-        assert!(
-            after > during,
-            "new node must restore throughput: during={during} after={after}"
+            r_bat.total > r_seq.total,
+            "batching must raise throughput: sequential={} batched={}",
+            r_seq.total,
+            r_bat.total
         );
     }
 

@@ -60,9 +60,7 @@ pub fn assign_partials(
 pub fn initial_centroids(seed: u64, k: u32, dims: usize) -> Vec<Vec<f64>> {
     use rand::{RngExt, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(0xC0FFEE));
-    (0..k)
-        .map(|_| (0..dims).map(|_| rng.random_range(-10.0..10.0)).collect())
-        .collect()
+    (0..k).map(|_| (0..dims).map(|_| rng.random_range(-10.0..10.0)).collect()).collect()
 }
 
 fn flatten(v: &[Vec<f64>]) -> Vec<f64> {
@@ -219,9 +217,7 @@ impl Runnable for KMeansWorker {
                 self.barrier.wait(ctx, dso).map_err(|e| e.to_string())?;
                 // globalIterCount.compareAndSet(iterCount, iterCount + 1)
                 let i = generation as i64;
-                self.iterations
-                    .compare_and_set(ctx, dso, i, i + 1)
-                    .map_err(|e| e.to_string())?;
+                self.iterations.compare_and_set(ctx, dso, i, i + 1).map_err(|e| e.to_string())?;
             }
         }
         if self.worker_id == 0 {
@@ -236,10 +232,7 @@ impl Runnable for KMeansWorker {
 /// Runs k-means on Crucial (cloud threads + DSO), returning the report.
 pub fn run_crucial_kmeans(cfg: &KMeansConfig) -> KMeansReport {
     let mut sim = Sim::new(cfg.seed);
-    let mut ccfg = CrucialConfig {
-        dso_nodes: cfg.dso_nodes,
-        ..CrucialConfig::default()
-    };
+    let mut ccfg = CrucialConfig { dso_nodes: cfg.dso_nodes, ..CrucialConfig::default() };
     register_ml_objects(&mut ccfg.registry);
     let dep = Deployment::start(&sim, ccfg);
     dep.register_with_memory::<KMeansWorker>(cfg.memory_mb);
@@ -319,9 +312,8 @@ pub fn run_spark_kmeans(cfg: &KMeansConfig) -> KMeansReport {
     {
         let k = cfg.k;
         let dims = cfg.dims;
-        registry.register("km_load", move |_part, _b, _a| {
-            (Vec::new(), partition_load_cost(&scale))
-        });
+        registry
+            .register("km_load", move |_part, _b, _a| (Vec::new(), partition_load_cost(&scale)));
         registry.register("km_assign", move |part, bcast, _args| {
             let points: crate::datagen::PointsPartition =
                 simcore::codec::from_bytes(part).expect("partition decodes");
@@ -404,10 +396,8 @@ pub fn run_spark_kmeans(cfg: &KMeansConfig) -> KMeansReport {
             let bcast = simcore::codec::to_bytes(&flatten(&centroids)).expect("encode");
             spark.broadcast(ctx, bcast);
             let costs = spark.run_stage(ctx, "km_cost", Vec::new());
-            let sse: f64 = costs
-                .iter()
-                .map(|r| simcore::codec::from_bytes::<f64>(r).expect("decode"))
-                .sum();
+            let sse: f64 =
+                costs.iter().map(|r| simcore::codec::from_bytes::<f64>(r).expect("decode")).sum();
             sse_series.push(sse);
         }
         let iteration_phase = ctx.now() - t_iter0;
@@ -538,10 +528,7 @@ impl Runnable for KMeansRedisWorker {
 /// Runs the Redis-backed k-means (Fig. 5's "Crucial + Redis" series).
 pub fn run_redis_kmeans(cfg: &KMeansConfig) -> KMeansReport {
     let mut sim = Sim::new(cfg.seed);
-    let mut ccfg = CrucialConfig {
-        dso_nodes: cfg.dso_nodes,
-        ..CrucialConfig::default()
-    };
+    let mut ccfg = CrucialConfig { dso_nodes: cfg.dso_nodes, ..CrucialConfig::default() };
     register_ml_objects(&mut ccfg.registry);
     let dep = Deployment::start(&sim, ccfg);
     // One r5.2xlarge Redis instance (the paper's storage swap).
@@ -630,13 +617,8 @@ pub fn run_local_kmeans(cfg: &KMeansConfig, cores: u32) -> KMeansReport {
         let cfg = cfg.clone();
         let t_end = t_end.clone();
         sim.spawn(&format!("local-{w}"), move |ctx| {
-            let part = kmeans_partition(
-                cfg.seed,
-                w as usize,
-                cfg.sample_points,
-                cfg.dims,
-                cfg.k as usize,
-            );
+            let part =
+                kmeans_partition(cfg.seed, w as usize, cfg.sample_points, cfg.dims, cfg.k as usize);
             let assign_cost = kmeans_assign_cost(&cfg.scale, cfg.k);
             for _ in 0..cfg.iterations {
                 let current = shared.lock().centroids.clone();
@@ -663,7 +645,9 @@ pub fn run_local_kmeans(cfg: &KMeansConfig, cores: u32) -> KMeansReport {
                             sse,
                             sse_acc,
                         } = &mut *st;
-                        for (c, (s, n)) in centroids.iter_mut().zip(acc_sums.iter().zip(acc_counts.iter())) {
+                        for (c, (s, n)) in
+                            centroids.iter_mut().zip(acc_sums.iter().zip(acc_counts.iter()))
+                        {
                             if *n > 0 {
                                 for (cv, sv) in c.iter_mut().zip(s) {
                                     *cv = sv / *n as f64;
@@ -728,11 +712,7 @@ mod tests {
             iterations: 3,
             sample_points: 60,
             dims: 8,
-            scale: DatasetScale {
-                total_points: 400_000,
-                dims: 8,
-                partitions: 4,
-            },
+            scale: DatasetScale { total_points: 400_000, dims: 8, partitions: 4 },
             include_load: false,
             dso_nodes: 1,
             memory_mb: 2048,
@@ -803,11 +783,7 @@ mod tests {
             iterations: 3,
             sample_points: 40,
             dims: 100,
-            scale: DatasetScale {
-                total_points: 80_000,
-                dims: 100,
-                partitions: 8,
-            },
+            scale: DatasetScale { total_points: 80_000, dims: 100, partitions: 8 },
             include_load: false,
             dso_nodes: 1,
             memory_mb: 2048,

@@ -94,10 +94,7 @@ impl Default for LogRegConfig {
 
 impl LogRegConfig {
     fn scale_for(&self) -> DatasetScale {
-        DatasetScale {
-            partitions: self.workers,
-            ..self.scale
-        }
+        DatasetScale { partitions: self.workers, ..self.scale }
     }
 }
 
@@ -182,10 +179,7 @@ impl Runnable for LogRegWorker {
 /// Runs logistic regression on Crucial.
 pub fn run_crucial_logreg(cfg: &LogRegConfig) -> LogRegReport {
     let mut sim = Sim::new(cfg.seed);
-    let mut ccfg = CrucialConfig {
-        dso_nodes: cfg.dso_nodes,
-        ..CrucialConfig::default()
-    };
+    let mut ccfg = CrucialConfig { dso_nodes: cfg.dso_nodes, ..CrucialConfig::default() };
     register_ml_objects(&mut ccfg.registry);
     let dep = Deployment::start(&sim, ccfg);
     dep.register_with_memory::<LogRegWorker>(cfg.memory_mb);
@@ -259,18 +253,13 @@ pub fn run_spark_logreg(cfg: &LogRegConfig) -> LogRegReport {
     let scale = cfg.scale_for();
     let registry = TaskRegistry::new();
     {
-        registry.register("lr_load", move |_p, _b, _a| {
-            (Vec::new(), partition_load_cost(&scale))
-        });
+        registry.register("lr_load", move |_p, _b, _a| (Vec::new(), partition_load_cost(&scale)));
         registry.register("lr_grad", move |part, bcast, _args| {
             let data: crate::datagen::LabeledPartition =
                 simcore::codec::from_bytes(part).expect("partition decodes");
             let w: Vec<f64> = simcore::codec::from_bytes(bcast).expect("broadcast decodes");
             let (grad, loss) = gradient_and_loss(&data.points, &data.labels, &w);
-            (
-                simcore::codec::to_bytes(&(grad, loss)).expect("encode"),
-                logreg_grad_cost(&scale),
-            )
+            (simcore::codec::to_bytes(&(grad, loss)).expect("encode"), logreg_grad_cost(&scale))
         });
     }
     let spark = spawn_cluster(&sim, 10, 8, spark_logreg_cost_model(), registry);
@@ -280,8 +269,7 @@ pub fn run_spark_logreg(cfg: &LogRegConfig) -> LogRegReport {
     sim.spawn("spark-logreg-app", move |ctx| {
         let partitions: Vec<Vec<u8>> = (0..cfg.workers)
             .map(|p| {
-                let part =
-                    logreg_partition(cfg.seed, p as usize, cfg.sample_points, cfg.dims);
+                let part = logreg_partition(cfg.seed, p as usize, cfg.sample_points, cfg.dims);
                 simcore::codec::to_bytes(&part).expect("encode")
             })
             .collect();
@@ -339,11 +327,7 @@ mod tests {
             sample_points: 100,
             dims: 10,
             learning_rate: 1.0,
-            scale: DatasetScale {
-                total_points: 200_000,
-                dims: 10,
-                partitions: 4,
-            },
+            scale: DatasetScale { total_points: 200_000, dims: 10, partitions: 4 },
             include_load: false,
             dso_nodes: 1,
             memory_mb: 1792,

@@ -8,7 +8,9 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use dso::api::RawHandle;
-use dso::{costs, CallCtx, DsoClient, DsoError, Effects, ObjectError, ObjectRegistry, SharedObject};
+use dso::{
+    costs, CallCtx, DsoClient, DsoError, Effects, ObjectError, ObjectRegistry, SharedObject,
+};
 use serde::{Deserialize, Serialize};
 use simcore::Ctx;
 
@@ -148,7 +150,12 @@ impl GlobalCentroids {
 }
 
 impl SharedObject for GlobalCentroids {
-    fn invoke(&mut self, _call: &CallCtx, method: &str, args: &[u8]) -> Result<Effects, ObjectError> {
+    fn invoke(
+        &mut self,
+        _call: &CallCtx,
+        method: &str,
+        args: &[u8],
+    ) -> Result<Effects, ObjectError> {
         match method {
             // -> (generation, flattened centroids)
             "read" => {
@@ -166,13 +173,17 @@ impl SharedObject for GlobalCentroids {
         }
     }
 
+    fn is_readonly(&self, method: &str) -> bool {
+        matches!(method, "read")
+    }
+
     fn save(&self) -> Vec<u8> {
         simcore::codec::to_bytes(self).expect("centroids encode")
     }
 
     fn restore(&mut self, state: &[u8]) -> Result<(), ObjectError> {
-        *self = simcore::codec::from_bytes(state)
-            .map_err(|e| ObjectError::BadState(e.to_string()))?;
+        *self =
+            simcore::codec::from_bytes(state).map_err(|e| ObjectError::BadState(e.to_string()))?;
         Ok(())
     }
 }
@@ -199,11 +210,7 @@ impl CentroidsHandle {
 
     fn with_rf(key: &str, init: CentroidsInit, rf: u8) -> CentroidsHandle {
         let (k, dims) = (init.k, init.dims);
-        CentroidsHandle {
-            raw: RawHandle::new(GlobalCentroids::TYPE, key, rf, &init),
-            k,
-            dims,
-        }
+        CentroidsHandle { raw: RawHandle::new(GlobalCentroids::TYPE, key, rf, &init), k, dims }
     }
 
     /// Reads `(generation, centroids)` (un-flattened).
@@ -211,8 +218,12 @@ impl CentroidsHandle {
     /// # Errors
     ///
     /// Propagates [`DsoError`].
-    pub fn read(&self, ctx: &mut Ctx, cli: &mut DsoClient) -> Result<(u64, Vec<Vec<f64>>), DsoError> {
-        let (generation, flat): (u64, Vec<f64>) = self.raw.call(ctx, cli, "read", &())?;
+    pub fn read(
+        &self,
+        ctx: &mut Ctx,
+        cli: &mut DsoClient,
+    ) -> Result<(u64, Vec<Vec<f64>>), DsoError> {
+        let (generation, flat): (u64, Vec<f64>) = self.raw.call_read(ctx, cli, "read", &())?;
         let d = self.dims as usize;
         let centroids = flat.chunks(d).map(<[f64]>::to_vec).collect();
         Ok((generation, centroids))
@@ -266,7 +277,12 @@ impl GlobalDelta {
 }
 
 impl SharedObject for GlobalDelta {
-    fn invoke(&mut self, _call: &CallCtx, method: &str, args: &[u8]) -> Result<Effects, ObjectError> {
+    fn invoke(
+        &mut self,
+        _call: &CallCtx,
+        method: &str,
+        args: &[u8],
+    ) -> Result<Effects, ObjectError> {
         match method {
             "add" => {
                 let (generation, v): (u64, f64) = dec(args)?;
@@ -290,13 +306,17 @@ impl SharedObject for GlobalDelta {
         }
     }
 
+    fn is_readonly(&self, method: &str) -> bool {
+        matches!(method, "get" | "history")
+    }
+
     fn save(&self) -> Vec<u8> {
         simcore::codec::to_bytes(self).expect("delta encodes")
     }
 
     fn restore(&mut self, state: &[u8]) -> Result<(), ObjectError> {
-        *self = simcore::codec::from_bytes(state)
-            .map_err(|e| ObjectError::BadState(e.to_string()))?;
+        *self =
+            simcore::codec::from_bytes(state).map_err(|e| ObjectError::BadState(e.to_string()))?;
         Ok(())
     }
 }
@@ -310,9 +330,7 @@ pub struct DeltaHandle {
 impl DeltaHandle {
     /// Handle to an ephemeral delta accumulator.
     pub fn new(key: &str) -> DeltaHandle {
-        DeltaHandle {
-            raw: RawHandle::new(GlobalDelta::TYPE, key, 1, &()),
-        }
+        DeltaHandle { raw: RawHandle::new(GlobalDelta::TYPE, key, 1, &()) }
     }
 
     /// Adds a worker's contribution for a generation; returns the running
@@ -321,7 +339,13 @@ impl DeltaHandle {
     /// # Errors
     ///
     /// Propagates [`DsoError`].
-    pub fn add(&self, ctx: &mut Ctx, cli: &mut DsoClient, generation: u64, v: f64) -> Result<f64, DsoError> {
+    pub fn add(
+        &self,
+        ctx: &mut Ctx,
+        cli: &mut DsoClient,
+        generation: u64,
+        v: f64,
+    ) -> Result<f64, DsoError> {
         self.raw.call(ctx, cli, "add", &(generation, v))
     }
 
@@ -330,8 +354,13 @@ impl DeltaHandle {
     /// # Errors
     ///
     /// Propagates [`DsoError`].
-    pub fn get(&self, ctx: &mut Ctx, cli: &mut DsoClient, generation: u64) -> Result<(f64, u32), DsoError> {
-        self.raw.call(ctx, cli, "get", &generation)
+    pub fn get(
+        &self,
+        ctx: &mut Ctx,
+        cli: &mut DsoClient,
+        generation: u64,
+    ) -> Result<(f64, u32), DsoError> {
+        self.raw.call_read(ctx, cli, "get", &generation)
     }
 
     /// Full per-generation history `(generation, sum, contributions)`.
@@ -339,8 +368,12 @@ impl DeltaHandle {
     /// # Errors
     ///
     /// Propagates [`DsoError`].
-    pub fn history(&self, ctx: &mut Ctx, cli: &mut DsoClient) -> Result<Vec<(u64, f64, u32)>, DsoError> {
-        self.raw.call(ctx, cli, "history", &())
+    pub fn history(
+        &self,
+        ctx: &mut Ctx,
+        cli: &mut DsoClient,
+    ) -> Result<Vec<(u64, f64, u32)>, DsoError> {
+        self.raw.call_read(ctx, cli, "history", &())
     }
 }
 
@@ -401,7 +434,12 @@ impl GlobalWeights {
 }
 
 impl SharedObject for GlobalWeights {
-    fn invoke(&mut self, _call: &CallCtx, method: &str, args: &[u8]) -> Result<Effects, ObjectError> {
+    fn invoke(
+        &mut self,
+        _call: &CallCtx,
+        method: &str,
+        args: &[u8],
+    ) -> Result<Effects, ObjectError> {
         match method {
             "read" => {
                 let reply = (self.generation, self.weights.clone());
@@ -431,11 +469,13 @@ impl SharedObject for GlobalWeights {
                 }
                 Effects::value_with_cost(&self.generation, bulk_cost(grad.len() * 8))
             }
-            "losses" => {
-                Effects::value_with_cost(&self.losses, bulk_cost(self.losses.len() * 8))
-            }
+            "losses" => Effects::value_with_cost(&self.losses, bulk_cost(self.losses.len() * 8)),
             other => Err(ObjectError::MethodNotFound(other.to_string())),
         }
+    }
+
+    fn is_readonly(&self, method: &str) -> bool {
+        matches!(method, "read" | "losses")
     }
 
     fn save(&self) -> Vec<u8> {
@@ -443,8 +483,8 @@ impl SharedObject for GlobalWeights {
     }
 
     fn restore(&mut self, state: &[u8]) -> Result<(), ObjectError> {
-        *self = simcore::codec::from_bytes(state)
-            .map_err(|e| ObjectError::BadState(e.to_string()))?;
+        *self =
+            simcore::codec::from_bytes(state).map_err(|e| ObjectError::BadState(e.to_string()))?;
         Ok(())
     }
 }
@@ -458,9 +498,7 @@ pub struct WeightsHandle {
 impl WeightsHandle {
     /// Handle to an ephemeral weight vector.
     pub fn new(key: &str, init: WeightsInit) -> WeightsHandle {
-        WeightsHandle {
-            raw: RawHandle::new(GlobalWeights::TYPE, key, 1, &init),
-        }
+        WeightsHandle { raw: RawHandle::new(GlobalWeights::TYPE, key, 1, &init) }
     }
 
     /// Reads `(generation, weights)`.
@@ -469,7 +507,7 @@ impl WeightsHandle {
     ///
     /// Propagates [`DsoError`].
     pub fn read(&self, ctx: &mut Ctx, cli: &mut DsoClient) -> Result<(u64, Vec<f64>), DsoError> {
-        self.raw.call(ctx, cli, "read", &())
+        self.raw.call_read(ctx, cli, "read", &())
     }
 
     /// Pushes a gradient and loss; returns the generation after the update.
@@ -493,7 +531,7 @@ impl WeightsHandle {
     ///
     /// Propagates [`DsoError`].
     pub fn losses(&self, ctx: &mut Ctx, cli: &mut DsoClient) -> Result<Vec<f64>, DsoError> {
-        self.raw.call(ctx, cli, "losses", &())
+        self.raw.call_read(ctx, cli, "losses", &())
     }
 }
 
@@ -507,10 +545,7 @@ mod tests {
         method: &str,
         args: &impl Serialize,
     ) -> R {
-        let cc = CallCtx {
-            ticket: Ticket(0),
-            replicated: false,
-        };
+        let cc = CallCtx { ticket: Ticket(0), replicated: false };
         let bytes = simcore::codec::to_bytes(args).expect("encode");
         match obj.invoke(&cc, method, &bytes).expect("invoke").reply {
             dso::Reply::Value(v) => simcore::codec::from_bytes(&v).expect("decode"),
@@ -519,31 +554,19 @@ mod tests {
     }
 
     fn centroids(k: u32, dims: u32, workers: u32) -> Box<dyn SharedObject> {
-        let init = CentroidsInit {
-            k,
-            dims,
-            workers,
-            initial: vec![0.0; (k * dims) as usize],
-        };
-        GlobalCentroids::factory(&simcore::codec::to_bytes(&init).expect("encode")).expect("factory")
+        let init = CentroidsInit { k, dims, workers, initial: vec![0.0; (k * dims) as usize] };
+        GlobalCentroids::factory(&simcore::codec::to_bytes(&init).expect("encode"))
+            .expect("factory")
     }
 
     #[test]
     fn centroids_fold_after_all_workers() {
         let mut o = centroids(2, 2, 2);
         // Worker A: cluster 0 gets (2,2) from 1 point.
-        let g: u64 = call(
-            o.as_mut(),
-            "update",
-            &(vec![2.0, 2.0, 0.0, 0.0], vec![1u64, 0u64]),
-        );
+        let g: u64 = call(o.as_mut(), "update", &(vec![2.0, 2.0, 0.0, 0.0], vec![1u64, 0u64]));
         assert_eq!(g, 0, "not folded yet");
         // Worker B: cluster 0 gets (4,4) from 1 point; cluster 1 (6,0)/2.
-        let g: u64 = call(
-            o.as_mut(),
-            "update",
-            &(vec![4.0, 4.0, 6.0, 0.0], vec![1u64, 2u64]),
-        );
+        let g: u64 = call(o.as_mut(), "update", &(vec![4.0, 4.0, 6.0, 0.0], vec![1u64, 2u64]));
         assert_eq!(g, 1, "folded after the last contribution");
         let (generation, flat): (u64, Vec<f64>) = call(o.as_mut(), "read", &());
         assert_eq!(generation, 1);
@@ -552,12 +575,7 @@ mod tests {
 
     #[test]
     fn centroids_keep_old_position_for_empty_clusters() {
-        let init = CentroidsInit {
-            k: 2,
-            dims: 1,
-            workers: 1,
-            initial: vec![5.0, 9.0],
-        };
+        let init = CentroidsInit { k: 2, dims: 1, workers: 1, initial: vec![5.0, 9.0] };
         let mut o = GlobalCentroids::factory(&simcore::codec::to_bytes(&init).expect("encode"))
             .expect("factory");
         let _: u64 = call(o.as_mut(), "update", &(vec![20.0, 0.0], vec![2u64, 0u64]));
@@ -568,10 +586,7 @@ mod tests {
     #[test]
     fn centroids_shape_mismatch_rejected() {
         let mut o = centroids(2, 2, 1);
-        let cc = CallCtx {
-            ticket: Ticket(0),
-            replicated: false,
-        };
+        let cc = CallCtx { ticket: Ticket(0), replicated: false };
         let bad = simcore::codec::to_bytes(&(vec![1.0], vec![1u64])).expect("encode");
         assert!(o.invoke(&cc, "update", &bad).is_err());
     }
@@ -592,11 +607,7 @@ mod tests {
 
     #[test]
     fn weights_apply_averaged_gradient_step() {
-        let init = WeightsInit {
-            dims: 2,
-            workers: 2,
-            learning_rate: 0.5,
-        };
+        let init = WeightsInit { dims: 2, workers: 2, learning_rate: 0.5 };
         let mut o = GlobalWeights::factory(&simcore::codec::to_bytes(&init).expect("encode"))
             .expect("factory");
         let _: u64 = call(o.as_mut(), "update", &(vec![1.0, 0.0], 0.7));
@@ -613,11 +624,7 @@ mod tests {
     #[test]
     fn save_restore_round_trips() {
         let mut o = centroids(2, 3, 2);
-        let _: u64 = call(
-            o.as_mut(),
-            "update",
-            &(vec![1.0; 6], vec![1u64, 1u64]),
-        );
+        let _: u64 = call(o.as_mut(), "update", &(vec![1.0; 6], vec![1u64, 1u64]));
         let state = o.save();
         let mut o2 = GlobalCentroids::default();
         o2.restore(&state).expect("restore");

@@ -83,10 +83,7 @@ pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
     let mut de = Decoder { input: bytes };
     let v = T::deserialize(&mut de)?;
     if !de.input.is_empty() {
-        return Err(CodecError::new(format!(
-            "{} trailing bytes after value",
-            de.input.len()
-        )));
+        return Err(CodecError::new(format!("{} trailing bytes after value", de.input.len())));
     }
     Ok(v)
 }
@@ -504,10 +501,7 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         Err(CodecError::new("identifiers are not encoded"))
     }
 
-    fn deserialize_ignored_any<V: Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, CodecError> {
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
         Err(CodecError::new("cannot skip values in a non-self-describing format"))
     }
 
@@ -603,7 +597,11 @@ impl<'a, 'de> de::VariantAccess<'de> for VariantAccess<'a, 'de> {
         seed.deserialize(self.de)
     }
 
-    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
         visitor.visit_seq(Counted { de: self.de, left: len })
     }
 
@@ -669,10 +667,7 @@ mod tests {
     #[test]
     fn enums() {
         round_trip(Proto::Ping);
-        round_trip(Proto::Set {
-            key: "k".into(),
-            value: vec![1, 2, 3],
-        });
+        round_trip(Proto::Set { key: "k".into(), value: vec![1, 2, 3] });
         round_trip(Proto::Pair(4, 5));
         round_trip(Proto::Wrap(Box::new(Proto::Ping)));
     }
@@ -689,11 +684,7 @@ mod tests {
         round_trip(Nested {
             id: 1,
             tags: vec!["a".into(), "b".into()],
-            inner: Some(Box::new(Nested {
-                id: 2,
-                tags: vec![],
-                inner: None,
-            })),
+            inner: Some(Box::new(Nested { id: 2, tags: vec![], inner: None })),
         });
     }
 
@@ -763,8 +754,7 @@ mod proptests {
                 .prop_map(|(name, values)| TreeNode::Tagged { name, values }),
         ];
         leaf.prop_recursive(4, 32, 2, |inner| {
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| TreeNode::Branch(Box::new(a), Box::new(b)))
+            (inner.clone(), inner).prop_map(|(a, b)| TreeNode::Branch(Box::new(a), Box::new(b)))
         })
     }
 

@@ -87,17 +87,12 @@ fn cpu_loop(ctx: &mut Ctx, inbox: Addr, cores: u32) {
     let mut jobs: Vec<Job> = Vec::new();
     let mut last = ctx.now();
     loop {
-        let rate = if jobs.is_empty() {
-            0.0
-        } else {
-            (cores as f64 / jobs.len() as f64).min(1.0)
-        };
+        let rate = if jobs.is_empty() { 0.0 } else { (cores as f64 / jobs.len() as f64).min(1.0) };
         // Next completion among active jobs at the current rate.
         let next_done: Option<Duration> = if jobs.is_empty() {
             None
         } else {
-            let min_remaining =
-                jobs.iter().map(|j| j.remaining).fold(f64::INFINITY, f64::min);
+            let min_remaining = jobs.iter().map(|j| j.remaining).fold(f64::INFINITY, f64::min);
             Some(Duration::from_nanos((min_remaining / rate).ceil() as u64))
         };
         let msg = match next_done {
@@ -125,10 +120,7 @@ fn cpu_loop(ctx: &mut Ctx, inbox: Addr, cores: u32) {
         }
         if let Some(m) = msg {
             let (reply_to, req) = m.take::<Request>().take::<CpuReq>();
-            jobs.push(Job {
-                reply_to,
-                remaining: req.work.as_nanos() as f64,
-            });
+            jobs.push(Job { reply_to, remaining: req.work.as_nanos() as f64 });
         }
     }
 }

@@ -47,7 +47,9 @@ impl fmt::Display for Pid {
 /// send to it, while receiving is reserved for one process at a time.
 /// Addresses serialize as their raw id, so service handles can travel
 /// inside function payloads (like connection strings in Lambda env vars).
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Addr(pub(crate) u64);
 
 impl Addr {
@@ -82,18 +84,12 @@ pub struct Msg {
 impl Msg {
     /// Creates a message with a zero simulated size.
     pub fn new<T: Any + Send>(body: T) -> Msg {
-        Msg {
-            body: Box::new(body),
-            size: 0,
-        }
+        Msg { body: Box::new(body), size: 0 }
     }
 
     /// Creates a message carrying a simulated wire size.
     pub fn sized<T: Any + Send>(body: T, size: usize) -> Msg {
-        Msg {
-            body: Box::new(body),
-            size,
-        }
+        Msg { body: Box::new(body), size }
     }
 
     /// Downcasts the payload to `T`.
@@ -151,10 +147,9 @@ impl Request {
     /// Panics if the payload is not a `T`.
     pub fn take<T: Any>(self) -> (Addr, T) {
         let reply_to = self.reply_to;
-        let body = *self
-            .body
-            .downcast::<T>()
-            .unwrap_or_else(|_| panic!("request downcast to {} failed", std::any::type_name::<T>()));
+        let body = *self.body.downcast::<T>().unwrap_or_else(|_| {
+            panic!("request downcast to {} failed", std::any::type_name::<T>())
+        });
         (reply_to, body)
     }
 }
@@ -514,10 +509,7 @@ impl Sim {
                     live_nondaemon: 0,
                     trace,
                 }),
-                kernel_gate: KernelGate {
-                    flag: Mutex::new(false),
-                    cv: Condvar::new(),
-                },
+                kernel_gate: KernelGate { flag: Mutex::new(false), cv: Condvar::new() },
                 seed,
             }),
         }
@@ -969,11 +961,7 @@ impl Ctx {
         if let Some(m) = q.queue.pop_front() {
             return Some(m);
         }
-        assert!(
-            q.waiting.is_none(),
-            "mailbox {} already has a waiting receiver",
-            q.name
-        );
+        assert!(q.waiting.is_none(), "mailbox {} already has a waiting receiver", q.name);
         q.waiting = Some(self.pid);
         let p = st.procs.get_mut(&self.pid.0).expect("own slot");
         p.epoch += 1;
@@ -1019,17 +1007,7 @@ impl Ctx {
         Resp: Any + Send,
     {
         let reply_to = self.mailbox("rpc-reply");
-        self.send(
-            to,
-            Msg::sized(
-                Request {
-                    reply_to,
-                    body: Box::new(req),
-                },
-                size,
-            ),
-            latency,
-        );
+        self.send(to, Msg::sized(Request { reply_to, body: Box::new(req) }, size), latency);
         let resp = self.recv(reply_to);
         self.close_mailbox(reply_to);
         self.drop_mailbox(reply_to);
@@ -1050,18 +1028,53 @@ impl Ctx {
         Resp: Any + Send,
     {
         let reply_to = self.mailbox("rpc-reply");
-        self.send(
-            to,
-            Msg::new(Request {
-                reply_to,
-                body: Box::new(req),
-            }),
-            latency,
-        );
+        self.send(to, Msg::new(Request { reply_to, body: Box::new(req) }), latency);
         let resp = self.recv_timeout(reply_to, timeout);
         self.close_mailbox(reply_to);
         self.drop_mailbox(reply_to);
         resp.map(|m| m.take::<Resp>())
+    }
+
+    /// Issues one request and collects up to `n` replies to it, until
+    /// `timeout` elapses (measured from the send). The server side may
+    /// answer a single request message several times — the fan-in half of
+    /// batched RPC: one message out, replies streaming back individually.
+    ///
+    /// Returns the replies received in arrival order (fewer than `n` on
+    /// timeout). Late replies are silently dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reply cannot be downcast to `Resp`.
+    pub fn call_collect<Req, Resp>(
+        &mut self,
+        to: Addr,
+        req: Req,
+        latency: Duration,
+        n: usize,
+        timeout: Duration,
+    ) -> Vec<Resp>
+    where
+        Req: Any + Send,
+        Resp: Any + Send,
+    {
+        let reply_to = self.mailbox("rpc-reply");
+        self.send(to, Msg::new(Request { reply_to, body: Box::new(req) }), latency);
+        let deadline = self.now() + timeout;
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let left = deadline.saturating_duration_since(self.now());
+            if left.is_zero() {
+                break;
+            }
+            match self.recv_timeout(reply_to, left) {
+                Some(m) => out.push(m.take::<Resp>()),
+                None => break,
+            }
+        }
+        self.close_mailbox(reply_to);
+        self.drop_mailbox(reply_to);
+        out
     }
 
     /// Replies to an RPC received as a [`Request`].
@@ -1253,8 +1266,12 @@ mod tests {
         let server = sim.mailbox("server");
         // No server process: requests pile up unanswered.
         sim.spawn("client", move |ctx| {
-            let r: Option<u32> =
-                ctx.call_timeout(server, 1u32, Duration::from_micros(100), Duration::from_millis(5));
+            let r: Option<u32> = ctx.call_timeout(
+                server,
+                1u32,
+                Duration::from_micros(100),
+                Duration::from_millis(5),
+            );
             assert!(r.is_none());
             assert_eq!(ctx.now(), SimTime::from_millis(5));
         });

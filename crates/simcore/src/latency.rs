@@ -2,8 +2,8 @@
 
 use std::time::Duration;
 
-use rand::RngExt;
 use rand::rngs::StdRng;
+use rand::RngExt;
 use serde::{Deserialize, Serialize};
 
 /// Jitter applied around a base latency.
@@ -44,29 +44,17 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// A constant latency with no jitter and no bandwidth term.
     pub fn fixed(base: Duration) -> LatencyModel {
-        LatencyModel {
-            base,
-            jitter: Jitter::None,
-            per_byte: Duration::ZERO,
-        }
+        LatencyModel { base, jitter: Jitter::None, per_byte: Duration::ZERO }
     }
 
     /// A latency with uniform jitter of `frac` around `base`.
     pub fn uniform(base: Duration, frac: f64) -> LatencyModel {
-        LatencyModel {
-            base,
-            jitter: Jitter::Uniform(frac),
-            per_byte: Duration::ZERO,
-        }
+        LatencyModel { base, jitter: Jitter::Uniform(frac), per_byte: Duration::ZERO }
     }
 
     /// A latency with an exponential tail of mean `frac * base`.
     pub fn exp_tail(base: Duration, frac: f64) -> LatencyModel {
-        LatencyModel {
-            base,
-            jitter: Jitter::ExpTail(frac),
-            per_byte: Duration::ZERO,
-        }
+        LatencyModel { base, jitter: Jitter::ExpTail(frac), per_byte: Duration::ZERO }
     }
 
     /// Adds a bandwidth term: `bytes_per_sec` of sustained throughput.

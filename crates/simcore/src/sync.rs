@@ -42,14 +42,8 @@ use crate::kernel::{Addr, Ctx, Msg, Pid, Sim};
 pub fn oneshot<T: Send + 'static>(sim: &Sim) -> (OneshotSender<T>, OneshotReceiver<T>) {
     let mb = sim.mailbox("oneshot");
     (
-        OneshotSender {
-            mb,
-            _ty: std::marker::PhantomData,
-        },
-        OneshotReceiver {
-            mb,
-            _ty: std::marker::PhantomData,
-        },
+        OneshotSender { mb, _ty: std::marker::PhantomData },
+        OneshotReceiver { mb, _ty: std::marker::PhantomData },
     )
 }
 
@@ -57,14 +51,8 @@ pub fn oneshot<T: Send + 'static>(sim: &Sim) -> (OneshotSender<T>, OneshotReceiv
 pub fn oneshot_in<T: Send + 'static>(ctx: &mut Ctx) -> (OneshotSender<T>, OneshotReceiver<T>) {
     let mb = ctx.shared_mailbox("oneshot");
     (
-        OneshotSender {
-            mb,
-            _ty: std::marker::PhantomData,
-        },
-        OneshotReceiver {
-            mb,
-            _ty: std::marker::PhantomData,
-        },
+        OneshotSender { mb, _ty: std::marker::PhantomData },
+        OneshotReceiver { mb, _ty: std::marker::PhantomData },
     )
 }
 
@@ -305,10 +293,7 @@ impl fmt::Debug for WaitGroup {
 impl WaitGroup {
     /// Creates a group expecting `n` completions.
     pub fn new(n: usize) -> WaitGroup {
-        WaitGroup {
-            monitor: Monitor::new("waitgroup"),
-            left: Arc::new(Mutex::new(n)),
-        }
+        WaitGroup { monitor: Monitor::new("waitgroup"), left: Arc::new(Mutex::new(n)) }
     }
 
     /// Signals one completion.

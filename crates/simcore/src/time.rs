@@ -42,16 +42,12 @@ impl SimTime {
 
     /// Creates a `SimTime` a whole number of seconds after the start.
     pub const fn from_secs(secs: u64) -> Self {
-        SimTime {
-            nanos: secs * 1_000_000_000,
-        }
+        SimTime { nanos: secs * 1_000_000_000 }
     }
 
     /// Creates a `SimTime` a whole number of milliseconds after the start.
     pub const fn from_millis(ms: u64) -> Self {
-        SimTime {
-            nanos: ms * 1_000_000,
-        }
+        SimTime { nanos: ms * 1_000_000 }
     }
 
     /// Nanoseconds since the start of the simulation.
@@ -84,9 +80,7 @@ impl SimTime {
 
     /// Adds a duration, saturating at the maximum representable instant.
     pub fn saturating_add(self, d: Duration) -> SimTime {
-        SimTime {
-            nanos: self.nanos.saturating_add(d.as_nanos().min(u64::MAX as u128) as u64),
-        }
+        SimTime { nanos: self.nanos.saturating_add(d.as_nanos().min(u64::MAX as u128) as u64) }
     }
 }
 

@@ -19,8 +19,7 @@ use crate::cost::SparkCostModel;
 /// The closure does the *real* math on the (scaled-down) partition data
 /// and reports the *virtual* CPU time this would take at paper scale; the
 /// executor charges that time on its cores.
-pub type TaskFn =
-    Arc<dyn Fn(&[u8], &[u8], &[u8]) -> (Vec<u8>, Duration) + Send + Sync>;
+pub type TaskFn = Arc<dyn Fn(&[u8], &[u8], &[u8]) -> (Vec<u8>, Duration) + Send + Sync>;
 
 /// Registry of stage functions, shared by all executors.
 #[derive(Clone, Default)]
@@ -115,14 +114,7 @@ impl SparkHandle {
     /// Runs one task per partition; returns results ordered by partition.
     pub fn run_stage(&self, ctx: &mut Ctx, task: &str, args: Vec<u8>) -> Vec<Vec<u8>> {
         let lat = self.net.sample(ctx.rng());
-        match ctx.call(
-            self.driver,
-            DriverReq::RunStage {
-                task: task.to_string(),
-                args,
-            },
-            lat,
-        ) {
+        match ctx.call(self.driver, DriverReq::RunStage { task: task.to_string(), args }, lat) {
             DriverResp::StageDone(r) => r,
             other => panic!("protocol: expected StageDone, got {other:?}"),
         }
@@ -182,10 +174,7 @@ fn driver_loop(ctx: &mut Ctx, inbox: Addr, executors: Vec<Addr>, cost: SparkCost
                         + Duration::from_secs_f64(data.len() as f64 / cost.shuffle_bandwidth);
                     ctx.send(
                         e,
-                        Msg::new(ExecMsg::SetBroadcast {
-                            data: data.clone(),
-                            ack: ack_box,
-                        }),
+                        Msg::new(ExecMsg::SetBroadcast { data: data.clone(), ack: ack_box }),
                         lat,
                     );
                 }
@@ -222,8 +211,7 @@ fn driver_loop(ctx: &mut Ctx, inbox: Addr, executors: Vec<Addr>, cost: SparkCost
                 for _ in 0..n {
                     let done = ctx.recv(done_box).take::<TaskDone>();
                     ctx.compute(
-                        cost.per_result_merge
-                            + cost.merge_per_byte * done.result.len() as u32,
+                        cost.per_result_merge + cost.merge_per_byte * done.result.len() as u32,
                     );
                     results[done.partition_id] = Some(done.result);
                 }
@@ -256,12 +244,7 @@ fn executor_loop(
                 let lat = cost.net.sample(ctx.rng());
                 ctx.send(ack, Msg::new(BroadcastAck), lat);
             }
-            ExecMsg::Run {
-                task,
-                partition_id,
-                args,
-                done,
-            } => {
+            ExecMsg::Run { task, partition_id, args, done } => {
                 // Each task runs as its own job on the executor's cores:
                 // more tasks than cores => waves, like Spark task slots.
                 let f = registry.get(&task).expect("task registered");
@@ -280,14 +263,7 @@ fn executor_loop(
                     cpu.compute(tc, work);
                     let lat = cost.net.sample(tc.rng())
                         + Duration::from_secs_f64(result.len() as f64 / cost.shuffle_bandwidth);
-                    tc.send(
-                        done,
-                        Msg::new(TaskDone {
-                            partition_id,
-                            result,
-                        }),
-                        lat,
-                    );
+                    tc.send(done, Msg::new(TaskDone { partition_id, result }), lat);
                 });
             }
         }
@@ -304,10 +280,7 @@ mod tests {
         reg.register("sum", |part, bcast, _args| {
             let s: u64 = part.iter().map(|&b| b as u64).sum::<u64>()
                 + bcast.first().copied().unwrap_or(0) as u64;
-            (
-                simcore::codec::to_bytes(&s).expect("encode"),
-                Duration::from_millis(10),
-            )
+            (simcore::codec::to_bytes(&s).expect("encode"), Duration::from_millis(10))
         });
         reg
     }
@@ -320,10 +293,8 @@ mod tests {
             spark.load_partitions(ctx, vec![vec![1, 1], vec![2], vec![3], vec![4]]);
             spark.broadcast(ctx, vec![10]);
             let results = spark.run_stage(ctx, "sum", Vec::new());
-            let sums: Vec<u64> = results
-                .iter()
-                .map(|r| simcore::codec::from_bytes(r).expect("decode"))
-                .collect();
+            let sums: Vec<u64> =
+                results.iter().map(|r| simcore::codec::from_bytes(r).expect("decode")).collect();
             assert_eq!(sums, vec![12, 12, 13, 14]);
         });
         sim.run_until_idle().expect_quiescent();
@@ -359,10 +330,7 @@ mod tests {
             let t0 = ctx.now();
             let _ = spark.run_stage(ctx, "nop", Vec::new());
             let took = ctx.now() - t0;
-            assert!(
-                took >= overhead,
-                "stage time {took:?} must include the scheduling overhead"
-            );
+            assert!(took >= overhead, "stage time {took:?} must include the scheduling overhead");
             assert!(took < Duration::from_millis(200), "but not much more: {took:?}");
         });
         sim.run_until_idle().expect_quiescent();

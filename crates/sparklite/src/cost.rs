@@ -54,10 +54,7 @@ pub struct ClusterPricing {
 
 impl Default for ClusterPricing {
     fn default() -> Self {
-        ClusterPricing {
-            per_node_hour: 0.384 + 0.096,
-            nodes: 11,
-        }
+        ClusterPricing { per_node_hour: 0.384 + 0.096, nodes: 11 }
     }
 }
 

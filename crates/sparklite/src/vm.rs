@@ -16,10 +16,7 @@ pub struct LocalVm {
 impl LocalVm {
     /// Creates a VM with `cores` cores.
     pub fn new(sim: &Sim, name: &str, cores: u32) -> LocalVm {
-        LocalVm {
-            cpu: CpuHost::spawn(sim, name, cores),
-            cores,
-        }
+        LocalVm { cpu: CpuHost::spawn(sim, name, cores), cores }
     }
 
     /// Number of cores.

@@ -16,11 +16,7 @@ fn main() {
         iterations: 10,
         sample_points: 100,
         dims: 100,
-        scale: DatasetScale {
-            total_points: 695_000 * 20,
-            dims: 100,
-            partitions: 20,
-        },
+        scale: DatasetScale { total_points: 695_000 * 20, dims: 100, partitions: 20 },
         include_load: true,
         dso_nodes: 1,
         memory_mb: 2048,
@@ -40,14 +36,11 @@ fn main() {
 
     println!("\nconvergence (within-cluster SSE per iteration):");
     println!("  iter  crucial        spark");
-    for (i, (c, s)) in crucial
-        .sse_per_iteration
-        .iter()
-        .zip(&spark.sse_per_iteration)
-        .enumerate()
-    {
+    for (i, (c, s)) in crucial.sse_per_iteration.iter().zip(&spark.sse_per_iteration).enumerate() {
         println!("  {:>4}  {c:<13.1}  {s:<13.1}", i + 1);
     }
     let speedup = spark.iteration_phase.as_secs_f64() / crucial.iteration_phase.as_secs_f64();
-    println!("\ncrucial's iteration phase is {speedup:.2}x faster than spark (paper: ~1.45x at k=25)");
+    println!(
+        "\ncrucial's iteration phase is {speedup:.2}x faster than spark (paper: ~1.45x at k=25)"
+    );
 }

@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use crucial::{
-    join_all, AtomicLong, CrucialConfig, Deployment, FnEnv, RunResult, Runnable,
-};
+use crucial::{join_all, AtomicLong, CrucialConfig, Deployment, FnEnv, RunResult, Runnable};
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 use simcore::Sim;
@@ -54,11 +52,8 @@ fn main() {
 
     sim.spawn("main", move |ctx| {
         let counter = AtomicLong::new("counter");
-        let runnables: Vec<PiEstimator> = (0..N_THREADS)
-            .map(|_| PiEstimator {
-                counter: counter.clone(),
-            })
-            .collect();
+        let runnables: Vec<PiEstimator> =
+            (0..N_THREADS).map(|_| PiEstimator { counter: counter.clone() }).collect();
         let t0 = ctx.now();
         // threads.forEach(Thread::start); threads.forEach(Thread::join);
         let handles = threads.start_all(ctx, &runnables);

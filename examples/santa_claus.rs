@@ -20,9 +20,15 @@ fn main() {
 
     let dso = run_santa_dso(&cfg);
     let overhead = 100.0 * (dso.completion.as_secs_f64() / local.completion.as_secs_f64() - 1.0);
-    println!("@Shared objects (DSO):   {:?}  ({overhead:+.1}% vs local; paper: ≈ +8%)", dso.completion);
+    println!(
+        "@Shared objects (DSO):   {:?}  ({overhead:+.1}% vs local; paper: ≈ +8%)",
+        dso.completion
+    );
 
     let cloud = run_santa_cloud(&cfg);
     let overhead = 100.0 * (cloud.completion.as_secs_f64() / local.completion.as_secs_f64() - 1.0);
-    println!("cloud threads:           {:?}  ({overhead:+.1}% vs local; paper: ≈ DSO)", cloud.completion);
+    println!(
+        "cloud threads:           {:?}  ({overhead:+.1}% vs local; paper: ≈ DSO)",
+        cloud.completion
+    );
 }

@@ -10,14 +10,12 @@ use serde::{Deserialize, Serialize};
 use simcore::Sim;
 
 use crucial::{
-    join_all, AtomicByteArray, CrucialConfig, Deployment, FnEnv, RetryPolicy, RunResult,
-    Runnable, SharedFuture,
+    join_all, AtomicByteArray, CrucialConfig, Deployment, FnEnv, RetryPolicy, RunResult, Runnable,
+    SharedFuture,
 };
 use crucial_apps::pi::run_pi_crucial;
 use crucial_ml::cost::DatasetScale;
-use crucial_ml::kmeans::{
-    run_crucial_kmeans, run_local_kmeans, run_spark_kmeans, KMeansConfig,
-};
+use crucial_ml::kmeans::{run_crucial_kmeans, run_local_kmeans, run_spark_kmeans, KMeansConfig};
 
 #[test]
 fn whole_stack_is_deterministic() {
@@ -38,11 +36,7 @@ fn kmeans_substrates_converge_to_the_same_clustering() {
         iterations: 4,
         sample_points: 80,
         dims: 10,
-        scale: DatasetScale {
-            total_points: 200_000,
-            dims: 10,
-            partitions: 4,
-        },
+        scale: DatasetScale { total_points: 200_000, dims: 10, partitions: 4 },
         include_load: false,
         dso_nodes: 1,
         memory_mb: 2048,
@@ -59,10 +53,7 @@ fn kmeans_substrates_converge_to_the_same_clustering() {
     // leads by one step; its final cost must be at or below crucial's.
     let c_last = *crucial.sse_per_iteration.last().expect("ran");
     let s_last = *spark.sse_per_iteration.last().expect("ran");
-    assert!(
-        s_last <= c_last * 1.001,
-        "spark final SSE {s_last} vs crucial {c_last}"
-    );
+    assert!(s_last <= c_last * 1.001, "spark final SSE {s_last} vs crucial {c_last}");
 }
 
 /// Train (install) a replicated model through the full stack, crash a
@@ -93,10 +84,7 @@ impl Runnable for ModelReader {
 #[test]
 fn replicated_model_survives_node_crash_read_from_a_function() {
     let mut sim = Sim::new(17);
-    let cfg = CrucialConfig {
-        dso_nodes: 3,
-        ..CrucialConfig::default()
-    };
+    let cfg = CrucialConfig { dso_nodes: 3, ..CrucialConfig::default() };
     let dep = Deployment::start(&sim, cfg);
     dep.register::<ModelReader>();
     let threads = dep.threads();
@@ -114,12 +102,8 @@ fn replicated_model_survives_node_crash_read_from_a_function() {
         servers[1].crash_from(ctx);
         ctx.sleep(Duration::from_secs(10)); // failure detection + rebalance
         let result: SharedFuture<bool> = SharedFuture::new("verdict");
-        let reader = ModelReader {
-            centroids: 16,
-            rf: 2,
-            expected_len: 800,
-            result: result.clone(),
-        };
+        let reader =
+            ModelReader { centroids: 16, rf: 2, expected_len: 800, result: result.clone() };
         let h = threads.start(ctx, &reader);
         h.join(ctx).expect("reader runs");
         *out2.lock() = Some(result.get(ctx, &mut cli).expect("verdict"));
@@ -160,10 +144,7 @@ fn flaky_functions_with_retries_produce_an_exact_reduce() {
     const N: u32 = 12;
     sim.spawn("reducer", move |ctx| {
         let mappers: Vec<FlakyMapper> = (0..N)
-            .map(|id| FlakyMapper {
-                id,
-                out: SharedFuture::new(&format!("out-{id}")),
-            })
+            .map(|id| FlakyMapper { id, out: SharedFuture::new(&format!("out-{id}")) })
             .collect();
         let handles = threads.start_all(ctx, &mappers);
         join_all(ctx, handles).expect("all eventually succeed");
