@@ -7,3 +7,9 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+
+# Correctness tooling (crates/simcheck): the determinism lint pass, then
+# the DSO cluster smoke workload under 25 perturbed schedules with
+# linearizability checked on each (see DESIGN.md, "Correctness tooling").
+cargo run --release -q -p simcheck --bin simlint
+cargo run --release -q -p simcheck --bin simexplore -- --seeds 25

@@ -32,6 +32,7 @@ fn main() {
         let mut estimator = PiEstimator {
             counter: counter.clone(),
         };
+        // simlint: allow(native-thread, reason = "faithful port of the paper's native-thread baseline")
         threads.push(thread::spawn(move || estimator.run()));
     }
     for t in threads {

@@ -1,0 +1,66 @@
+//! The Santa Claus application replayed under perturbed schedules: the
+//! paper's flagship synchronization workload must complete (no deadlock,
+//! no lost group) under *every* explored schedule, not just the default
+//! FIFO one.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use simcore::explore::{explore_seeds, Check};
+use simcore::{Sim, SimTime};
+
+use crucial::{CrucialConfig, Deployment};
+use crucial_apps::santa::{
+    entity_loop, register_santa_objects, santa_loop, DsoOps, Kind, SantaConfig,
+};
+
+/// A small Santa instance — one reindeer delivery round, one elf group —
+/// spawned onto the explorer's simulation (the same shape as
+/// `run_santa_dso`, minus the fixed seed and kernel).
+fn santa_scenario(sim: &mut Sim) -> Check {
+    let cfg = SantaConfig {
+        deliveries: 1,
+        consults_per_elf: 1,
+        delivery_time: Duration::from_millis(5),
+        consult_time: Duration::from_millis(2),
+        max_work_time: Duration::from_millis(10),
+        ..SantaConfig::default()
+    };
+    let mut ccfg = CrucialConfig::default();
+    register_santa_objects(&mut ccfg.registry);
+    let dep = Deployment::start(sim, ccfg);
+    let handle = dep.dso_handle();
+    for r in 0..9 {
+        let handle = handle.clone();
+        sim.spawn(&format!("reindeer-{r}"), move |ctx| {
+            let mut ops = DsoOps::new(handle.connect());
+            entity_loop(&mut ops, ctx, Kind::Reindeer, &cfg);
+        });
+    }
+    for e in 0..10 {
+        let handle = handle.clone();
+        sim.spawn(&format!("elf-{e}"), move |ctx| {
+            let mut ops = DsoOps::new(handle.connect());
+            entity_loop(&mut ops, ctx, Kind::Elf, &cfg);
+        });
+    }
+    let done: Arc<Mutex<Option<SimTime>>> = Arc::new(Mutex::new(None));
+    let done2 = done.clone();
+    sim.spawn("santa", move |ctx| {
+        let mut ops = DsoOps::new(handle.connect());
+        *done2.lock() = Some(santa_loop(&mut ops, ctx, &cfg));
+    });
+    Box::new(move || {
+        let _keep = dep;
+        match done.lock().take() {
+            Some(_) => Ok(()),
+            None => Err("santa never finished".to_string()),
+        }
+    })
+}
+
+#[test]
+fn santa_completes_under_explored_schedules() {
+    explore_seeds(2, 4, santa_scenario).expect_clean();
+}

@@ -38,6 +38,8 @@ impl RawHandle {
         RawHandle {
             obj: ObjectRef::new(type_name, key),
             rf: rf.max(1),
+            // invariant: the codec encodes every Serialize type; creation
+            // args come from the typed wrappers below.
             create_args: simcore::codec::to_bytes(create_args)
                 .expect("creation args encode")
                 .into(),
@@ -147,6 +149,8 @@ impl RawHandle {
         BatchOp {
             obj: self.obj.clone(),
             method: intern(method),
+            // invariant: the codec encodes every Serialize type (documented
+            // to panic in `op`/`read_op` otherwise).
             args: simcore::codec::to_bytes(args).expect("batch args encode").into(),
             rf: self.rf,
             create: Some(self.create_args.clone()),

@@ -8,7 +8,7 @@ use std::fmt;
 use std::time::Duration;
 
 use bytes::Bytes;
-use simcore::{Addr, Ctx, SimTime};
+use simcore::{Addr, Ctx, SimTime, WaitKind};
 
 use crate::config::{ConsistencyMode, DsoConfig};
 use crate::error::DsoError;
@@ -167,6 +167,7 @@ impl DsoClient {
         if self.view.is_none() {
             self.refresh_view(ctx);
         }
+        // invariant: refresh_view stored Some just above when it was None.
         self.view.as_ref().expect("view cached")
     }
 
@@ -250,6 +251,15 @@ impl DsoClient {
             };
             let lat = self.h.cfg.client_net.sample(ctx.rng());
             let resp: Option<InvokeResp> = if blocking {
+                // A blocking call may legitimately park on the server (e.g.
+                // barrier await) with no timeout; tell the deadlock detector
+                // which object we are waiting on.
+                ctx.annotate_wait(
+                    obj.placement_hash(),
+                    wait_kind_for(obj.type_name()),
+                    obj.to_string(),
+                    format!("DsoClient::invoke {obj}::{method}"),
+                );
                 Some(ctx.call(addr, req.clone(), lat))
             } else {
                 ctx.call_timeout(addr, req.clone(), lat, self.h.cfg.call_timeout)
@@ -332,9 +342,14 @@ impl DsoClient {
         match resp {
             Some(VersionResp(Some(v))) if v == version && v >= self.monotonic.high_water(obj) => {
                 self.monotonic.observe(obj, v);
-                let entry = self.cache.get_mut(&key).expect("entry still present");
-                entry.validated_at = ctx.now();
-                Some(entry.bytes.clone())
+                match self.cache.get_mut(&key) {
+                    Some(entry) => {
+                        entry.validated_at = ctx.now();
+                        Some(entry.bytes.clone())
+                    }
+                    // Entry evicted while validating: treat as a miss.
+                    None => None,
+                }
             }
             _ => {
                 // Changed version, unknown object, not an owner, or
@@ -508,6 +523,17 @@ impl DsoClient {
         let t0 = ctx.now();
         let v = self.invoke(ctx, obj, method, args, rf, create, false, readonly)?;
         Ok((v, ctx.now().saturating_duration_since(t0)))
+    }
+}
+
+/// Maps a shared-object type to the wait kind shown in deadlock reports
+/// when a blocking call on it never returns.
+fn wait_kind_for(type_name: &str) -> WaitKind {
+    match type_name {
+        "CyclicBarrier" => WaitKind::Barrier,
+        "Semaphore" => WaitKind::Semaphore,
+        "CountDownLatch" | "Future" | "FutureObject" => WaitKind::Condition,
+        _ => WaitKind::Call,
     }
 }
 

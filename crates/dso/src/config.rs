@@ -63,6 +63,14 @@ pub struct DsoConfig {
     /// every hit with a cheap dispatcher-level version probe; reads are
     /// then never staler than the probed replica.
     pub cache_lease: Option<Duration>,
+    /// Runtime check that methods declared read-only really do not mutate:
+    /// the server snapshots the object state around every declared
+    /// read-only invocation and rejects the call (restoring the state) if
+    /// the bytes changed. The read fast path *trusts* `is_readonly`
+    /// (skipping SMR and version bumps), so a misdeclared method would
+    /// silently fork replicas; this turns that into a typed error. On by
+    /// default — costs host CPU only, no virtual time.
+    pub verify_readonly: bool,
 }
 
 impl Default for DsoConfig {
@@ -80,6 +88,7 @@ impl Default for DsoConfig {
             consistency: ConsistencyMode::default(),
             read_cache: false,
             cache_lease: None,
+            verify_readonly: true,
         }
     }
 }
@@ -106,6 +115,8 @@ mod tests {
         assert_eq!(c.consistency, ConsistencyMode::Linearizable);
         assert!(!c.read_cache);
         assert_eq!(c.cache_lease, None);
+        // …and the correctness net around it must be opt-out.
+        assert!(c.verify_readonly);
     }
 
     #[test]

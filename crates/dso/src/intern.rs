@@ -88,6 +88,21 @@ impl From<&str> for MethodName {
     }
 }
 
+impl serde::Serialize for MethodName {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.0)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for MethodName {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<MethodName, D::Error> {
+        // Deserializing re-interns, so names stay deduplicated even after a
+        // round-trip through the wire codec.
+        let s = <String as serde::Deserialize>::deserialize(d)?;
+        Ok(intern(&s))
+    }
+}
+
 impl fmt::Debug for MethodName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Debug::fmt(&*self.0, f)
@@ -112,6 +127,15 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a, "addAndGet");
         assert_ne!(intern("get"), intern("set"));
+    }
+
+    #[test]
+    fn serde_round_trip_reinterns() {
+        let m = intern("compareAndSet");
+        let bytes = simcore::codec::to_bytes(&m).expect("encodes");
+        let back: MethodName = simcore::codec::from_bytes(&bytes).expect("decodes");
+        assert_eq!(back, m);
+        assert!(Arc::ptr_eq(&back.0, &m.0), "deserialization re-interns");
     }
 
     #[test]

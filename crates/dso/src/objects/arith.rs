@@ -57,6 +57,7 @@ impl SharedObject for Arithmetic {
     }
 
     fn save(&self) -> Vec<u8> {
+        // invariant: an f64 always encodes.
         simcore::codec::to_bytes(&self.value).expect("f64 encodes")
     }
 

@@ -75,6 +75,7 @@ impl SharedObject for AtomicLong {
     }
 
     fn save(&self) -> Vec<u8> {
+        // invariant: an i64 always encodes.
         simcore::codec::to_bytes(&self.value).expect("i64 encodes")
     }
 
@@ -133,6 +134,7 @@ impl SharedObject for AtomicBoolean {
     }
 
     fn save(&self) -> Vec<u8> {
+        // invariant: a bool always encodes.
         simcore::codec::to_bytes(&self.value).expect("bool encodes")
     }
 
@@ -199,6 +201,7 @@ impl SharedObject for AtomicByteArray {
     }
 
     fn save(&self) -> Vec<u8> {
+        // invariant: a Vec<u8> always encodes.
         simcore::codec::to_bytes(&self.data).expect("bytes encode")
     }
 

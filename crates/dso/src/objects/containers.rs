@@ -65,6 +65,7 @@ impl SharedObject for ListObject {
     }
 
     fn save(&self) -> Vec<u8> {
+        // invariant: a Vec of byte vectors always encodes.
         simcore::codec::to_bytes(&self.items).expect("list encodes")
     }
 
@@ -129,6 +130,7 @@ impl SharedObject for MapObject {
     }
 
     fn save(&self) -> Vec<u8> {
+        // invariant: the entry map always encodes.
         simcore::codec::to_bytes(&self.entries).expect("map encodes")
     }
 

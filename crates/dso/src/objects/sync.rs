@@ -64,16 +64,18 @@ impl SharedObject for CyclicBarrier {
             }
             "getParties" => Effects::value(&self.parties),
             "getNumberWaiting" => Effects::value(&(self.waiting.len() as u32)),
+            "getGeneration" => Effects::value(&self.generation),
             other => Err(ObjErr::MethodNotFound(other.to_string())),
         }
     }
 
     fn is_readonly(&self, method: &str) -> bool {
-        matches!(method, "getParties" | "getNumberWaiting")
+        matches!(method, "getParties" | "getNumberWaiting" | "getGeneration")
     }
 
     fn save(&self) -> Vec<u8> {
         // Waiting tickets are node-local and meaningless elsewhere.
+        // invariant: a (u32, u64) pair always encodes.
         simcore::codec::to_bytes(&(self.parties, self.generation)).expect("barrier encodes")
     }
 
@@ -150,15 +152,17 @@ impl SharedObject for Semaphore {
                 self.drain(fx)
             }
             "availablePermits" => Effects::value(&self.permits),
+            "getQueueLength" => Effects::value(&(self.queue.len() as u64)),
             other => Err(ObjErr::MethodNotFound(other.to_string())),
         }
     }
 
     fn is_readonly(&self, method: &str) -> bool {
-        matches!(method, "availablePermits")
+        matches!(method, "availablePermits" | "getQueueLength")
     }
 
     fn save(&self) -> Vec<u8> {
+        // invariant: an i64 always encodes.
         simcore::codec::to_bytes(&self.permits).expect("semaphore encodes")
     }
 
@@ -222,6 +226,7 @@ impl SharedObject for CountDownLatch {
     }
 
     fn save(&self) -> Vec<u8> {
+        // invariant: a u64 always encodes.
         simcore::codec::to_bytes(&self.count).expect("latch encodes")
     }
 
@@ -294,6 +299,7 @@ impl SharedObject for FutureObject {
     }
 
     fn save(&self) -> Vec<u8> {
+        // invariant: an Option<Vec<u8>> always encodes.
         simcore::codec::to_bytes(&self.value).expect("future encodes")
     }
 

@@ -68,6 +68,8 @@ pub fn passivate(
     objects.sort_by(|a, b| a.obj.cmp(&b.obj));
     let mut bytes = 0;
     for r in &objects {
+        // invariant: ObjectRecord derives Serialize and holds only plain
+        // data, so encoding cannot fail.
         let payload = simcore::codec::to_bytes(*r).expect("record encodes");
         bytes += payload.len();
         s3.put(ctx, &storage_key(prefix, &r.obj), payload);
@@ -96,6 +98,7 @@ pub fn restore(
         let payload = s3.get(ctx, &key).ok_or(DsoError::Retry)?;
         let record: ObjectRecord = simcore::codec::from_bytes(&payload)
             .map_err(|e| DsoError::Object(crate::error::ObjectError::BadState(e.to_string())))?;
+        // invariant: a (Bytes, u64) pair always encodes.
         let args =
             simcore::codec::to_bytes(&(record.state, record.version)).expect("restore args encode");
         cli.invoke(ctx, &record.obj, "__restore", args.into(), record.rf, None, false, false)?;

@@ -29,7 +29,7 @@ impl fmt::Display for NodeId {
 }
 
 /// A totally-ordered membership view (view synchrony, §4.1).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct View {
     /// Monotonically increasing view id.
     pub id: u64,
@@ -59,7 +59,7 @@ impl View {
 /// Cloning is cheap: the method name is interned and the payloads are
 /// reference-counted [`Bytes`], so the client constructs the request once
 /// and clones it per retry or batch item.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct InvokeReq {
     /// Target object.
     pub obj: ObjectRef,
@@ -80,7 +80,7 @@ pub struct InvokeReq {
 }
 
 /// Server's reply to an invocation.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum InvokeResp {
     /// The method's encoded return value.
     Value {
@@ -105,7 +105,7 @@ pub enum InvokeResp {
 }
 
 /// Payload replicated through total-order multicast for persistent objects.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SmrOp {
     /// The original invocation.
     pub req: InvokeReq,
@@ -121,14 +121,14 @@ pub struct SmrOp {
 /// shipped as a single message. The server fans the items out to its
 /// workers; each item is answered individually as a [`BatchItemResp`]
 /// carrying the item's tag, so replies stream back as they complete.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct BatchReq {
     /// `(tag, operation)` pairs; tags are echoed in the replies.
     pub items: Vec<(u32, InvokeReq)>,
 }
 
 /// Reply to one item of a [`BatchReq`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BatchItemResp {
     /// The tag of the [`BatchReq`] item this answers.
     pub tag: u32,
@@ -138,7 +138,7 @@ pub struct BatchItemResp {
 
 /// Cheap version probe, answered directly by a node's dispatcher without
 /// touching a worker: used by clients to validate cached read results.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VersionReq {
     /// The object whose version is asked for.
     pub obj: ObjectRef,
@@ -149,11 +149,11 @@ pub struct VersionReq {
 /// Reply to a [`VersionReq`]. `None` means the node does not currently
 /// store the object (not an owner, or not yet materialized) — clients must
 /// treat that as a cache miss.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VersionResp(pub Option<u64>);
 
 /// Server-to-server messages.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub enum PeerMsg {
     /// A Skeen protocol message carrying an [`SmrOp`].
     Smr {
@@ -182,7 +182,7 @@ pub enum PeerMsg {
 }
 
 /// Messages understood by the membership coordinator.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub enum MemberMsg {
     /// A server announces itself (on start or restart).
     Join {
@@ -205,13 +205,13 @@ pub enum MemberMsg {
 
 /// RPC to the coordinator: fetch the current view (used by clients and by
 /// servers that fall behind).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct GetView;
 
 /// RPC to a storage node: dump every locally-stored object (passivation,
 /// §4.1: objects "can be passivated to stable storage using standard
 /// mechanisms").
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct SnapshotAll;
 
 /// One marshalled object in a snapshot.
@@ -228,11 +228,11 @@ pub struct ObjectRecord {
 }
 
 /// Reply to [`SnapshotAll`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SnapshotReply(pub Vec<ObjectRecord>);
 
 /// Coordinator's push of a new view to the members.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ViewUpdate(pub View);
 
 /// Convenience alias re-exported for driver code.

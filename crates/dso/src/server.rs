@@ -508,6 +508,8 @@ fn execute(
                 }
             }
         }
+        // invariant: the contains_key/materialize branch above inserted the
+        // entry (or returned early), all while holding the objects lock.
         let stored = objects.get_mut(&req.obj).expect("object just ensured");
         if &req.method == "__create" {
             // Idempotent explicit creation: materialization above (or a
@@ -529,8 +531,31 @@ fn execute(
             )
         } else {
             let mutating = !stored.obj.is_readonly(&req.method);
+            // Runtime read-only verification: the read fast path *trusts*
+            // `is_readonly` (skipping SMR and the version bump), so a
+            // method misdeclared as read-only would silently fork replicas.
+            // Snapshot the state around the call and reject on mutation.
+            let snapshot = if !mutating && shared.cfg.verify_readonly {
+                Some(stored.obj.save())
+            } else {
+                None
+            };
             let call = CallCtx { ticket, replicated };
             match stored.obj.invoke(&call, &req.method, &req.args) {
+                Ok(effects) if snapshot.as_ref().is_some_and(|s| *s != stored.obj.save()) => {
+                    // invariant: snapshot is Some in this arm, per the guard.
+                    let s = snapshot.expect("guard checked snapshot");
+                    // Restore is best-effort: the bytes came from save() on
+                    // this very instance moments ago, so it cannot fail.
+                    let _ = stored.obj.restore(&s);
+                    CallOutcome::Reply(
+                        InvokeResp::Error(crate::error::ObjectError::ReadonlyViolation(format!(
+                            "{}::{}",
+                            req.obj, req.method
+                        ))),
+                        effects.cost,
+                    )
+                }
                 Ok(effects) => {
                     // The version counts *mutations*, so read-only calls
                     // leave it unchanged — that is what lets replicas and
@@ -571,6 +596,7 @@ fn execute(
 
 /// The encoded unit value `()`, shared by maintenance replies.
 fn unit_bytes() -> bytes::Bytes {
+    // invariant: encoding the unit type is infallible in the codec.
     simcore::codec::to_bytes(&()).expect("unit encodes").into()
 }
 

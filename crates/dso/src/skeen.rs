@@ -237,6 +237,8 @@ impl<M: Clone> Skeen<M> {
                 if !done {
                     return Vec::new();
                 }
+                // invariant: `done` came from get_mut on this very key above,
+                // with no intervening removal.
                 let c = self.collecting.remove(&mid).expect("collecting entry");
                 c.group
                     .iter()
@@ -267,6 +269,8 @@ impl<M: Clone> Skeen<M> {
                 break;
             }
             self.order.remove(&(ts, mid));
+            // invariant: `deliverable` required pending[mid].is_final just
+            // above; order and pending are mutated in lockstep.
             let p = self.pending.remove(&mid).expect("pending entry");
             out.push(Action::Deliver { mid, ts, payload: p.payload });
         }

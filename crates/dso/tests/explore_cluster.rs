@@ -1,0 +1,161 @@
+//! Schedule exploration over a live DSO cluster: the explorer must catch
+//! distributed misuse bugs (crossed barriers, check-then-acquire races) and
+//! must hold the replica-read guarantees across perturbed schedules.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use simcore::explore::{explore_seeds, replay_seed, Check, ScheduleFailure};
+use simcore::Sim;
+
+use dso::verify::{check_counter_with_reads, Op};
+use dso::{api, ConsistencyMode, DsoCluster, DsoConfig, ObjectRegistry};
+
+/// Two clients crossing two 2-party DSO barriers: alpha parks on `a`
+/// while beta parks on `b`, and each is the other's missing party. No
+/// schedule can finish this — a distributed deadlock the detector must
+/// name as a wait-for cycle.
+fn crossed_dso_barriers(sim: &mut Sim) -> Check {
+    let cluster = DsoCluster::start(sim, 2, DsoConfig::default(), ObjectRegistry::with_builtins());
+    let handle = cluster.client_handle();
+    for (name, first, second) in [("alpha", "bar-a", "bar-b"), ("beta", "bar-b", "bar-a")] {
+        let handle = handle.clone();
+        sim.spawn(name, move |ctx| {
+            let mut cli = handle.connect();
+            api::CyclicBarrier::new(first, 2).wait(ctx, &mut cli).expect("barrier");
+            api::CyclicBarrier::new(second, 2).wait(ctx, &mut cli).expect("barrier");
+        });
+    }
+    Box::new(move || {
+        let _keep = cluster;
+        Ok(())
+    })
+}
+
+#[test]
+fn crossed_dso_barriers_always_deadlock_with_cycle() {
+    let report = explore_seeds(0, 4, crossed_dso_barriers);
+    assert_eq!(report.failures.len(), report.explored);
+    for fs in &report.failures {
+        let ScheduleFailure::Deadlock(dl) = &fs.failure else {
+            panic!("expected deadlock, got {:?}", fs.failure);
+        };
+        assert!(!dl.cycles.is_empty(), "wait-for cycle expected:\n{dl}");
+        let rendered = dl.to_string();
+        // The ring names both clients, the barrier objects they park on,
+        // and the reproduction recipe.
+        assert!(rendered.contains("alpha") && rendered.contains("beta"), "{rendered}");
+        assert!(rendered.contains("barrier"), "{rendered}");
+        assert!(rendered.contains(&format!("seed {}", fs.seed)), "{rendered}");
+    }
+    // A reported seed reproduces the identical postmortem on replay.
+    let first = &report.failures[0];
+    let again = replay_seed(first.seed, crossed_dso_barriers).expect("still deadlocks");
+    let (ScheduleFailure::Deadlock(a), ScheduleFailure::Deadlock(b)) = (&first.failure, &again)
+    else {
+        panic!("expected deadlocks");
+    };
+    assert_eq!(a.to_string(), b.to_string());
+}
+
+/// Check-then-acquire on a DSO semaphore: three workers each poll
+/// `availablePermits` and acquire only if it looked positive — but with
+/// two permits and no releases, a schedule where all three *check* before
+/// the first two *acquire* strands the third forever. Other schedules let
+/// the third see 0 and pass. Exactly the kind of bug one FIFO run hides.
+fn semaphore_toctou(sim: &mut Sim) -> Check {
+    let cluster = DsoCluster::start(sim, 2, DsoConfig::default(), ObjectRegistry::with_builtins());
+    let handle = cluster.client_handle();
+    for w in 0..3 {
+        let handle = handle.clone();
+        sim.spawn(&format!("worker-{w}"), move |ctx| {
+            let mut cli = handle.connect();
+            let sem = api::Semaphore::new("permits", 2);
+            if sem.available_permits(ctx, &mut cli).expect("reachable") > 0 {
+                sem.acquire(ctx, &mut cli, 1).expect("reachable");
+            }
+        });
+    }
+    Box::new(move || {
+        let _keep = cluster;
+        Ok(())
+    })
+}
+
+#[test]
+fn semaphore_check_then_acquire_loses_wakeup_on_some_schedules() {
+    let report = explore_seeds(0, 16, semaphore_toctou);
+    assert!(
+        !report.failures.is_empty(),
+        "exploration should find a schedule that strands a worker"
+    );
+    assert!(
+        report.failures.len() < report.explored,
+        "some schedules must be clean (third worker sees 0 permits)"
+    );
+    let ScheduleFailure::Deadlock(dl) = &report.failures[0].failure else {
+        panic!("expected deadlock, got {:?}", report.failures[0].failure);
+    };
+    // One worker parked on the semaphore with nobody left to release it.
+    assert!(!dl.lost_wakeups.is_empty(), "lost wakeup expected:\n{dl}");
+    let rendered = dl.to_string();
+    assert!(rendered.contains("semaphore") && rendered.contains("worker"), "{rendered}");
+}
+
+/// PR 1's replica-read guarantee, re-checked across schedules: under
+/// `ReplicaReads` a client may read any replica, but each client's view of
+/// the counter must stay monotonic and every read must fit *some*
+/// linearization of the unit increments.
+#[test]
+fn replica_reads_stay_monotonic_across_schedules() {
+    let scenario = |sim: &mut Sim| -> Check {
+        let cfg = DsoConfig { consistency: ConsistencyMode::ReplicaReads, ..DsoConfig::default() };
+        let cluster = DsoCluster::start(sim, 3, cfg, ObjectRegistry::with_builtins());
+        let handle = cluster.client_handle();
+        let incs: Arc<Mutex<Vec<Op>>> = Arc::new(Mutex::new(Vec::new()));
+        let reads: Arc<Mutex<Vec<Vec<Op>>>> = Arc::new(Mutex::new(vec![Vec::new(); 2]));
+        for w in 0..2 {
+            let handle = handle.clone();
+            let incs = incs.clone();
+            sim.spawn(&format!("writer-{w}"), move |ctx| {
+                let mut cli = handle.connect();
+                let counter = api::AtomicLong::persistent("mono", 0, 2);
+                for _ in 0..4 {
+                    let start = ctx.now();
+                    let value = counter.increment_and_get(ctx, &mut cli).expect("reachable");
+                    incs.lock().push(Op { start, end: ctx.now(), value });
+                }
+            });
+        }
+        for r in 0..2usize {
+            let handle = handle.clone();
+            let reads = reads.clone();
+            sim.spawn(&format!("reader-{r}"), move |ctx| {
+                let mut cli = handle.connect();
+                let counter = api::AtomicLong::persistent("mono", 0, 2);
+                for _ in 0..5 {
+                    let start = ctx.now();
+                    let value = counter.get(ctx, &mut cli).expect("reachable");
+                    reads.lock()[r].push(Op { start, end: ctx.now(), value });
+                    ctx.sleep(Duration::from_micros(150));
+                }
+            });
+        }
+        Box::new(move || {
+            let _keep = cluster;
+            let incs = incs.lock();
+            let reads = reads.lock();
+            for (r, per_reader) in reads.iter().enumerate() {
+                let values: Vec<i64> = per_reader.iter().map(|o| o.value).collect();
+                if values.windows(2).any(|w| w[1] < w[0]) {
+                    return Err(format!("reader-{r} went backwards: {values:?}"));
+                }
+            }
+            let all_reads: Vec<Op> = reads.iter().flatten().cloned().collect();
+            check_counter_with_reads(&incs, &all_reads)
+                .map_err(|v| format!("not linearizable: {v}"))
+        })
+    };
+    explore_seeds(100, 10, scenario).expect_clean();
+}

@@ -115,6 +115,18 @@ impl FaasHandle {
     /// exactly as the paper argues (§4.4).
     pub fn invoke(&self, ctx: &mut Ctx, function: &str, payload: Vec<u8>) -> InvokeResult {
         let lat = self.cfg.warm_dispatch.sample(ctx.rng());
+        // A synchronous invoke can park indefinitely (the function may
+        // itself block on shared objects); tell the deadlock detector
+        // which function this caller is waiting on.
+        let resource = function.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        ctx.annotate_wait(
+            resource,
+            simcore::WaitKind::Call,
+            function,
+            format!("FaasHandle::invoke {function}"),
+        );
         ctx.call(self.addr, InvokeFn { function: function.to_string(), payload }, lat)
     }
 

@@ -1,0 +1,14 @@
+// Fixture: every violation carries a reasoned allow. Expected findings:
+// none.
+
+fn measured() -> std::time::Duration {
+    // simlint: allow(wall-clock, reason = "operator-facing wall time")
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}
+
+fn native() {
+    // simlint: allow(native-thread, reason = "intentionally native baseline")
+    let h = std::thread::spawn(|| ());
+    let _ = h.join();
+}

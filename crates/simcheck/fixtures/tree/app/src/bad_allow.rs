@@ -1,0 +1,8 @@
+// Fixture: a reasonless allow. Expected findings: bad-allow for the
+// directive AND wall-clock for the line it failed to cover.
+
+fn measured() -> std::time::Duration {
+    // simlint: allow(wall-clock)
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}

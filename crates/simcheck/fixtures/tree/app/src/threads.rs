@@ -1,0 +1,6 @@
+// Fixture: a native thread spawn. Expected findings: native-thread once.
+
+fn fan_out() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+}

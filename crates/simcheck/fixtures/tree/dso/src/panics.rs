@@ -1,0 +1,25 @@
+// Fixture: panics on the DSO path. Expected findings: no-panic at the
+// unwrap line and at the undocumented expect; the documented expect and
+// the test module are clean.
+
+fn handle(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+fn decode(x: Option<u8>) -> u8 {
+    x.expect("undocumented")
+}
+
+fn checked(x: Option<u8>) -> u8 {
+    // invariant: the caller inserted x just above.
+    x.expect("documented")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        None::<u8>.unwrap();
+        panic!("fine here");
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: protocol types. Expected findings: serde-derive on `Naked`
+// only; `Wired` has the derives and `Hidden` is private.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone)]
+pub struct Naked {
+    pub x: u8,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Wired {
+    pub x: u8,
+}
+
+#[derive(Debug)]
+struct Hidden {
+    x: u8,
+}

@@ -1,0 +1,60 @@
+//! Meta-test: runs the linter over the fixture tree and asserts the exact
+//! set of findings, including that reasoned allow directives are honored
+//! and reasonless ones are not.
+
+use std::path::Path;
+
+use simcheck::{lint_tree, Rule};
+
+#[test]
+fn fixture_tree_yields_exactly_the_planted_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/tree");
+    let findings = lint_tree(&root).expect("walk fixtures");
+    let mut got: Vec<(String, Rule)> = findings
+        .iter()
+        .map(|f| {
+            let file = f.file.rsplit('/').next().unwrap_or(&f.file).to_string();
+            (file, f.rule)
+        })
+        .collect();
+    got.sort();
+    let mut want = vec![
+        ("bad_allow.rs".to_string(), Rule::BadAllow),
+        ("bad_allow.rs".to_string(), Rule::WallClock),
+        ("panics.rs".to_string(), Rule::NoPanic),
+        ("panics.rs".to_string(), Rule::NoPanic),
+        ("protocol.rs".to_string(), Rule::SerdeDerive),
+        ("sneaky.rs".to_string(), Rule::ReadonlyMutation),
+        ("threads.rs".to_string(), Rule::NativeThread),
+        ("wall.rs".to_string(), Rule::WallClock),
+        ("wall.rs".to_string(), Rule::WallClock),
+    ];
+    want.sort();
+    assert_eq!(got, want, "full findings: {findings:#?}");
+    // allowed.rs is covered by the absence of any finding for it above.
+    assert!(!findings.iter().any(|f| f.file.contains("allowed.rs")));
+}
+
+#[test]
+fn fixture_findings_carry_lines_and_messages() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/tree");
+    let findings = lint_tree(&root).expect("walk fixtures");
+    let sneaky = findings.iter().find(|f| f.rule == Rule::ReadonlyMutation).expect("planted");
+    assert!(sneaky.msg.contains("peek"), "{}", sneaky.msg);
+    let wall =
+        findings.iter().filter(|f| f.file.contains("wall.rs")).map(|f| f.line).collect::<Vec<_>>();
+    assert_eq!(wall, vec![5, 6], "one finding per offending line");
+}
+
+#[test]
+fn workspace_tree_is_clean() {
+    // The real gate: the shipped sources must lint clean. Walking from the
+    // crate's parent covers the whole `crates/` tree.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+    let findings = lint_tree(&root).expect("walk crates");
+    assert!(
+        findings.is_empty(),
+        "workspace lint violations:\n{}",
+        findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}

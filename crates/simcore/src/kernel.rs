@@ -23,6 +23,8 @@ use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::detect::{StuckProc, WaitAnnotation, WaitKind};
+use crate::scheduler::{Decision, FifoScheduler, Scheduler};
 use crate::time::SimTime;
 
 /// Identifier of a simulated process.
@@ -171,6 +173,13 @@ enum EventKind {
     Deliver { mailbox: u64, msg: Msg },
 }
 
+/// How long (in virtual time) `run_until_idle` keeps firing events that
+/// cannot directly wake a non-daemon process after the last non-daemon ran.
+/// Past this, the surviving processes are wedged: only daemon housekeeping
+/// (heartbeats, pollers) is left, and none of it can free them. Daemon
+/// request/reply chains serving a blocked client stay well under this.
+const STALL_LIMIT: Duration = Duration::from_secs(60);
+
 struct EventEntry {
     time: SimTime,
     seq: u64,
@@ -293,6 +302,10 @@ struct ProcSlot {
     /// blocked-process report: a quiescent simulation with only daemons
     /// waiting for requests is not a deadlock.
     daemon: bool,
+    /// What this process is blocked on, as registered by the blocking
+    /// primitive via [`Ctx::annotate_wait`]; cleared on wakeup. Feeds the
+    /// wait-for graph in [`crate::detect`].
+    waiting_on: Option<WaitAnnotation>,
 }
 
 struct MailboxState {
@@ -316,6 +329,17 @@ pub(crate) struct KernelState {
     live: usize,
     live_nondaemon: usize,
     trace: bool,
+    /// Picks the next runnable process when several are ready at once.
+    scheduler: Box<dyn Scheduler>,
+    /// Every contended pick, in order; replaying these choices reproduces
+    /// the schedule (see [`crate::scheduler::ReplayScheduler`]).
+    decisions: Vec<Decision>,
+    /// Current holder of each annotated resource (`resource id -> (pid,
+    /// name)`), maintained by [`Ctx::resource_acquired`] and friends.
+    holders: HashMap<u64, (Pid, String)>,
+    /// Virtual time a non-daemon process last received the run token; the
+    /// stall detector in `run_inner` keys off this.
+    last_nondaemon_run: SimTime,
 }
 
 impl KernelState {
@@ -329,8 +353,42 @@ impl KernelState {
         if let Some(p) = self.procs.get_mut(&pid.0) {
             if p.blocked != BlockState::Exited && p.blocked != BlockState::Runnable {
                 p.blocked = BlockState::Runnable;
+                p.waiting_on = None; // the wait ended
                 self.runnable.push_back(pid);
             }
+        }
+    }
+
+    /// Removes the next process to run from the runnable queue. Contended
+    /// picks (≥ 2 candidates) go through the scheduler and are recorded in
+    /// the decision trace.
+    fn pick_runnable(&mut self) -> Option<Pid> {
+        match self.runnable.len() {
+            0 => None,
+            1 => self.runnable.pop_front(),
+            n => {
+                let snapshot: Vec<Pid> = self.runnable.iter().copied().collect();
+                let idx = self.scheduler.pick(&snapshot).min(n - 1);
+                self.decisions.push(Decision { options: n as u32, choice: idx as u32 });
+                self.runnable.remove(idx)
+            }
+        }
+    }
+
+    /// Whether firing this event can directly hand progress to a
+    /// non-daemon process: a wake for a live non-daemon (sleep or recv
+    /// timeout), or a delivery to a mailbox a non-daemon is blocked on.
+    /// Such events are exempt from the stall cutoff in `run_inner` — a
+    /// client sleeping for an hour is idle, not wedged.
+    fn event_can_progress(&self, kind: &EventKind) -> bool {
+        match kind {
+            EventKind::Wake { pid, .. } => self.procs.get(&pid.0).is_some_and(|p| !p.daemon),
+            EventKind::Deliver { mailbox, .. } => self
+                .mailboxes
+                .get(mailbox)
+                .and_then(|mb| mb.waiting)
+                .and_then(|pid| self.procs.get(&pid.0))
+                .is_some_and(|p| !p.daemon),
         }
     }
 
@@ -393,11 +451,14 @@ impl KernelState {
                 }
             }
             p.blocked = BlockState::Exited;
+            p.waiting_on = None;
             self.live -= 1;
             if !p.daemon {
                 self.live_nondaemon -= 1;
             }
         }
+        // A dead process holds nothing.
+        self.holders.retain(|_, (holder, _)| *holder != pid);
         // Close mailboxes owned by this process.
         for mb in self.mailboxes.values_mut() {
             if mb.owner == Some(pid) {
@@ -490,8 +551,17 @@ impl fmt::Debug for Sim {
 
 impl Sim {
     /// Creates a simulation seeded with `seed`; the same seed gives the same
-    /// run, event for event.
+    /// run, event for event. Runnable-queue ties are broken in FIFO order
+    /// ([`FifoScheduler`]); see [`Sim::with_scheduler`] to explore other
+    /// schedules.
     pub fn new(seed: u64) -> Sim {
+        Sim::with_scheduler(seed, Box::new(FifoScheduler))
+    }
+
+    /// Creates a simulation whose runnable-queue ties are broken by
+    /// `scheduler` instead of FIFO order. Used by [`crate::explore`] to
+    /// search over schedules and to replay a failing one.
+    pub fn with_scheduler(seed: u64, scheduler: Box<dyn Scheduler>) -> Sim {
         let trace = std::env::var("SIM_TRACE").map(|v| v == "1").unwrap_or(false);
         Sim {
             kernel: Arc::new(Kernel {
@@ -508,11 +578,57 @@ impl Sim {
                     live: 0,
                     live_nondaemon: 0,
                     trace,
+                    scheduler,
+                    decisions: Vec::new(),
+                    holders: HashMap::new(),
+                    last_nondaemon_run: SimTime::ZERO,
                 }),
                 kernel_gate: KernelGate { flag: Mutex::new(false), cv: Condvar::new() },
                 seed,
             }),
         }
+    }
+
+    /// The seed this simulation was created with.
+    pub fn seed(&self) -> u64 {
+        self.kernel.seed
+    }
+
+    /// The scheduling decisions made so far (contended picks only).
+    /// Feeding the choices to a [`crate::scheduler::ReplayScheduler`] on a
+    /// fresh `Sim` with the same seed reproduces this run's schedule.
+    pub fn decision_trace(&self) -> Vec<Decision> {
+        self.kernel.state.lock().decisions.clone()
+    }
+
+    /// Snapshot of the permanently blocked non-daemon processes plus the
+    /// resource-holder table, for [`Sim::deadlock_report`].
+    pub(crate) fn stuck_snapshot(&self) -> (SimTime, Vec<StuckProc>, HashMap<u64, (Pid, String)>) {
+        let st = self.kernel.state.lock();
+        let mut stuck: Vec<StuckProc> = st
+            .procs
+            .iter()
+            .filter(|(_, p)| {
+                !p.daemon && !matches!(p.blocked, BlockState::Exited | BlockState::Runnable)
+            })
+            .map(|(id, p)| StuckProc {
+                pid: Pid(*id),
+                name: p.name.clone(),
+                block_state: match p.blocked {
+                    BlockState::Sleeping => "sleeping".to_string(),
+                    BlockState::Receiving { mailbox } => {
+                        let name =
+                            st.mailboxes.get(&mailbox).map(|mb| mb.name.as_str()).unwrap_or("?");
+                        format!("receiving on {name}")
+                    }
+                    BlockState::Parked => "parked".to_string(),
+                    _ => unreachable!("filtered above"),
+                },
+                wait: p.waiting_on.clone(),
+            })
+            .collect();
+        stuck.sort_by_key(|p| p.pid);
+        (st.now, stuck, st.holders.clone())
     }
 
     /// Current virtual time.
@@ -565,7 +681,7 @@ impl Sim {
                 resume_unwind(p);
             }
             // Run every currently runnable process to its next block point.
-            let next = self.kernel.state.lock().runnable.pop_front();
+            let next = self.kernel.state.lock().pick_runnable();
             if let Some(pid) = next {
                 self.run_process(pid);
                 continue;
@@ -573,12 +689,19 @@ impl Sim {
             // Advance to the next event. Without a deadline, stop once
             // every non-daemon process has exited: the remaining events
             // belong to long-lived services (heartbeats, pollers) that
-            // would otherwise tick forever.
+            // would otherwise tick forever. The stall bound covers the
+            // deadlocked-but-daemons-keep-ticking case: if no non-daemon
+            // has run for that long in virtual time, the survivors are
+            // wedged and firing more daemon timers can never free them.
             let mut st = self.kernel.state.lock();
             let fire = match st.events.peek() {
                 Some(Reverse(ev)) => match deadline {
                     Some(d) => ev.time <= d,
-                    None => st.live_nondaemon > 0,
+                    None => {
+                        st.live_nondaemon > 0
+                            && (ev.time <= st.last_nondaemon_run + STALL_LIMIT
+                                || st.event_can_progress(&ev.kind))
+                    }
                 },
                 None => false,
             };
@@ -611,7 +734,7 @@ impl Sim {
     fn run_process(&self, pid: Pid) {
         let gate = {
             let mut st = self.kernel.state.lock();
-            match st.procs.get_mut(&pid.0) {
+            let (gate, daemon) = match st.procs.get_mut(&pid.0) {
                 Some(p) if p.blocked != BlockState::Exited => {
                     if p.killed {
                         // Tell the thread to unwind; it does not take the
@@ -620,10 +743,14 @@ impl Sim {
                         st.proc_exited(pid);
                         return;
                     }
-                    p.gate.clone()
+                    (p.gate.clone(), p.daemon)
                 }
                 _ => return,
+            };
+            if !daemon {
+                st.last_nondaemon_run = st.now;
             }
+            gate
         };
         gate.set(RunCmd::Run);
         self.kernel.kernel_gate.wait();
@@ -784,6 +911,7 @@ where
                 killed: false,
                 park_permit: false,
                 daemon,
+                waiting_on: None,
             },
         );
         st.live += 1;
@@ -1109,6 +1237,61 @@ impl Ctx {
         kill_process(&self.kernel, pid);
     }
 
+    /// Annotates this process as about to block waiting for `resource`.
+    ///
+    /// Synchronization primitives call this just before blocking; the
+    /// annotation is cleared automatically when the process is woken (or
+    /// when a pending park permit makes the block a no-op). It feeds the
+    /// wait-for graph behind [`Sim::deadlock_report`].
+    pub fn annotate_wait(
+        &mut self,
+        resource: u64,
+        kind: WaitKind,
+        resource_name: impl Into<String>,
+        site: impl Into<String>,
+    ) {
+        let mut st = self.kernel.state.lock();
+        if let Some(p) = st.procs.get_mut(&self.pid.0) {
+            p.waiting_on = Some(WaitAnnotation {
+                resource,
+                resource_name: resource_name.into(),
+                kind,
+                site: site.into(),
+            });
+        }
+    }
+
+    /// Removes this process's wait annotation (for fast paths that turned
+    /// out not to block after all).
+    pub fn clear_wait(&mut self) {
+        let mut st = self.kernel.state.lock();
+        if let Some(p) = st.procs.get_mut(&self.pid.0) {
+            p.waiting_on = None;
+        }
+    }
+
+    /// Registers this process as the holder of `resource` (a lock or
+    /// semaphore-like primitive identified by a stable id).
+    pub fn resource_acquired(&mut self, resource: u64, name: &str) {
+        let mut st = self.kernel.state.lock();
+        st.holders.insert(resource, (self.pid, name.to_string()));
+    }
+
+    /// Records a direct ownership handoff of `resource` to `to` (e.g. FIFO
+    /// lock transfer on release).
+    pub fn resource_passed(&mut self, resource: u64, to: Pid, name: &str) {
+        let mut st = self.kernel.state.lock();
+        st.holders.insert(resource, (to, name.to_string()));
+    }
+
+    /// Releases `resource` if this process holds it.
+    pub fn resource_released(&mut self, resource: u64) {
+        let mut st = self.kernel.state.lock();
+        if st.holders.get(&resource).is_some_and(|(h, _)| *h == self.pid) {
+            st.holders.remove(&resource);
+        }
+    }
+
     /// Blocks until another process calls [`Ctx::unpark`] with this pid.
     /// A pending permit (unpark before park) is consumed immediately.
     pub fn park(&mut self) {
@@ -1117,6 +1300,7 @@ impl Ctx {
             let p = st.procs.get_mut(&self.pid.0).expect("own slot");
             if p.park_permit {
                 p.park_permit = false;
+                p.waiting_on = None;
                 return;
             }
             p.epoch += 1;

@@ -47,10 +47,15 @@ mod time;
 
 pub mod codec;
 pub mod cpu;
+pub mod detect;
+pub mod explore;
+pub mod scheduler;
 pub mod sync;
 
 pub use cpu::CpuHost;
+pub use detect::{DeadlockReport, StuckProc, WaitAnnotation, WaitKind};
 pub use kernel::{Addr, Ctx, Msg, Pid, Request, RunOutcome, Sim};
 pub use latency::{Jitter, LatencyModel};
 pub use metrics::{Counter, LatencyStats, Series};
+pub use scheduler::{Decision, FifoScheduler, RandomScheduler, ReplayScheduler, Scheduler};
 pub use time::SimTime;

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::detect::WaitKind;
 use crate::kernel::{Addr, Ctx, Msg, Pid, Sim};
 
 // ---------------------------------------------------------------------------
@@ -161,18 +162,36 @@ impl Monitor {
         }
     }
 
+    /// Stable identity of this monitor for the deadlock detector's
+    /// wait-for graph (clones share state, hence identity).
+    fn resource_id(&self) -> u64 {
+        Arc::as_ptr(&self.state) as u64
+    }
+
     /// Acquires the monitor, blocking while another process holds it.
     pub fn enter(&self, ctx: &mut Ctx) {
         let me = ctx.pid();
-        {
+        let acquired = {
             let mut st = self.state.lock();
             if st.holder.is_none() {
                 st.holder = Some(me);
-                return;
+                true
+            } else {
+                assert_ne!(st.holder, Some(me), "monitor {} is not reentrant", self.name);
+                st.entry_q.push_back(me);
+                false
             }
-            assert_ne!(st.holder, Some(me), "monitor {} is not reentrant", self.name);
-            st.entry_q.push_back(me);
+        };
+        if acquired {
+            ctx.resource_acquired(self.resource_id(), &self.name);
+            return;
         }
+        ctx.annotate_wait(
+            self.resource_id(),
+            WaitKind::Lock,
+            self.name.as_str(),
+            format!("Monitor::enter({})", self.name),
+        );
         ctx.park();
         debug_assert_eq!(self.state.lock().holder, Some(me), "woken as holder");
     }
@@ -198,8 +217,12 @@ impl Monitor {
                 }
             }
         };
-        if let Some(n) = next {
-            ctx.unpark(n);
+        match next {
+            Some(n) => {
+                ctx.resource_passed(self.resource_id(), n, &self.name);
+                ctx.unpark(n);
+            }
+            None => ctx.resource_released(self.resource_id()),
         }
     }
 
@@ -226,9 +249,19 @@ impl Monitor {
                 }
             }
         };
-        if let Some(n) = next {
-            ctx.unpark(n);
+        match next {
+            Some(n) => {
+                ctx.resource_passed(self.resource_id(), n, &self.name);
+                ctx.unpark(n);
+            }
+            None => ctx.resource_released(self.resource_id()),
         }
+        ctx.annotate_wait(
+            self.resource_id(),
+            WaitKind::Condition,
+            self.name.as_str(),
+            format!("Monitor::wait({})", self.name),
+        );
         // Parked until a notify moves us to the entry queue *and* the lock
         // is handed to us.
         ctx.park();
