@@ -13,3 +13,9 @@ cargo fmt --check
 # linearizability checked on each (see DESIGN.md, "Correctness tooling").
 cargo run --release -q -p simcheck --bin simlint
 cargo run --release -q -p simcheck --bin simexplore -- --seeds 25
+
+# Traced smoke run: export a Chrome trace from the π workload and
+# schema-validate it (well-formed JSON, ts/dur present, span parents
+# resolve). Guards the observability exports end to end.
+cargo run --release -q -p bench --bin experiments trace-pi
+cargo run --release -q -p simcheck --bin tracecheck -- results/trace-pi.chrome.json

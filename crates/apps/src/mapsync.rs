@@ -15,16 +15,13 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
-use simcore::{Sim, SimTime};
-
-use cloudstore::{spawn_sqs, QueueConfig, SqsHandle};
 use crucial::{
-    join_all, AtomicLong, CountDownLatch, CrucialConfig, CyclicBarrier, Deployment, FnEnv,
-    RunResult, Runnable, SharedFuture, SharedMap,
+    join_all, spawn_sqs, AtomicLong, CountDownLatch, CrucialConfig, CyclicBarrier, Deployment,
+    FnEnv, QueueConfig, RunResult, Runnable, SharedFuture, SharedMap, Sim, SimTime, SqsHandle,
 };
 use crucial_ml::cost::monte_carlo_cost;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 use crate::pi::sample_hits;
 
@@ -140,7 +137,7 @@ impl Runnable for MapSyncMapper {
         let value = inside;
         match self.strategy {
             SyncStrategy::S3Polling => {
-                let bytes = simcore::codec::to_bytes(&value).map_err(|e| e.to_string())?;
+                let bytes = crucial::codec::to_bytes(&value).map_err(|e| e.to_string())?;
                 let (ctx, s3) = env.s3_split();
                 s3.put(ctx, &format!("map-out/{}", self.id), bytes);
             }
@@ -150,7 +147,7 @@ impl Runnable for MapSyncMapper {
                 map.put(ctx, dso, &format!("{}", self.id), &value).map_err(|e| e.to_string())?;
             }
             SyncStrategy::Sqs => {
-                let bytes = simcore::codec::to_bytes(&value).map_err(|e| e.to_string())?;
+                let bytes = crucial::codec::to_bytes(&value).map_err(|e| e.to_string())?;
                 let sqs = self.sqs.clone();
                 sqs.send(env.ctx(), "map-out", bytes);
             }
@@ -217,7 +214,7 @@ pub fn run_mapsync(strategy: SyncStrategy, cfg: &MapSyncConfig) -> MapSyncReport
                 let mut sum = 0;
                 for id in 0..n {
                     let bytes = s3.get(ctx, &format!("map-out/{id}")).expect("listed key");
-                    sum += simcore::codec::from_bytes::<i64>(&bytes).expect("decode");
+                    sum += crucial::codec::from_bytes::<i64>(&bytes).expect("decode");
                 }
                 sum
             }
@@ -246,7 +243,7 @@ pub fn run_mapsync(strategy: SyncStrategy, cfg: &MapSyncConfig) -> MapSyncReport
                     }
                     got.extend(msgs);
                 }
-                got.iter().map(|m| simcore::codec::from_bytes::<i64>(m).expect("decode")).sum()
+                got.iter().map(|m| crucial::codec::from_bytes::<i64>(m).expect("decode")).sum()
             }
             SyncStrategy::Futures => {
                 let mut sum = 0;

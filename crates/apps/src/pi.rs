@@ -8,15 +8,13 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use crucial::{
+    join_all, AtomicLong, CrucialConfig, CyclicBarrier, Deployment, FnEnv, RunResult, Runnable, Sim,
+};
+use crucial_ml::cost::monte_carlo_cost;
 use parking_lot::Mutex;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
-use simcore::Sim;
-
-use crucial::{
-    join_all, AtomicLong, CrucialConfig, CyclicBarrier, Deployment, FnEnv, RunResult, Runnable,
-};
-use crucial_ml::cost::monte_carlo_cost;
 
 /// Maximum real samples drawn per invocation; beyond this the hit count is
 /// extrapolated (the estimate's variance is the capped sample's).
@@ -80,7 +78,20 @@ pub struct PiReport {
 /// Runs Listing 1 with `threads` cloud threads of `points_per_thread`
 /// paper-scale points each (Fig. 2b's workload).
 pub fn run_pi_crucial(seed: u64, threads: u32, points_per_thread: u64) -> PiReport {
+    run_pi_crucial_with(seed, threads, points_per_thread, |_| {})
+}
+
+/// [`run_pi_crucial`] with a hook that runs against the fresh [`Sim`]
+/// before any process is spawned — the place to install a
+/// [`crucial::Tracer`] or [`crucial::MetricsRegistry`].
+pub fn run_pi_crucial_with(
+    seed: u64,
+    threads: u32,
+    points_per_thread: u64,
+    setup: impl FnOnce(&Sim),
+) -> PiReport {
     let mut sim = Sim::new(seed);
+    setup(&sim);
     let dep = Deployment::start(&sim, CrucialConfig::default());
     dep.register::<PiEstimator>();
     let factory = dep.threads();

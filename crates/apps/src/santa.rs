@@ -15,18 +15,15 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
+use crucial::sync::{LocalBarrier, Monitor, WaitGroup};
+use crucial::{
+    join_all, AtomicLong, CallCtx, CrucialConfig, Ctx, CyclicBarrier, Deployment, DsoClient,
+    Effects, FnEnv, ObjectError, ObjectRegistry, RawHandle, RunResult, Runnable, SharedObject, Sim,
+    SimTime,
+};
 use parking_lot::Mutex;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
-use simcore::sync::{LocalBarrier, Monitor, WaitGroup};
-use simcore::{Ctx, Sim, SimTime};
-
-use crucial::{
-    join_all, AtomicLong, CrucialConfig, CyclicBarrier, Deployment, DsoClient, FnEnv, RunResult,
-    Runnable,
-};
-use dso::api::RawHandle;
-use dso::{CallCtx, Effects, ObjectError, ObjectRegistry, SharedObject};
 
 /// Entity kinds.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
@@ -336,7 +333,7 @@ pub struct SantaInbox {
     reindeer_q: VecDeque<u64>,
     elf_q: VecDeque<u64>,
     #[serde(skip)]
-    waiting: Option<dso::Ticket>,
+    waiting: Option<crucial::Ticket>,
 }
 
 impl SantaInbox {
@@ -346,7 +343,7 @@ impl SantaInbox {
     /// Factory (no creation arguments).
     pub fn factory(args: &[u8]) -> Result<Box<dyn SharedObject>, ObjectError> {
         if !args.is_empty() {
-            let _: () = simcore::codec::from_bytes(args)
+            let _: () = crucial::codec::from_bytes(args)
                 .map_err(|e| ObjectError::BadState(e.to_string()))?;
         }
         Ok(Box::<SantaInbox>::default())
@@ -370,7 +367,7 @@ impl SharedObject for SantaInbox {
     ) -> Result<Effects, ObjectError> {
         match method {
             "offer" => {
-                let (tag, batch): (u8, u64) = simcore::codec::from_bytes(args)
+                let (tag, batch): (u8, u64) = crucial::codec::from_bytes(args)
                     .map_err(|e| ObjectError::BadArgs(e.to_string()))?;
                 match tag {
                     0 => self.reindeer_q.push_back(batch),
@@ -395,12 +392,12 @@ impl SharedObject for SantaInbox {
     }
 
     fn save(&self) -> Vec<u8> {
-        simcore::codec::to_bytes(self).expect("inbox encodes")
+        crucial::codec::to_bytes(self).expect("inbox encodes")
     }
 
     fn restore(&mut self, state: &[u8]) -> Result<(), ObjectError> {
         *self =
-            simcore::codec::from_bytes(state).map_err(|e| ObjectError::BadState(e.to_string()))?;
+            crucial::codec::from_bytes(state).map_err(|e| ObjectError::BadState(e.to_string()))?;
         Ok(())
     }
 }

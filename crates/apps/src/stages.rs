@@ -11,11 +11,11 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use crucial::{
+    join_all, CrucialConfig, CyclicBarrier, Deployment, FnEnv, RunResult, Runnable, Sim,
+};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use simcore::Sim;
-
-use crucial::{join_all, CrucialConfig, CyclicBarrier, Deployment, FnEnv, RunResult, Runnable};
 
 /// Experiment parameters.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -104,7 +104,7 @@ impl Runnable for StageTask {
         let t_enter = env.ctx().now();
         bb.record(
             "a-invocation",
-            t_enter.saturating_duration_since(simcore::SimTime::from_nanos(self.started_nanos)),
+            t_enter.saturating_duration_since(crucial::SimTime::from_nanos(self.started_nanos)),
         );
         // S3 read of the input.
         let t0 = env.ctx().now();
@@ -143,7 +143,7 @@ impl Runnable for BarrierTask {
         let t_enter = env.ctx().now();
         bb.record(
             "b-invocation",
-            t_enter.saturating_duration_since(simcore::SimTime::from_nanos(self.started_nanos)),
+            t_enter.saturating_duration_since(crucial::SimTime::from_nanos(self.started_nanos)),
         );
         // Input is fetched once.
         let t0 = env.ctx().now();

@@ -6,9 +6,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use crucial::explore::{explore_seeds, Check};
+use crucial::{Sim, SimTime};
 use parking_lot::Mutex;
-use simcore::explore::{explore_seeds, Check};
-use simcore::{Sim, SimTime};
 
 use crucial::{CrucialConfig, Deployment};
 use crucial_apps::santa::{

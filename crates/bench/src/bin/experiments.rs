@@ -5,12 +5,13 @@
 //! experiments <target> [--paper]
 //!
 //! targets: table2 fig2a fig2b fig3 fig4 fig5 table3 fig6 fig7a fig7b
-//!          fig7c fig8 table4 ablate-rf ablate-workers ablate-barrier all
+//!          fig7c fig8 table4 ablate-rf ablate-workers ablate-barrier
+//!          ablate-read-path trace-pi trace-kmeans all
 //! ```
 //!
 //! `--paper` switches to the paper's full parameters (much slower).
 
-use bench::experiments::{ablate, micro, ml, readpath, state, sync, Scale};
+use bench::experiments::{ablate, micro, ml, readpath, state, sync, traced, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,7 +21,7 @@ fn main() {
         eprintln!(
             "targets: table2 fig2a fig2b fig3 fig4 fig5 table3 fig6 fig7a \
                  fig7b fig7c fig8 table4 ablate-rf ablate-workers ablate-barrier \
-                 ablate-read-path all"
+                 ablate-read-path trace-pi trace-kmeans all"
         );
         std::process::exit(2);
     });
@@ -59,6 +60,8 @@ fn run(target: &str, scale: Scale) {
         "ablate-workers" => ablate::ablate_workers(scale).0.print(),
         "ablate-barrier" => ablate::ablate_barrier(scale).0.print(),
         "ablate-read-path" => readpath::ablate_read_path(scale).0.print(),
+        "trace-pi" => traced::trace_pi(scale),
+        "trace-kmeans" => traced::trace_kmeans(scale),
         "all" => {
             for t in [
                 "table2",

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use simcore::{LatencyStats, Sim};
+use simcore::{MetricsRegistry, Sim};
 
 use dso::api::{Arithmetic, AtomicLong, CyclicBarrier};
 use dso::{DsoCluster, DsoConfig, ObjectRegistry};
@@ -27,11 +27,11 @@ pub fn ablate_rf(scale: Scale) -> (Table, Vec<(u8, Duration, f64)>) {
     for rf in [1u8, 2, 3] {
         // Latency: sequential updates.
         let mut sim = Sim::new(900 + rf as u64);
+        let reg = MetricsRegistry::new();
+        sim.set_metrics(&reg);
         let cluster =
             DsoCluster::start(&sim, 3, DsoConfig::default(), ObjectRegistry::with_builtins());
         let handle = cluster.client_handle();
-        let stats = LatencyStats::new("lat");
-        let s2 = stats.clone();
         {
             let handle = handle.clone();
             sim.spawn("probe", move |ctx| {
@@ -41,12 +41,12 @@ pub fn ablate_rf(scale: Scale) -> (Table, Vec<(u8, Duration, f64)>) {
                 for _ in 0..200 {
                     let t0 = ctx.now();
                     c.add_and_get(ctx, &mut cli, 1).expect("dso");
-                    s2.record(ctx.now() - t0);
+                    ctx.metric_record("bench.update", ctx.now() - t0);
                 }
             });
         }
         sim.run_until_idle().expect_quiescent();
-        let latency = stats.mean();
+        let latency = reg.histogram("bench.update").mean();
 
         // Throughput: 60 closed-loop threads on 120 objects, complex op.
         let mut sim = Sim::new(910 + rf as u64);
@@ -153,13 +153,13 @@ pub fn ablate_barrier(scale: Scale) -> (Table, (Duration, Duration)) {
     // Push: the real CyclicBarrier.
     let push = {
         let mut sim = Sim::new(930);
+        let reg = MetricsRegistry::new();
+        sim.set_metrics(&reg);
         let cluster =
             DsoCluster::start(&sim, 2, DsoConfig::default(), ObjectRegistry::with_builtins());
         let handle = cluster.client_handle();
-        let stats = LatencyStats::new("push");
         for i in 0..threads {
             let handle = handle.clone();
-            let stats = stats.clone();
             sim.spawn(&format!("t{i}"), move |ctx| {
                 let mut cli = handle.connect();
                 let b = CyclicBarrier::new("b", threads);
@@ -167,24 +167,24 @@ pub fn ablate_barrier(scale: Scale) -> (Table, (Duration, Duration)) {
                     ctx.sleep(Duration::from_millis(300));
                     let t0 = ctx.now();
                     b.wait(ctx, &mut cli).expect("dso");
-                    stats.record(ctx.now() - t0);
+                    ctx.metric_record("bench.push_wait", ctx.now() - t0);
                 }
             });
         }
         sim.run_until_idle().expect_quiescent();
-        stats.mean()
+        reg.histogram("bench.push_wait").mean()
     };
     // Poll: arrive by incrementing a counter, then poll until a round's
     // quota is reached.
     let poll = {
         let mut sim = Sim::new(931);
+        let reg = MetricsRegistry::new();
+        sim.set_metrics(&reg);
         let cluster =
             DsoCluster::start(&sim, 2, DsoConfig::default(), ObjectRegistry::with_builtins());
         let handle = cluster.client_handle();
-        let stats = LatencyStats::new("poll");
         for i in 0..threads {
             let handle = handle.clone();
-            let stats = stats.clone();
             sim.spawn(&format!("t{i}"), move |ctx| {
                 let mut cli = handle.connect();
                 let c = AtomicLong::new("arrivals");
@@ -199,12 +199,12 @@ pub fn ablate_barrier(scale: Scale) -> (Table, (Duration, Duration)) {
                         }
                         ctx.sleep(Duration::from_millis(100));
                     }
-                    stats.record(ctx.now() - t0);
+                    ctx.metric_record("bench.poll_wait", ctx.now() - t0);
                 }
             });
         }
         sim.run_until_idle().expect_quiescent();
-        stats.mean()
+        reg.histogram("bench.poll_wait").mean()
     };
     let mut t = Table::new(
         "Ablation — barrier implementation (push vs poll)",

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use simcore::{LatencyStats, Sim};
+use simcore::{MetricsRegistry, Sim};
 
 use cloudstore::{spawn_redis, spawn_s3, RedisConfig, S3Config, ScriptRegistry};
 use crucial_apps::pi::run_pi_crucial;
@@ -98,50 +98,59 @@ pub fn table2(scale: Scale) -> (Table, Vec<LatencyRow>) {
     let payload = vec![0u8; 1024];
     let mut rows = Vec::new();
 
-    // S3.
+    // S3. Latencies land in the sim-wide registry (no stats threading:
+    // probes record through their Ctx, the harness reads the registry).
     {
         let mut sim = Sim::new(101);
+        let reg = MetricsRegistry::new();
+        sim.set_metrics(&reg);
         let s3 = spawn_s3(&sim, S3Config::default());
-        let (put, get) = (LatencyStats::new("put"), LatencyStats::new("get"));
-        let (p2, g2) = (put.clone(), get.clone());
         let payload = payload.clone();
         sim.spawn("probe", move |ctx| {
             for i in 0..ops {
                 let t0 = ctx.now();
                 s3.put(ctx, &format!("k{i}"), payload.clone());
-                p2.record(ctx.now() - t0);
+                ctx.metric_record("bench.put", ctx.now() - t0);
             }
             for i in 0..ops {
                 let t0 = ctx.now();
                 let _ = s3.get(ctx, &format!("k{i}"));
-                g2.record(ctx.now() - t0);
+                ctx.metric_record("bench.get", ctx.now() - t0);
             }
         });
         sim.run_until_idle().expect_quiescent();
-        rows.push(LatencyRow { system: "S3", put: put.mean(), get: get.mean() });
+        rows.push(LatencyRow {
+            system: "S3",
+            put: reg.histogram("bench.put").mean(),
+            get: reg.histogram("bench.get").mean(),
+        });
     }
 
     // Redis.
     {
         let mut sim = Sim::new(102);
+        let reg = MetricsRegistry::new();
+        sim.set_metrics(&reg);
         let redis = spawn_redis(&sim, 2, RedisConfig::default(), ScriptRegistry::new());
-        let (put, get) = (LatencyStats::new("put"), LatencyStats::new("get"));
-        let (p2, g2) = (put.clone(), get.clone());
         let payload = payload.clone();
         sim.spawn("probe", move |ctx| {
             for i in 0..ops {
                 let t0 = ctx.now();
                 redis.set(ctx, &format!("k{}", i % 64), payload.clone());
-                p2.record(ctx.now() - t0);
+                ctx.metric_record("bench.put", ctx.now() - t0);
             }
             for i in 0..ops {
                 let t0 = ctx.now();
                 let _ = redis.get(ctx, &format!("k{}", i % 64));
-                g2.record(ctx.now() - t0);
+                ctx.metric_record("bench.get", ctx.now() - t0);
             }
         });
         sim.run_until_idle().expect_quiescent();
-        rows.push(LatencyRow { system: "Redis", put: put.mean(), get: get.mean() });
+        rows.push(LatencyRow {
+            system: "Redis",
+            put: reg.histogram("bench.put").mean(),
+            get: reg.histogram("bench.get").mean(),
+        });
     }
 
     // Infinispan (raw KV, no Creson stack), Crucial (rf=1), Crucial (rf=2).
@@ -149,12 +158,12 @@ pub fn table2(scale: Scale) -> (Table, Vec<LatencyRow>) {
         [("Infinispan", 1u8, true), ("Crucial", 1, false), ("Crucial (rf = 2)", 2, false)]
     {
         let mut sim = Sim::new(103 + rf as u64 + raw_kv as u64);
+        let reg = MetricsRegistry::new();
+        sim.set_metrics(&reg);
         let mut registry = ObjectRegistry::with_builtins();
         registry.register(RawKv::TYPE, RawKv::factory);
         let cluster = DsoCluster::start(&sim, 2, DsoConfig::default(), registry);
         let handle = cluster.client_handle();
-        let (put, get) = (LatencyStats::new("put"), LatencyStats::new("get"));
-        let (p2, g2) = (put.clone(), get.clone());
         let payload = payload.clone();
         sim.spawn("probe", move |ctx| {
             let mut cli = handle.connect();
@@ -169,7 +178,7 @@ pub fn table2(scale: Scale) -> (Table, Vec<LatencyRow>) {
                     let h = AtomicByteArray::persistent(&key, Vec::new(), rf);
                     h.set(ctx, &mut cli, &payload).expect("dso");
                 }
-                p2.record(ctx.now() - t0);
+                ctx.metric_record("bench.put", ctx.now() - t0);
             }
             for i in 0..ops {
                 let key = format!("k{}", i % 64);
@@ -181,11 +190,15 @@ pub fn table2(scale: Scale) -> (Table, Vec<LatencyRow>) {
                     let h = AtomicByteArray::persistent(&key, Vec::new(), rf);
                     let _ = h.get(ctx, &mut cli).expect("dso");
                 }
-                g2.record(ctx.now() - t0);
+                ctx.metric_record("bench.get", ctx.now() - t0);
             }
         });
         sim.run_until_idle().expect_quiescent();
-        rows.push(LatencyRow { system: label, put: put.mean(), get: get.mean() });
+        rows.push(LatencyRow {
+            system: label,
+            put: reg.histogram("bench.put").mean(),
+            get: reg.histogram("bench.get").mean(),
+        });
     }
 
     let paper = [

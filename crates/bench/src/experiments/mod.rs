@@ -10,6 +10,7 @@ pub mod ml;
 pub mod readpath;
 pub mod state;
 pub mod sync;
+pub mod traced;
 
 /// Experiment scale.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]

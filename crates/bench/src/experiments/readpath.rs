@@ -6,11 +6,9 @@
 //! * `replica-reads` — reads rotate over the placement set,
 //! * `replica-reads + cache` — plus the client cache with a short lease.
 
-use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
-use simcore::{LatencyStats, Sim};
+use simcore::{MetricsRegistry, Sim};
 
 use dso::api::AtomicByteArray;
 use dso::{ConsistencyMode, DsoCluster, DsoConfig, ObjectRegistry};
@@ -40,6 +38,8 @@ const RF: u8 = 3;
 fn run_mode(seed: u64, scale: Scale, cfg: DsoConfig) -> (f64, Duration) {
     let run = scale.pick(Duration::from_millis(400), Duration::from_secs(5));
     let mut sim = Sim::new(seed);
+    let reg = MetricsRegistry::new();
+    sim.set_metrics(&reg);
     // One worker per node: the tier is the bottleneck, so spreading reads
     // over replicas (or eliding them at the client) is visible.
     let cfg = DsoConfig { workers_per_node: 1, ..cfg };
@@ -67,12 +67,8 @@ fn run_mode(seed: u64, scale: Scale, cfg: DsoConfig) -> (f64, Duration) {
             }
         });
     }
-    let count = Arc::new(Mutex::new(0u64));
-    let stats = LatencyStats::new("read");
     for t in 0..READERS {
         let handle = handle.clone();
-        let count = count.clone();
-        let stats = stats.clone();
         sim.spawn(&format!("r{t}"), move |ctx| {
             use rand::RngExt;
             // Let the writer install the model first.
@@ -85,8 +81,8 @@ fn run_mode(seed: u64, scale: Scale, cfg: DsoConfig) -> (f64, Duration) {
                 let i = ctx.rng().random_range(0..OBJECTS) as usize;
                 let t0 = ctx.now();
                 if objs[i].get(ctx, &mut cli).is_ok() && t0 >= start && ctx.now() < deadline {
-                    *count.lock() += 1;
-                    stats.record(ctx.now() - t0);
+                    ctx.metric_incr("bench.reads");
+                    ctx.metric_record("bench.read_latency", ctx.now() - t0);
                 }
                 // Local work consuming each read (distance computation in
                 // the Fig. 8 analogue).
@@ -95,8 +91,8 @@ fn run_mode(seed: u64, scale: Scale, cfg: DsoConfig) -> (f64, Duration) {
         });
     }
     sim.run_until_idle().expect_quiescent();
-    let total = *count.lock();
-    (total as f64 / run.as_secs_f64(), stats.mean())
+    let total = reg.counter_value("bench.reads");
+    (total as f64 / run.as_secs_f64(), reg.histogram("bench.read_latency").mean())
 }
 
 /// Runs the three-way read-path comparison.

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use simcore::{LatencyStats, Sim};
+use simcore::{MetricsRegistry, Sim};
 
 use cloudstore::{spawn_sns, spawn_sqs, QueueConfig};
 use crucial_apps::mapsync::{run_mapsync, MapSyncConfig, SyncStrategy};
@@ -66,12 +66,12 @@ pub struct BarrierPoint {
 
 fn crucial_barrier_wait(seed: u64, threads: u32, rounds: u32) -> Duration {
     let mut sim = Sim::new(seed);
+    let reg = MetricsRegistry::new();
+    sim.set_metrics(&reg);
     let cluster = DsoCluster::start(&sim, 2, DsoConfig::default(), ObjectRegistry::with_builtins());
     let handle = cluster.client_handle();
-    let stats = LatencyStats::new("barrier-wait");
     for i in 0..threads {
         let handle = handle.clone();
-        let stats = stats.clone();
         sim.spawn(&format!("t{i}"), move |ctx| {
             let mut cli = handle.connect();
             let barrier = CyclicBarrier::new("b", threads);
@@ -80,19 +80,20 @@ fn crucial_barrier_wait(seed: u64, threads: u32, rounds: u32) -> Duration {
                 ctx.sleep(Duration::from_secs(1));
                 let t0 = ctx.now();
                 barrier.wait(ctx, &mut cli).expect("dso");
-                stats.record(ctx.now() - t0);
+                ctx.metric_record("bench.barrier_wait", ctx.now() - t0);
             }
         });
     }
     sim.run_until_idle().expect_quiescent();
-    stats.mean()
+    reg.histogram("bench.barrier_wait").mean()
 }
 
 fn sns_sqs_barrier_wait(seed: u64, threads: u32, rounds: u32) -> Duration {
     let mut sim = Sim::new(seed);
+    let reg = MetricsRegistry::new();
+    sim.set_metrics(&reg);
     let sqs = spawn_sqs(&sim, QueueConfig::default());
     let sns = spawn_sns(&sim, QueueConfig::default(), &sqs);
-    let stats = LatencyStats::new("barrier-wait");
     // Coordinator: collects arrivals, then broadcasts the release.
     {
         let sqs = sqs.clone();
@@ -114,7 +115,6 @@ fn sns_sqs_barrier_wait(seed: u64, threads: u32, rounds: u32) -> Duration {
     for i in 0..threads {
         let sqs = sqs.clone();
         let sns = sns.clone();
-        let stats = stats.clone();
         sim.spawn(&format!("t{i}"), move |ctx| {
             sns.subscribe(ctx, "release", &format!("rel-{i}"));
             for round in 0..rounds {
@@ -128,12 +128,12 @@ fn sns_sqs_barrier_wait(seed: u64, threads: u32, rounds: u32) -> Duration {
                     }
                     ctx.sleep(Duration::from_millis(200));
                 }
-                stats.record(ctx.now() - t0);
+                ctx.metric_record("bench.barrier_wait", ctx.now() - t0);
             }
         });
     }
     sim.run_until_idle().expect_quiescent();
-    stats.mean()
+    reg.histogram("bench.barrier_wait").mean()
 }
 
 /// Runs Fig. 7a: average barrier wait for Crucial vs SNS+SQS.

@@ -68,11 +68,13 @@
 
 mod blackboard;
 mod deploy;
+mod error;
 mod runnable;
 mod thread;
 
 pub use blackboard::Blackboard;
 pub use deploy::{CrucialConfig, Deployment};
+pub use error::CrucialError;
 pub use runnable::{function_name, FnEnv, RunResult, Runnable};
 pub use thread::{
     join_all, CloudError, JoinHandle, RetryPolicy, ThreadFactory, THREAD_START_OVERHEAD,
@@ -83,4 +85,38 @@ pub use dso::api::{
     Arithmetic, AtomicBoolean, AtomicByteArray, AtomicLong, CountDownLatch, CyclicBarrier,
     RawHandle, Semaphore, SharedFuture, SharedList, SharedMap,
 };
-pub use dso::{BatchOp, ConsistencyMode, DsoClient, DsoClientHandle, DsoError};
+
+// The rest of the stack, so applications import one crate instead of four.
+// `crucial` is the facade: everything an app needs — the simulation kernel,
+// the DSO tier, the FaaS platform, the object store, and the observability
+// handles — is reachable from here.
+pub use cloudstore::{
+    spawn_redis, spawn_s3, spawn_sqs, QueueConfig, RedisConfig, RedisHandle, S3Config, S3Handle,
+    ScriptRegistry, SqsHandle,
+};
+pub use dso::{
+    costs, BatchOp, CallCtx, ConsistencyMode, DsoClient, DsoClientHandle, DsoCluster, DsoConfig,
+    DsoConfigBuilder, DsoConfigError, DsoError, Effects, ObjectError, ObjectRef, ObjectRegistry,
+    Reply, SharedObject, Ticket,
+};
+pub use faas::{
+    spawn_platform, Billing, FaasConfig, FaasError, FaasHandle, FnCtx, FunctionRegistry,
+    FULL_VCPU_MB,
+};
+pub use simcore::{codec, explore, sync};
+pub use simcore::{Ctx, LatencyModel, MetricsRegistry, Sim, SimTime, SpanId, TraceCtx, Tracer};
+
+/// One-line import for application code:
+/// `use crucial::prelude::*;`.
+///
+/// Brings in the simulation entry points, the programming model
+/// (threads + runnables), the shared/synchronization objects, the DSO
+/// client types, and the observability handles.
+pub mod prelude {
+    pub use crate::{
+        join_all, Arithmetic, AtomicBoolean, AtomicByteArray, AtomicLong, CountDownLatch,
+        CrucialConfig, CrucialError, Ctx, CyclicBarrier, Deployment, DsoClient, DsoClientHandle,
+        DsoConfig, FnEnv, JoinHandle, MetricsRegistry, RetryPolicy, RunResult, Runnable, Semaphore,
+        SharedFuture, SharedList, SharedMap, Sim, SimTime, ThreadFactory, Tracer,
+    };
+}

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use faas::{FaasError, FaasHandle};
 use simcore::sync::{oneshot_in, OneshotReceiver};
-use simcore::Ctx;
+use simcore::{Ctx, TraceCtx};
 
 use crate::runnable::{function_name, Runnable};
 
@@ -37,6 +37,12 @@ impl fmt::Display for CloudError {
 }
 
 impl std::error::Error for CloudError {}
+
+impl From<FaasError> for CloudError {
+    fn from(e: FaasError) -> CloudError {
+        CloudError::Faas(e)
+    }
+}
 
 /// Client-side retry policy for failed invocations (§4.4: "the user may
 /// configure how many retries are allowed and/or the time between them").
@@ -103,11 +109,17 @@ impl ThreadFactory {
         if !self.start_overhead.is_zero() {
             ctx.compute(self.start_overhead);
         }
+        // The thread's whole lifetime is one span, begun in the caller's
+        // context; the local proxy process adopts it so invoke spans nest.
+        let thread_span = ctx.span_begin("cloud.thread", "core");
+        ctx.metric_incr("core.thread_starts");
         let payload = match simcore::codec::to_bytes(runnable) {
             Ok(p) => p,
             Err(e) => {
                 // Surface encode failures through join(), keeping start()
                 // infallible like Thread::start.
+                ctx.span_annotate(thread_span, "error", e.to_string());
+                ctx.span_end(thread_span);
                 let (tx, rx) = oneshot_in(ctx);
                 let msg = e.to_string();
                 ctx.spawn("cloudthread-encode-error", move |c| {
@@ -117,26 +129,30 @@ impl ThreadFactory {
             }
         };
         let function = function_name::<R>();
+        ctx.span_annotate(thread_span, "function", &function);
         let faas = self.faas.clone();
         let retry = self.retry;
         let seq = THREAD_SEQ.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = oneshot_in(ctx);
         ctx.spawn(&format!("cloudthread-{seq}"), move |c| {
+            c.set_trace_ctx(TraceCtx::under(thread_span));
             let mut attempt = 0;
-            loop {
+            let result = loop {
                 attempt += 1;
                 match faas.invoke(c, &function, payload.clone()) {
-                    Ok(_) => {
-                        tx.send(c, Ok(()));
-                        return;
+                    Ok(_) => break Ok(()),
+                    Err(e) if attempt >= retry.max_attempts => break Err(CloudError::Faas(e)),
+                    Err(_) => {
+                        c.metric_incr("core.thread_retries");
+                        c.sleep(retry.backoff);
                     }
-                    Err(e) if attempt >= retry.max_attempts => {
-                        tx.send(c, Err(CloudError::Faas(e)));
-                        return;
-                    }
-                    Err(_) => c.sleep(retry.backoff),
                 }
+            };
+            if result.is_err() {
+                c.span_annotate(thread_span, "outcome", "failed");
             }
+            c.span_end(thread_span);
+            tx.send(c, result);
         });
         JoinHandle { rx }
     }

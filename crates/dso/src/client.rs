@@ -8,7 +8,7 @@ use std::fmt;
 use std::time::Duration;
 
 use bytes::Bytes;
-use simcore::{Addr, Ctx, SimTime, WaitKind};
+use simcore::{Addr, Ctx, SimTime, SpanId, TraceCtx, WaitKind};
 
 use crate::config::{ConsistencyMode, DsoConfig};
 use crate::error::DsoError;
@@ -223,19 +223,38 @@ impl DsoClient {
         blocking: bool,
         readonly: bool,
     ) -> Result<Bytes, DsoError> {
+        // One logical call = one "dso.call" span; each attempt below is a
+        // sibling "dso.attempt" child, so retries stay visually grouped.
+        let call_span = ctx.span_begin("dso.call", "dso");
+        ctx.span_annotate(call_span, "obj", obj.to_string());
+        ctx.span_annotate(call_span, "method", method);
+        ctx.metric_incr("dso.invokes");
         // Cache fast path: a validated (or leased) earlier result.
         if readonly && self.h.cfg.read_cache {
             if let Some(bytes) = self.cached_read(ctx, obj, method, &args, rf) {
+                ctx.span_annotate(call_span, "cache", "hit");
+                ctx.metric_incr("dso.cache_hits");
+                ctx.span_end(call_span);
                 return Ok(bytes);
             }
         }
         // Built once; every retry reuses it with a cheap clone (satellite
         // of the read-path work: no per-attempt String/Vec churn).
-        let req =
-            InvokeReq { obj: obj.clone(), method: intern(method), args, rf, create, readonly };
+        let req = InvokeReq {
+            obj: obj.clone(),
+            method: intern(method),
+            args,
+            rf,
+            create,
+            readonly,
+            span: SpanId::NONE,
+        };
         let max = self.h.cfg.max_retries;
         let mut force_primary = false;
         for attempt in 0..max {
+            if attempt > 0 {
+                ctx.metric_incr("dso.retries");
+            }
             let target = if force_primary {
                 let (view, ring) = self.view(ctx);
                 ring.primary(obj).and_then(|p| view.addr_of(p))
@@ -249,6 +268,9 @@ impl DsoClient {
                 self.refresh_view(ctx);
                 continue;
             };
+            let attempt_span = ctx.span_begin_under(call_span, "dso.attempt", "dso");
+            let mut attempt_req = req.clone();
+            attempt_req.span = attempt_span;
             let lat = self.h.cfg.client_net.sample(ctx.rng());
             let resp: Option<InvokeResp> = if blocking {
                 // A blocking call may legitimately park on the server (e.g.
@@ -260,9 +282,9 @@ impl DsoClient {
                     obj.to_string(),
                     format!("DsoClient::invoke {obj}::{method}"),
                 );
-                Some(ctx.call(addr, req.clone(), lat))
+                Some(ctx.call(addr, attempt_req, lat))
             } else {
-                ctx.call_timeout(addr, req.clone(), lat, self.h.cfg.call_timeout)
+                ctx.call_timeout(addr, attempt_req, lat, self.h.cfg.call_timeout)
             };
             match resp {
                 Some(InvokeResp::Value { bytes, version }) => {
@@ -270,6 +292,9 @@ impl DsoClient {
                         // Stale replica: behind something this client
                         // already observed. Go straight to the primary,
                         // which is never behind an acknowledged write.
+                        ctx.span_annotate(attempt_span, "outcome", "stale-replica");
+                        ctx.span_end(attempt_span);
+                        ctx.metric_incr("dso.stale_reads");
                         force_primary = true;
                         continue;
                     }
@@ -282,25 +307,40 @@ impl DsoClient {
                             CacheEntry { bytes: bytes.clone(), version, validated_at: ctx.now() },
                         );
                     }
+                    ctx.span_end(attempt_span);
+                    ctx.span_end(call_span);
                     return Ok(bytes);
                 }
-                Some(InvokeResp::Error(e)) => return Err(DsoError::Object(e)),
+                Some(InvokeResp::Error(e)) => {
+                    ctx.span_annotate(attempt_span, "outcome", "error");
+                    ctx.span_end(attempt_span);
+                    ctx.span_end(call_span);
+                    return Err(DsoError::Object(e));
+                }
                 Some(InvokeResp::NotOwner { .. }) => {
+                    ctx.span_annotate(attempt_span, "outcome", "not-owner");
+                    ctx.span_end(attempt_span);
                     self.refresh_view(ctx);
                 }
                 Some(InvokeResp::Retry) => {
+                    ctx.span_annotate(attempt_span, "outcome", "retry");
+                    ctx.span_end(attempt_span);
                     let backoff = self.h.cfg.backoff_for(attempt);
                     ctx.sleep(backoff);
                     self.refresh_view(ctx);
                 }
                 None => {
                     // Timeout: the node may have crashed; refresh and retry.
+                    ctx.span_annotate(attempt_span, "outcome", "timeout");
+                    ctx.span_end(attempt_span);
                     let backoff = self.h.cfg.backoff_for(attempt);
                     ctx.sleep(backoff);
                     self.refresh_view(ctx);
                 }
             }
         }
+        ctx.span_annotate(call_span, "outcome", "gave-up");
+        ctx.span_end(call_span);
         Err(DsoError::GaveUp { attempts: max })
     }
 
@@ -379,6 +419,12 @@ impl DsoClient {
     /// Blocking (parking) methods are not allowed in batches; the server
     /// rejects them.
     pub fn invoke_batch(&mut self, ctx: &mut Ctx, ops: &[BatchOp]) -> Vec<Result<Bytes, DsoError>> {
+        // One span for the whole fan-out; per-item server executions (and
+        // any fallback single calls) nest under it.
+        let batch_span = ctx.span_begin("dso.batch", "dso");
+        ctx.span_annotate(batch_span, "ops", ops.len().to_string());
+        ctx.metric_incr("dso.batches");
+        let prev_tc = ctx.set_trace_ctx(TraceCtx::under(batch_span));
         let mut results: Vec<Option<Result<Bytes, DsoError>>> = Vec::new();
         results.resize_with(ops.len(), || None);
 
@@ -412,6 +458,7 @@ impl DsoClient {
                     rf: op.rf,
                     create: op.create.clone(),
                     readonly: op.readonly,
+                    span: batch_span,
                 },
             ));
         }
@@ -456,8 +503,10 @@ impl DsoClient {
         }
 
         // Fallback: anything still unanswered goes through the standard
-        // retrying single-call path.
-        ops.iter()
+        // retrying single-call path (its "dso.call" spans nest under the
+        // batch span via the trace context set above).
+        let out = ops
+            .iter()
             .zip(results)
             .map(|(op, r)| match r {
                 Some(r) => r,
@@ -472,7 +521,10 @@ impl DsoClient {
                     op.readonly,
                 ),
             })
-            .collect()
+            .collect();
+        ctx.set_trace_ctx(prev_tc);
+        ctx.span_end(batch_span);
+        out
     }
 
     /// Typed invocation: encodes `args`, decodes the reply.

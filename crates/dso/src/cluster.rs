@@ -3,7 +3,7 @@
 //! ("a CRUCIAL storage instance starts in 30 seconds", §6.2.3, minus the
 //! waiting).
 
-use simcore::{Addr, Sim};
+use simcore::{Addr, Ctx, Sim};
 
 use crate::client::DsoClientHandle;
 use crate::config::DsoConfig;
@@ -83,10 +83,25 @@ impl DsoCluster {
 
     /// Crashes the `idx`-th node abruptly.
     ///
+    /// Naming convention (shared with [`ServerHandle::crash`] /
+    /// [`ServerHandle::crash_from`]): the bare verb takes a [`Sim`] (host
+    /// side), the `_from` form takes a [`Ctx`] (from inside the
+    /// simulation, e.g. a fault-injector process).
+    ///
     /// # Panics
     ///
     /// Panics if `idx` is out of range.
     pub fn crash_node(&self, sim: &Sim, idx: usize) {
         self.servers[idx].crash(sim);
+    }
+
+    /// Crashes the `idx`-th node from inside the simulation (the [`Ctx`]
+    /// form of [`DsoCluster::crash_node`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn crash_node_from(&self, ctx: &mut Ctx, idx: usize) {
+        self.servers[idx].crash_from(ctx);
     }
 }

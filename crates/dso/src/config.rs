@@ -99,6 +99,161 @@ impl DsoConfig {
         let factor = 1u32 << attempt.min(6);
         self.retry_backoff * factor
     }
+
+    /// Starts a validating builder from the defaults.
+    ///
+    /// ```
+    /// use dso::DsoConfig;
+    /// use std::time::Duration;
+    ///
+    /// let cfg = DsoConfig::builder()
+    ///     .workers_per_node(4)
+    ///     .call_timeout(Duration::from_millis(500))
+    ///     .build()
+    ///     .expect("valid");
+    /// assert_eq!(cfg.workers_per_node, 4);
+    /// ```
+    pub fn builder() -> DsoConfigBuilder {
+        DsoConfigBuilder { cfg: DsoConfig::default() }
+    }
+}
+
+/// An invalid [`DsoConfig`] combination, reported by
+/// [`DsoConfigBuilder::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DsoConfigError(String);
+
+impl std::fmt::Display for DsoConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid DsoConfig: {}", self.0)
+    }
+}
+
+impl std::error::Error for DsoConfigError {}
+
+/// Builder for [`DsoConfig`] that validates the combination on
+/// [`build`](DsoConfigBuilder::build). Setters are named after the fields
+/// they set and chain by value (the convention shared with
+/// `ThreadFactory::with_*`).
+#[derive(Clone, Debug)]
+pub struct DsoConfigBuilder {
+    cfg: DsoConfig,
+}
+
+impl DsoConfigBuilder {
+    /// Sets the number of worker threads per storage node.
+    pub fn workers_per_node(mut self, n: u32) -> Self {
+        self.cfg.workers_per_node = n;
+        self
+    }
+
+    /// Sets the one-way client ↔ server latency model.
+    pub fn client_net(mut self, m: LatencyModel) -> Self {
+        self.cfg.client_net = m;
+        self
+    }
+
+    /// Sets the one-way server ↔ server latency model.
+    pub fn peer_net(mut self, m: LatencyModel) -> Self {
+        self.cfg.peer_net = m;
+        self
+    }
+
+    /// Sets the heartbeat interval.
+    pub fn heartbeat_interval(mut self, d: Duration) -> Self {
+        self.cfg.heartbeat_interval = d;
+        self
+    }
+
+    /// Sets the failure-detection timeout.
+    pub fn failure_timeout(mut self, d: Duration) -> Self {
+        self.cfg.failure_timeout = d;
+        self
+    }
+
+    /// Sets the client-side RPC timeout for non-blocking calls.
+    pub fn call_timeout(mut self, d: Duration) -> Self {
+        self.cfg.call_timeout = d;
+        self
+    }
+
+    /// Sets the maximum client attempts before giving up.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.cfg.max_retries = n;
+        self
+    }
+
+    /// Sets the initial retry backoff.
+    pub fn retry_backoff(mut self, d: Duration) -> Self {
+        self.cfg.retry_backoff = d;
+        self
+    }
+
+    /// Sets the rebalancing state-transfer bandwidth, in bytes/s.
+    pub fn transfer_bandwidth(mut self, bps: f64) -> Self {
+        self.cfg.transfer_bandwidth = bps;
+        self
+    }
+
+    /// Sets the read-routing consistency mode.
+    pub fn consistency(mut self, mode: ConsistencyMode) -> Self {
+        self.cfg.consistency = mode;
+        self
+    }
+
+    /// Enables or disables the client-side read cache.
+    pub fn read_cache(mut self, on: bool) -> Self {
+        self.cfg.read_cache = on;
+        self
+    }
+
+    /// Sets the cache lease (requires the read cache to be enabled).
+    pub fn cache_lease(mut self, lease: Option<Duration>) -> Self {
+        self.cfg.cache_lease = lease;
+        self
+    }
+
+    /// Enables or disables runtime read-only verification.
+    pub fn verify_readonly(mut self, on: bool) -> Self {
+        self.cfg.verify_readonly = on;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsoConfigError`] when a field is out of range
+    /// (`workers_per_node == 0`, `max_retries == 0`, non-positive
+    /// `transfer_bandwidth`) or the combination is inconsistent (failure
+    /// timeout not beyond the heartbeat interval, a zero call timeout, or
+    /// a cache lease without the read cache).
+    pub fn build(self) -> Result<DsoConfig, DsoConfigError> {
+        let c = self.cfg;
+        if c.workers_per_node == 0 {
+            return Err(DsoConfigError("workers_per_node must be >= 1".into()));
+        }
+        if c.max_retries == 0 {
+            return Err(DsoConfigError("max_retries must be >= 1".into()));
+        }
+        if c.call_timeout.is_zero() {
+            return Err(DsoConfigError("call_timeout must be non-zero".into()));
+        }
+        if c.failure_timeout <= c.heartbeat_interval {
+            return Err(DsoConfigError(format!(
+                "failure_timeout ({:?}) must exceed heartbeat_interval ({:?})",
+                c.failure_timeout, c.heartbeat_interval
+            )));
+        }
+        // NaN must fail too, so compare for "not strictly positive".
+        if c.transfer_bandwidth <= 0.0 || c.transfer_bandwidth.is_nan() {
+            return Err(DsoConfigError("transfer_bandwidth must be positive".into()));
+        }
+        if c.cache_lease.is_some() && !c.read_cache {
+            return Err(DsoConfigError("cache_lease requires read_cache".into()));
+        }
+        Ok(c)
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +272,36 @@ mod tests {
         assert_eq!(c.cache_lease, None);
         // …and the correctness net around it must be opt-out.
         assert!(c.verify_readonly);
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(DsoConfig::builder().build().is_ok(), "defaults are valid");
+        assert!(DsoConfig::builder().workers_per_node(0).build().is_err());
+        assert!(DsoConfig::builder().max_retries(0).build().is_err());
+        assert!(DsoConfig::builder().call_timeout(Duration::ZERO).build().is_err());
+        assert!(
+            DsoConfig::builder()
+                .heartbeat_interval(Duration::from_secs(2))
+                .failure_timeout(Duration::from_secs(1))
+                .build()
+                .is_err(),
+            "failure timeout must exceed heartbeat interval"
+        );
+        assert!(DsoConfig::builder().transfer_bandwidth(0.0).build().is_err());
+        assert!(DsoConfig::builder().transfer_bandwidth(f64::NAN).build().is_err());
+        assert!(
+            DsoConfig::builder().cache_lease(Some(Duration::from_millis(5))).build().is_err(),
+            "lease without cache is inert, reject it"
+        );
+        let cfg = DsoConfig::builder()
+            .read_cache(true)
+            .cache_lease(Some(Duration::from_millis(5)))
+            .consistency(ConsistencyMode::ReplicaReads)
+            .build()
+            .expect("valid combination");
+        assert!(cfg.read_cache);
+        assert_eq!(cfg.consistency, ConsistencyMode::ReplicaReads);
     }
 
     #[test]

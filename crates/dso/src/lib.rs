@@ -68,7 +68,7 @@ pub mod verify;
 
 pub use client::{BatchOp, DsoClient, DsoClientHandle};
 pub use cluster::DsoCluster;
-pub use config::{ConsistencyMode, DsoConfig};
+pub use config::{ConsistencyMode, DsoConfig, DsoConfigBuilder, DsoConfigError};
 pub use error::{DsoError, ObjectError};
 pub use intern::{intern, MethodName};
 pub use membership::spawn_coordinator;

@@ -78,6 +78,9 @@ fn coordinator_loop(ctx: &mut Ctx, inbox: Addr, cfg: DsoConfig) {
         }
         if changed {
             view_id += 1;
+            ctx.metric_incr("dso.view_changes");
+            let mark = ctx.span_instant("dso.view_change", "dso");
+            ctx.span_annotate(mark, "view", view_id.to_string());
             let view = make_view(view_id, &members);
             for m in members.values() {
                 let lat = cfg.peer_net.sample(ctx.rng());

@@ -5,7 +5,7 @@ use std::fmt;
 
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
-use simcore::Addr;
+use simcore::{Addr, SpanId};
 
 use crate::error::ObjectError;
 use crate::intern::MethodName;
@@ -77,6 +77,9 @@ pub struct InvokeReq {
     /// [`crate::ConsistencyMode::ReplicaReads`], may be served by any
     /// replica.
     pub readonly: bool,
+    /// Client-side trace span of this attempt; server-side execution spans
+    /// are parented under it ([`SpanId::NONE`] when untraced).
+    pub span: SpanId,
 }
 
 /// Server's reply to an invocation.
@@ -115,6 +118,9 @@ pub struct SmrOp {
     /// When the operation arrived inside a [`BatchReq`], the item tag the
     /// reply must carry (the reply is then a [`BatchItemResp`]).
     pub respond_tag: Option<u32>,
+    /// Trace span of the SMR round, begun by the initiating node when it
+    /// multicasts; replicas parent their apply spans under it.
+    pub round_span: SpanId,
 }
 
 /// A batch of independent invocations for objects homed on one node,

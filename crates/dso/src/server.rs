@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use simcore::{Addr, Ctx, Msg, Pid, Request, Sim};
+use simcore::{Addr, Ctx, Msg, Pid, Request, Sim, SpanId};
 
 use crate::config::DsoConfig;
 use crate::object::{CallCtx, ObjectRef, ObjectRegistry, Reply, SharedObject, Ticket};
@@ -268,7 +268,12 @@ fn handle_client_invoke(
     // enforces monotonicity via the returned version.
     if req.rf > 1 && placement.len() > 1 && !req.readonly {
         // SMR path: totally-order the operation among the replica group.
-        let op = SmrOp { req, respond_to: Some(reply_to), respond_tag: tag };
+        // The round span covers multicast through total-order delivery at
+        // the initiating node; every replica's apply span nests under it.
+        let round_span = ctx.span_begin_under(req.span, "dso.smr_round", "dso");
+        ctx.span_annotate(round_span, "obj", req.obj.to_string());
+        ctx.metric_incr("dso.smr_rounds");
+        let op = SmrOp { req, respond_to: Some(reply_to), respond_tag: tag, round_span };
         let (_mid, actions) = skeen.multicast(placement, op);
         process_skeen_actions(ctx, shared, view, workers, skeen, actions);
     } else {
@@ -322,6 +327,10 @@ fn process_skeen_actions(
                 if mid.node != node {
                     // Only the initiating replica answers the client.
                     op.respond_to = None;
+                } else {
+                    // Delivered back at the initiator: the ordering round
+                    // is decided (the applies are children of it).
+                    ctx.span_end(op.round_span);
                 }
                 route_to_worker(ctx, shared, workers, WorkItem::Apply { op });
             }
@@ -442,10 +451,14 @@ fn worker_loop(ctx: &mut Ctx, inbox: Addr, shared: Arc<NodeShared>) {
         let item = ctx.recv(inbox).take::<WorkItem>();
         match item {
             WorkItem::Client { req, reply_to, tag } => {
-                execute(ctx, &shared, req, Some(reply_to), tag, false);
+                // Execution parents directly under the client's attempt span.
+                let parent = req.span;
+                execute(ctx, &shared, req, Some(reply_to), tag, false, parent);
             }
             WorkItem::Apply { op } => {
-                execute(ctx, &shared, op.req, op.respond_to, op.respond_tag, true);
+                // Replicated applies parent under the SMR round span.
+                let parent = op.round_span;
+                execute(ctx, &shared, op.req, op.respond_to, op.respond_tag, true, parent);
             }
         }
     }
@@ -453,7 +466,10 @@ fn worker_loop(ctx: &mut Ctx, inbox: Addr, shared: Arc<NodeShared>) {
 
 /// Runs one method call against the object store: materializes the object
 /// if needed, invokes the method, charges its CPU cost, completes any
-/// deferred calls it woke, and replies.
+/// deferred calls it woke, and replies. `parent` is the trace span this
+/// execution belongs to (the client's attempt span, or the SMR round span
+/// for replicated applies).
+#[allow(clippy::too_many_arguments)]
 fn execute(
     ctx: &mut Ctx,
     shared: &Arc<NodeShared>,
@@ -461,7 +477,14 @@ fn execute(
     reply_to: Option<Addr>,
     tag: Option<u32>,
     replicated: bool,
+    parent: SpanId,
 ) {
+    let exec_span = ctx.span_begin_under(parent, "dso.exec", "dso");
+    ctx.span_annotate(exec_span, "obj", req.obj.to_string());
+    ctx.span_annotate(exec_span, "method", req.method.to_string());
+    if replicated {
+        ctx.span_annotate(exec_span, "replicated", "true");
+    }
     let ticket = Ticket(shared.next_ticket.fetch_add(1, Ordering::SeqCst));
     if let Some(rt) = reply_to {
         shared.parked.lock().insert(ticket, rt);
@@ -469,7 +492,7 @@ fn execute(
     let mut wakes: Vec<(Ticket, Vec<u8>)> = Vec::new();
     if &req.method == "__restore" {
         let outcome = restore_object(shared, &req);
-        finish(ctx, shared, ticket, reply_to, tag, outcome, &[]);
+        finish(ctx, shared, ticket, reply_to, tag, outcome, &[], exec_span);
         return;
     }
     let outcome = {
@@ -490,6 +513,7 @@ fn execute(
                         tag,
                         CallOutcome::Reply(InvokeResp::Retry, Duration::ZERO),
                         &[],
+                        exec_span,
                     );
                     return;
                 }
@@ -503,6 +527,7 @@ fn execute(
                         tag,
                         CallOutcome::Reply(InvokeResp::Error(e), Duration::ZERO),
                         &[],
+                        exec_span,
                     );
                     return;
                 }
@@ -591,7 +616,7 @@ fn execute(
             }
         }
     };
-    finish(ctx, shared, ticket, reply_to, tag, outcome, &wakes);
+    finish(ctx, shared, ticket, reply_to, tag, outcome, &wakes, exec_span);
 }
 
 /// The encoded unit value `()`, shared by maintenance replies.
@@ -649,7 +674,9 @@ fn materialize(
     Ok(Some(Stored { obj, rf: req.rf.max(1), version: 0 }))
 }
 
-/// Charges the CPU cost, wakes deferred callers, and replies.
+/// Charges the CPU cost, wakes deferred callers, replies, and closes the
+/// execution span.
+#[allow(clippy::too_many_arguments)]
 fn finish(
     ctx: &mut Ctx,
     shared: &Arc<NodeShared>,
@@ -658,6 +685,7 @@ fn finish(
     tag: Option<u32>,
     outcome: CallOutcome,
     wakes: &[(Ticket, Vec<u8>)],
+    exec_span: SpanId,
 ) {
     let cost = match &outcome {
         CallOutcome::Reply(_, c) => *c,
@@ -684,7 +712,11 @@ fn finish(
             }
         }
         CallOutcome::Parked(_) => {
-            // Ticket stays registered; a later invocation wakes it.
+            // Ticket stays registered; a later invocation wakes it. The
+            // span still closes here: the method body has run, what
+            // remains is waiting for another call to complete it.
+            ctx.span_annotate(exec_span, "parked", "true");
         }
     }
+    ctx.span_end(exec_span);
 }

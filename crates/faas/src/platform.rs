@@ -6,7 +6,7 @@ use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
 use rand::RngExt;
-use simcore::{Addr, Ctx, LatencyModel, Msg, Request, Sim, SimTime};
+use simcore::{Addr, Ctx, LatencyModel, Msg, Request, Sim, SimTime, SpanId, TraceCtx};
 
 use crate::billing::{Billing, InvocationRecord, Pricing};
 use crate::function::{FnCtx, FunctionRegistry};
@@ -56,6 +56,9 @@ pub struct InvokeFn {
     pub function: String,
     /// Opaque payload bytes.
     pub payload: Vec<u8>,
+    /// Caller's trace span; the container parents its execution spans under
+    /// it ([`SpanId::NONE`] when untraced).
+    pub span: SpanId,
 }
 
 /// Invocation outcome delivered to the caller.
@@ -93,6 +96,7 @@ struct Job {
     payload: Vec<u8>,
     reply_to: Addr,
     cold: bool,
+    span: SpanId,
 }
 
 #[derive(Debug)]
@@ -127,7 +131,15 @@ impl FaasHandle {
             function,
             format!("FaasHandle::invoke {function}"),
         );
-        ctx.call(self.addr, InvokeFn { function: function.to_string(), payload }, lat)
+        let span = ctx.span_begin("faas.invoke", "faas");
+        ctx.span_annotate(span, "function", function);
+        let result: InvokeResult =
+            ctx.call(self.addr, InvokeFn { function: function.to_string(), payload, span }, lat);
+        if let Err(e) = &result {
+            ctx.span_annotate(span, "error", e.to_string());
+        }
+        ctx.span_end(span);
+        result
     }
 
     /// The shared billing ledger.
@@ -205,7 +217,7 @@ fn platform_loop(
             );
             continue;
         }
-        let job = Job { payload: invoke.payload, reply_to, cold: false };
+        let job = Job { payload: invoke.payload, reply_to, cold: false, span: invoke.span };
         if running >= cfg.concurrency_limit {
             pending.push_back((invoke.function, job));
             continue;
@@ -279,18 +291,30 @@ fn container_loop(
     let mut first = true;
     loop {
         let job = ctx.recv(inbox).take::<Job>();
+        // Adopt the invoker's trace context for the whole job.
+        ctx.set_trace_ctx(TraceCtx::under(job.span));
         if job.cold || first {
             let boot = cfg.cold_start.sample(ctx.rng());
+            let boot_span = ctx.span_begin("faas.coldstart", "faas");
             ctx.sleep(boot);
+            ctx.span_end(boot_span);
             first = false;
         }
+        ctx.metric_incr("faas.invocations");
+        if job.cold {
+            ctx.metric_incr("faas.cold_starts");
+        }
         let spec = registry.get(&function).expect("function deployed");
+        let exec_span = ctx.span_begin("faas.exec", "faas");
+        ctx.span_annotate(exec_span, "function", &function);
         let t0 = ctx.now();
         // Failure injection: crash after a random fraction of a second.
         let injected_failure = cfg.failure_rate > 0.0 && {
             let p: f64 = ctx.rng().random_range(0.0..1.0);
             p < cfg.failure_rate
         };
+        // Work the handler causes (e.g. DSO calls) nests under the exec span.
+        ctx.set_trace_ctx(TraceCtx::under(exec_span));
         let result: Result<Vec<u8>, String> = if injected_failure {
             let partial: f64 = ctx.rng().random_range(0.0..1.0);
             ctx.sleep(Duration::from_secs_f64(partial));
@@ -300,6 +324,7 @@ fn container_loop(
             spec.handler.invoke(&mut env, job.payload)
         };
         let elapsed = ctx.now().saturating_duration_since(t0);
+        ctx.span_end(exec_span);
         let timed_out = elapsed > cfg.max_duration;
         billing.record(InvocationRecord {
             function: function.clone(),

@@ -159,12 +159,12 @@ mod tests {
     #[test]
     fn partitions_round_trip_through_codec() {
         let part = kmeans_partition(3, 2, 20, 5, 2);
-        let bytes = simcore::codec::to_bytes(&part).expect("encode");
-        let back: PointsPartition = simcore::codec::from_bytes(&bytes).expect("decode");
+        let bytes = crucial::codec::to_bytes(&part).expect("encode");
+        let back: PointsPartition = crucial::codec::from_bytes(&bytes).expect("decode");
         assert_eq!(part, back);
         let part = logreg_partition(3, 2, 20, 5);
-        let bytes = simcore::codec::to_bytes(&part).expect("encode");
-        let back: LabeledPartition = simcore::codec::from_bytes(&bytes).expect("decode");
+        let bytes = crucial::codec::to_bytes(&part).expect("encode");
+        let back: LabeledPartition = crucial::codec::from_bytes(&bytes).expect("decode");
         assert_eq!(part, back);
     }
 }

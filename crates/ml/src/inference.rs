@@ -8,11 +8,10 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use simcore::{Sim, SimTime};
 
 use crucial::{
     join_all, AtomicByteArray, BatchOp, ConsistencyMode, CrucialConfig, Deployment, FnEnv,
-    RunResult, Runnable,
+    RunResult, Runnable, Sim, SimTime,
 };
 
 /// Parameters of the serving experiment.

@@ -6,14 +6,12 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use crucial::{
+    join_all, spawn_redis, AtomicLong, CrucialConfig, CyclicBarrier, Deployment, FnEnv,
+    RedisConfig, RedisHandle, RunResult, Runnable, ScriptRegistry, Sim, SimTime,
+};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use simcore::{Sim, SimTime};
-
-use cloudstore::{spawn_redis, RedisConfig, RedisHandle, ScriptRegistry};
-use crucial::{
-    join_all, AtomicLong, CrucialConfig, CyclicBarrier, Deployment, FnEnv, RunResult, Runnable,
-};
 use sparklite::{spawn_cluster, ClusterPricing, LocalVm, SparkCostModel, TaskRegistry};
 
 use crate::cost::{kmeans_assign_cost, partition_load_cost, DatasetScale};
@@ -231,7 +229,15 @@ impl Runnable for KMeansWorker {
 
 /// Runs k-means on Crucial (cloud threads + DSO), returning the report.
 pub fn run_crucial_kmeans(cfg: &KMeansConfig) -> KMeansReport {
+    run_crucial_kmeans_with(cfg, |_| {})
+}
+
+/// [`run_crucial_kmeans`] with a hook that runs against the fresh [`Sim`]
+/// before any process is spawned — the place to install a
+/// [`crucial::Tracer`] or [`crucial::MetricsRegistry`].
+pub fn run_crucial_kmeans_with(cfg: &KMeansConfig, setup: impl FnOnce(&Sim)) -> KMeansReport {
     let mut sim = Sim::new(cfg.seed);
+    setup(&sim);
     let mut ccfg = CrucialConfig { dso_nodes: cfg.dso_nodes, ..CrucialConfig::default() };
     register_ml_objects(&mut ccfg.registry);
     let dep = Deployment::start(&sim, ccfg);
@@ -316,13 +322,13 @@ pub fn run_spark_kmeans(cfg: &KMeansConfig) -> KMeansReport {
             .register("km_load", move |_part, _b, _a| (Vec::new(), partition_load_cost(&scale)));
         registry.register("km_assign", move |part, bcast, _args| {
             let points: crate::datagen::PointsPartition =
-                simcore::codec::from_bytes(part).expect("partition decodes");
+                crucial::codec::from_bytes(part).expect("partition decodes");
             let centroids = unflatten(
-                &simcore::codec::from_bytes::<Vec<f64>>(bcast).expect("broadcast decodes"),
+                &crucial::codec::from_bytes::<Vec<f64>>(bcast).expect("broadcast decodes"),
                 dims,
             );
             let (sums, counts, sse) = assign_partials(&points.points, &centroids);
-            let out = simcore::codec::to_bytes(&(flatten(&sums), counts, sse)).expect("encode");
+            let out = crucial::codec::to_bytes(&(flatten(&sums), counts, sse)).expect("encode");
             (out, kmeans_assign_cost(&scale, k))
         });
         // MLlib's extra cost-evaluation pass per iteration: it reuses the
@@ -331,13 +337,13 @@ pub fn run_spark_kmeans(cfg: &KMeansConfig) -> KMeansReport {
         // dispatch, collect), which is what hurts Spark in Fig. 5.
         registry.register("km_cost", move |part, bcast, _args| {
             let points: crate::datagen::PointsPartition =
-                simcore::codec::from_bytes(part).expect("partition decodes");
+                crucial::codec::from_bytes(part).expect("partition decodes");
             let centroids = unflatten(
-                &simcore::codec::from_bytes::<Vec<f64>>(bcast).expect("broadcast decodes"),
+                &crucial::codec::from_bytes::<Vec<f64>>(bcast).expect("broadcast decodes"),
                 dims,
             );
             let (_, _, sse) = assign_partials(&points.points, &centroids);
-            let out = simcore::codec::to_bytes(&sse).expect("encode");
+            let out = crucial::codec::to_bytes(&sse).expect("encode");
             (out, kmeans_assign_cost(&scale, k) / 10)
         });
     }
@@ -356,7 +362,7 @@ pub fn run_spark_kmeans(cfg: &KMeansConfig) -> KMeansReport {
                     cfg.dims,
                     cfg.k as usize,
                 );
-                simcore::codec::to_bytes(&part).expect("encode")
+                crucial::codec::to_bytes(&part).expect("encode")
             })
             .collect();
         let t_total0 = ctx.now();
@@ -368,7 +374,7 @@ pub fn run_spark_kmeans(cfg: &KMeansConfig) -> KMeansReport {
         let mut sse_series = Vec::new();
         let t_iter0 = ctx.now();
         for _ in 0..cfg.iterations {
-            let bcast = simcore::codec::to_bytes(&flatten(&centroids)).expect("encode");
+            let bcast = crucial::codec::to_bytes(&flatten(&centroids)).expect("encode");
             spark.broadcast(ctx, bcast.clone());
             let results = spark.run_stage(ctx, "km_assign", Vec::new());
             // Reduce at the driver.
@@ -377,7 +383,7 @@ pub fn run_spark_kmeans(cfg: &KMeansConfig) -> KMeansReport {
             let mut counts = vec![0u64; cfg.k as usize];
             for r in &results {
                 let (s, c, _sse): (Vec<f64>, Vec<u64>, f64) =
-                    simcore::codec::from_bytes(r).expect("decode");
+                    crucial::codec::from_bytes(r).expect("decode");
                 for (i, v) in s.iter().enumerate() {
                     sums[i / dims][i % dims] += v;
                 }
@@ -393,11 +399,11 @@ pub fn run_spark_kmeans(cfg: &KMeansConfig) -> KMeansReport {
                 }
             }
             // Cost-evaluation pass (sse of the *new* centroids).
-            let bcast = simcore::codec::to_bytes(&flatten(&centroids)).expect("encode");
+            let bcast = crucial::codec::to_bytes(&flatten(&centroids)).expect("encode");
             spark.broadcast(ctx, bcast);
             let costs = spark.run_stage(ctx, "km_cost", Vec::new());
             let sse: f64 =
-                costs.iter().map(|r| simcore::codec::from_bytes::<f64>(r).expect("decode")).sum();
+                costs.iter().map(|r| crucial::codec::from_bytes::<f64>(r).expect("decode")).sum();
             sse_series.push(sse);
         }
         let iteration_phase = ctx.now() - t_iter0;
@@ -455,21 +461,21 @@ pub fn kmeans_redis_scripts() -> ScriptRegistry {
     reg.register("km_read", |cur, _args| {
         let v = cur.clone().unwrap_or_default();
         let state: GlobalCentroids =
-            simcore::codec::from_bytes(&v).expect("centroid state decodes");
-        let reply = simcore::codec::to_bytes(&state.snapshot()).expect("encode");
+            crucial::codec::from_bytes(&v).expect("centroid state decodes");
+        let reply = crucial::codec::to_bytes(&state.snapshot()).expect("encode");
         let cost = script_cost(reply.len());
         (reply, cur, cost)
     });
     reg.register("km_update", |cur, args| {
         let v = cur.unwrap_or_default();
         let mut state: GlobalCentroids =
-            simcore::codec::from_bytes(&v).expect("centroid state decodes");
+            crucial::codec::from_bytes(&v).expect("centroid state decodes");
         let (sums, counts): (Vec<f64>, Vec<u64>) =
-            simcore::codec::from_bytes(args).expect("update args decode");
+            crucial::codec::from_bytes(args).expect("update args decode");
         let generation = state.apply_update(&sums, &counts).expect("shapes match");
-        let reply = simcore::codec::to_bytes(&generation).expect("encode");
+        let reply = crucial::codec::to_bytes(&generation).expect("encode");
         let cost = script_cost(args.len());
-        (reply, Some(simcore::codec::to_bytes(&state).expect("encode")), cost)
+        (reply, Some(crucial::codec::to_bytes(&state).expect("encode")), cost)
     });
     reg
 }
@@ -503,12 +509,12 @@ impl Runnable for KMeansRedisWorker {
                 redis.eval(env.ctx(), "km_read", "centroids", Vec::new())
             };
             let (_generation, flat): (u64, Vec<f64>) =
-                simcore::codec::from_bytes(&raw).map_err(|e| e.to_string())?;
+                crucial::codec::from_bytes(&raw).map_err(|e| e.to_string())?;
             let current = unflatten(&flat, self.cfg.dims);
             let (sums, counts, _sse) = assign_partials(&part.points, &current);
             env.compute(assign_cost);
             {
-                let args = simcore::codec::to_bytes(&(flatten(&sums), counts))
+                let args = crucial::codec::to_bytes(&(flatten(&sums), counts))
                     .map_err(|e| e.to_string())?;
                 let redis = self.redis.clone();
                 let _ = redis.eval(env.ctx(), "km_update", "centroids", args);
@@ -554,7 +560,7 @@ pub fn run_redis_kmeans(cfg: &KMeansConfig) -> KMeansReport {
             ctx,
             "km_init",
             "centroids",
-            simcore::codec::to_bytes(&init_state).expect("encode"),
+            crucial::codec::to_bytes(&init_state).expect("encode"),
         );
         let barrier = CyclicBarrier::new("iter-barrier", cfg.workers);
         let t_start = AtomicLong::new("t-start");
@@ -606,8 +612,8 @@ pub fn run_local_kmeans(cfg: &KMeansConfig, cores: u32) -> KMeansReport {
         sse: Vec::new(),
         sse_acc: 0.0,
     }));
-    let barrier = simcore::sync::LocalBarrier::new(cfg.workers as usize);
-    let done = simcore::sync::WaitGroup::new(cfg.workers as usize);
+    let barrier = crucial::sync::LocalBarrier::new(cfg.workers as usize);
+    let done = crucial::sync::WaitGroup::new(cfg.workers as usize);
     let t_end = Arc::new(Mutex::new(SimTime::ZERO));
     for w in 0..cfg.workers {
         let vm = vm.clone();

@@ -7,10 +7,9 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use simcore::Sim;
 
 use crucial::{
-    join_all, AtomicLong, CrucialConfig, CyclicBarrier, Deployment, FnEnv, RunResult, Runnable,
+    join_all, AtomicLong, CrucialConfig, CyclicBarrier, Deployment, FnEnv, RunResult, Runnable, Sim,
 };
 use sparklite::{spawn_cluster, ClusterPricing, SparkCostModel, TaskRegistry};
 
@@ -256,10 +255,10 @@ pub fn run_spark_logreg(cfg: &LogRegConfig) -> LogRegReport {
         registry.register("lr_load", move |_p, _b, _a| (Vec::new(), partition_load_cost(&scale)));
         registry.register("lr_grad", move |part, bcast, _args| {
             let data: crate::datagen::LabeledPartition =
-                simcore::codec::from_bytes(part).expect("partition decodes");
-            let w: Vec<f64> = simcore::codec::from_bytes(bcast).expect("broadcast decodes");
+                crucial::codec::from_bytes(part).expect("partition decodes");
+            let w: Vec<f64> = crucial::codec::from_bytes(bcast).expect("broadcast decodes");
             let (grad, loss) = gradient_and_loss(&data.points, &data.labels, &w);
-            (simcore::codec::to_bytes(&(grad, loss)).expect("encode"), logreg_grad_cost(&scale))
+            (crucial::codec::to_bytes(&(grad, loss)).expect("encode"), logreg_grad_cost(&scale))
         });
     }
     let spark = spawn_cluster(&sim, 10, 8, spark_logreg_cost_model(), registry);
@@ -270,7 +269,7 @@ pub fn run_spark_logreg(cfg: &LogRegConfig) -> LogRegReport {
         let partitions: Vec<Vec<u8>> = (0..cfg.workers)
             .map(|p| {
                 let part = logreg_partition(cfg.seed, p as usize, cfg.sample_points, cfg.dims);
-                simcore::codec::to_bytes(&part).expect("encode")
+                crucial::codec::to_bytes(&part).expect("encode")
             })
             .collect();
         let t_total0 = ctx.now();
@@ -283,13 +282,13 @@ pub fn run_spark_logreg(cfg: &LogRegConfig) -> LogRegReport {
         let t_iter0 = ctx.now();
         for _ in 0..cfg.iterations {
             // Broadcast the weights, aggregate the sub-gradients.
-            let bcast = simcore::codec::to_bytes(&w).expect("encode");
+            let bcast = crucial::codec::to_bytes(&w).expect("encode");
             spark.broadcast(ctx, bcast);
             let results = spark.run_stage(ctx, "lr_grad", Vec::new());
             let mut grad = vec![0.0; cfg.dims];
             let mut loss = 0.0;
             for r in &results {
-                let (g, l): (Vec<f64>, f64) = simcore::codec::from_bytes(r).expect("decode");
+                let (g, l): (Vec<f64>, f64) = crucial::codec::from_bytes(r).expect("decode");
                 for (a, b) in grad.iter_mut().zip(&g) {
                     *a += b;
                 }

@@ -7,15 +7,14 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use dso::api::RawHandle;
-use dso::{
-    costs, CallCtx, DsoClient, DsoError, Effects, ObjectError, ObjectRegistry, SharedObject,
+use crucial::{
+    costs, CallCtx, Ctx, DsoClient, DsoError, Effects, ObjectError, ObjectRegistry, RawHandle,
+    SharedObject,
 };
 use serde::{Deserialize, Serialize};
-use simcore::Ctx;
 
 fn dec<T: serde::de::DeserializeOwned>(args: &[u8]) -> Result<T, ObjectError> {
-    simcore::codec::from_bytes(args).map_err(|e| ObjectError::BadArgs(e.to_string()))
+    crucial::codec::from_bytes(args).map_err(|e| ObjectError::BadArgs(e.to_string()))
 }
 
 fn bulk_cost(bytes: usize) -> Duration {
@@ -100,7 +99,7 @@ impl GlobalCentroids {
             return Ok(Box::<GlobalCentroids>::default());
         }
         let init: CentroidsInit =
-            simcore::codec::from_bytes(args).map_err(|e| ObjectError::BadState(e.to_string()))?;
+            crucial::codec::from_bytes(args).map_err(|e| ObjectError::BadState(e.to_string()))?;
         Ok(Box::new(GlobalCentroids::new_init(init)?))
     }
 
@@ -178,12 +177,12 @@ impl SharedObject for GlobalCentroids {
     }
 
     fn save(&self) -> Vec<u8> {
-        simcore::codec::to_bytes(self).expect("centroids encode")
+        crucial::codec::to_bytes(self).expect("centroids encode")
     }
 
     fn restore(&mut self, state: &[u8]) -> Result<(), ObjectError> {
         *self =
-            simcore::codec::from_bytes(state).map_err(|e| ObjectError::BadState(e.to_string()))?;
+            crucial::codec::from_bytes(state).map_err(|e| ObjectError::BadState(e.to_string()))?;
         Ok(())
     }
 }
@@ -269,7 +268,7 @@ impl GlobalDelta {
     /// Factory (no creation arguments).
     pub fn factory(args: &[u8]) -> Result<Box<dyn SharedObject>, ObjectError> {
         if !args.is_empty() {
-            let _: () = simcore::codec::from_bytes(args)
+            let _: () = crucial::codec::from_bytes(args)
                 .map_err(|e| ObjectError::BadState(e.to_string()))?;
         }
         Ok(Box::<GlobalDelta>::default())
@@ -311,12 +310,12 @@ impl SharedObject for GlobalDelta {
     }
 
     fn save(&self) -> Vec<u8> {
-        simcore::codec::to_bytes(self).expect("delta encodes")
+        crucial::codec::to_bytes(self).expect("delta encodes")
     }
 
     fn restore(&mut self, state: &[u8]) -> Result<(), ObjectError> {
         *self =
-            simcore::codec::from_bytes(state).map_err(|e| ObjectError::BadState(e.to_string()))?;
+            crucial::codec::from_bytes(state).map_err(|e| ObjectError::BadState(e.to_string()))?;
         Ok(())
     }
 }
@@ -418,7 +417,7 @@ impl GlobalWeights {
             return Ok(Box::<GlobalWeights>::default());
         }
         let init: WeightsInit =
-            simcore::codec::from_bytes(args).map_err(|e| ObjectError::BadState(e.to_string()))?;
+            crucial::codec::from_bytes(args).map_err(|e| ObjectError::BadState(e.to_string()))?;
         Ok(Box::new(GlobalWeights {
             dims: init.dims,
             workers: init.workers.max(1),
@@ -479,12 +478,12 @@ impl SharedObject for GlobalWeights {
     }
 
     fn save(&self) -> Vec<u8> {
-        simcore::codec::to_bytes(self).expect("weights encode")
+        crucial::codec::to_bytes(self).expect("weights encode")
     }
 
     fn restore(&mut self, state: &[u8]) -> Result<(), ObjectError> {
         *self =
-            simcore::codec::from_bytes(state).map_err(|e| ObjectError::BadState(e.to_string()))?;
+            crucial::codec::from_bytes(state).map_err(|e| ObjectError::BadState(e.to_string()))?;
         Ok(())
     }
 }
@@ -538,7 +537,7 @@ impl WeightsHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dso::Ticket;
+    use crucial::Ticket;
 
     fn call<R: serde::de::DeserializeOwned>(
         obj: &mut dyn SharedObject,
@@ -546,16 +545,16 @@ mod tests {
         args: &impl Serialize,
     ) -> R {
         let cc = CallCtx { ticket: Ticket(0), replicated: false };
-        let bytes = simcore::codec::to_bytes(args).expect("encode");
+        let bytes = crucial::codec::to_bytes(args).expect("encode");
         match obj.invoke(&cc, method, &bytes).expect("invoke").reply {
-            dso::Reply::Value(v) => simcore::codec::from_bytes(&v).expect("decode"),
-            dso::Reply::Park => panic!("unexpected park"),
+            crucial::Reply::Value(v) => crucial::codec::from_bytes(&v).expect("decode"),
+            crucial::Reply::Park => panic!("unexpected park"),
         }
     }
 
     fn centroids(k: u32, dims: u32, workers: u32) -> Box<dyn SharedObject> {
         let init = CentroidsInit { k, dims, workers, initial: vec![0.0; (k * dims) as usize] };
-        GlobalCentroids::factory(&simcore::codec::to_bytes(&init).expect("encode"))
+        GlobalCentroids::factory(&crucial::codec::to_bytes(&init).expect("encode"))
             .expect("factory")
     }
 
@@ -576,7 +575,7 @@ mod tests {
     #[test]
     fn centroids_keep_old_position_for_empty_clusters() {
         let init = CentroidsInit { k: 2, dims: 1, workers: 1, initial: vec![5.0, 9.0] };
-        let mut o = GlobalCentroids::factory(&simcore::codec::to_bytes(&init).expect("encode"))
+        let mut o = GlobalCentroids::factory(&crucial::codec::to_bytes(&init).expect("encode"))
             .expect("factory");
         let _: u64 = call(o.as_mut(), "update", &(vec![20.0, 0.0], vec![2u64, 0u64]));
         let (_, flat): (u64, Vec<f64>) = call(o.as_mut(), "read", &());
@@ -587,7 +586,7 @@ mod tests {
     fn centroids_shape_mismatch_rejected() {
         let mut o = centroids(2, 2, 1);
         let cc = CallCtx { ticket: Ticket(0), replicated: false };
-        let bad = simcore::codec::to_bytes(&(vec![1.0], vec![1u64])).expect("encode");
+        let bad = crucial::codec::to_bytes(&(vec![1.0], vec![1u64])).expect("encode");
         assert!(o.invoke(&cc, "update", &bad).is_err());
     }
 
@@ -608,7 +607,7 @@ mod tests {
     #[test]
     fn weights_apply_averaged_gradient_step() {
         let init = WeightsInit { dims: 2, workers: 2, learning_rate: 0.5 };
-        let mut o = GlobalWeights::factory(&simcore::codec::to_bytes(&init).expect("encode"))
+        let mut o = GlobalWeights::factory(&crucial::codec::to_bytes(&init).expect("encode"))
             .expect("factory");
         let _: u64 = call(o.as_mut(), "update", &(vec![1.0, 0.0], 0.7));
         let g: u64 = call(o.as_mut(), "update", &(vec![3.0, 2.0], 0.9));

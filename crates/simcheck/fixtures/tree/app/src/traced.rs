@@ -1,0 +1,11 @@
+// Fixture: a metric stamped from host time. Expected findings: trace-time
+// at the first `metric_record` line; the allowed one is clean, and so is
+// the SimTime-derived recording.
+
+fn traced(ctx: &Ctx, t0: HostTimer) {
+    ctx.metric_record("bench.op", t0.elapsed());
+    // simlint: allow(trace-time, reason = "operator-facing host duration")
+    ctx.metric_record("bench.host", t0.elapsed());
+    let s0 = ctx.now();
+    ctx.metric_record("bench.sim", ctx.now() - s0);
+}

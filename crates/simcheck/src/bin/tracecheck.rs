@@ -1,0 +1,382 @@
+//! CI gate: schema-validates a Chrome trace-event JSON export produced by
+//! `Tracer::export_chrome_json` (via `experiments trace-<app>`).
+//!
+//! Usage: `cargo run -p simcheck --bin tracecheck -- <trace.chrome.json>`
+//!
+//! Checks, with a hand-rolled JSON parser (the workspace carries no JSON
+//! dependency):
+//!
+//! * the file is well-formed JSON: an object with a `traceEvents` array,
+//! * every event has `name`/`ph`/`pid`/`tid`, non-metadata events a
+//!   numeric `ts`, and `ph:"X"` events a numeric `dur`,
+//! * span events carry `args.id`/`args.parent`, ids are unique and
+//!   non-zero, and every non-zero parent resolves to a span in the file.
+//!
+//! Exits non-zero listing each violation, so a malformed export fails CI.
+
+use std::collections::HashSet;
+use std::process::ExitCode;
+
+/// A parsed JSON value. Just enough of the data model for trace exports.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; trace timestamps fit f64 exactly up to 2^53 ns.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// A recursive-descent JSON parser over raw bytes.
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Parser<'a> {
+        Parser { b: src.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.b.len() && self.b[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.pos]).map_err(|_| self.err("utf8"))?;
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character, not one byte.
+                    let rest = std::str::from_utf8(&self.b[self.pos..])
+                        .map_err(|_| self.err("invalid utf8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a complete JSON document (rejecting trailing garbage).
+fn parse(src: &str) -> Result<Json, String> {
+    let mut p = Parser::new(src);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.b.len() {
+        return Err(p.err("trailing data after JSON document"));
+    }
+    Ok(v)
+}
+
+/// Validates one trace document; returns violations (empty = clean) plus
+/// the number of span events checked.
+fn validate(doc: &Json) -> (Vec<String>, usize) {
+    let mut errs = Vec::new();
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        return (vec!["top-level object lacks a `traceEvents` array".to_string()], 0);
+    };
+    let mut ids = HashSet::new();
+    let mut parents = Vec::new();
+    let mut spans = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let at = |msg: &str| format!("event #{i}: {msg}");
+        if !matches!(ev, Json::Obj(_)) {
+            errs.push(at("not an object"));
+            continue;
+        }
+        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or_default().to_string();
+        for key in ["name", "ph"] {
+            if ev.get(key).and_then(Json::as_str).is_none() {
+                errs.push(at(&format!("missing string `{key}`")));
+            }
+        }
+        for key in ["pid", "tid"] {
+            if ev.get(key).and_then(Json::as_num).is_none() {
+                errs.push(at(&format!("missing numeric `{key}`")));
+            }
+        }
+        if ph == "M" {
+            continue; // metadata events carry no timestamps or span ids
+        }
+        match ev.get("ts").and_then(Json::as_num) {
+            Some(ts) if ts >= 0.0 => {}
+            Some(_) => errs.push(at("negative `ts`")),
+            None => errs.push(at("missing numeric `ts`")),
+        }
+        if ph == "X" {
+            match ev.get("dur").and_then(Json::as_num) {
+                Some(dur) if dur >= 0.0 => {}
+                Some(_) => errs.push(at("negative `dur`")),
+                None => errs.push(at("complete event (ph:\"X\") missing numeric `dur`")),
+            }
+        }
+        spans += 1;
+        let args = ev.get("args");
+        let id = args.and_then(|a| a.get("id")).and_then(Json::as_num);
+        let parent = args.and_then(|a| a.get("parent")).and_then(Json::as_num);
+        match id {
+            Some(id) if id > 0.0 => {
+                if !ids.insert(id as u64) {
+                    errs.push(at(&format!("duplicate span id {id}")));
+                }
+            }
+            Some(_) => errs.push(at("span id must be positive")),
+            None => errs.push(at("missing numeric `args.id`")),
+        }
+        match parent {
+            Some(p) => parents.push((i, p as u64)),
+            None => errs.push(at("missing numeric `args.parent`")),
+        }
+    }
+    for (i, p) in parents {
+        if p != 0 && !ids.contains(&p) {
+            errs.push(format!("event #{i}: parent span {p} not found in this trace"));
+        }
+    }
+    (errs, spans)
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: tracecheck <trace.chrome.json>");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tracecheck: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match parse(&src) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("tracecheck: {path}: malformed JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (errs, spans) = validate(&doc);
+    for e in &errs {
+        println!("{path}: {e}");
+    }
+    if errs.is_empty() {
+        println!("tracecheck: {path}: clean ({spans} span events)");
+        ExitCode::SUCCESS
+    } else {
+        println!("tracecheck: {path}: {} violation(s)", errs.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_objects() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-1.5e3").unwrap(), Json::Num(-1500.0));
+        assert_eq!(parse("\"a\\\"b\\u0041\"").unwrap(), Json::Str("a\"bA".to_string()));
+        let v = parse("{\"a\":[1,2],\"b\":{}}").unwrap();
+        assert_eq!(v.get("a"), Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])));
+        assert!(parse("{}, trailing").is_err());
+        assert!(parse("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn accepts_a_real_export() {
+        let src = r#"{"traceEvents":[
+            {"name":"thread_name","ph":"M","pid":1,"tid":3,"args":{"name":"client"}},
+            {"name":"dso.call","cat":"dso","ph":"X","ts":1000,"dur":2.500,"pid":1,"tid":3,"args":{"id":1,"parent":0}},
+            {"name":"dso.exec","cat":"dso","ph":"X","ts":1001,"dur":1,"pid":1,"tid":4,"args":{"id":2,"parent":1}},
+            {"name":"dso.view_change","cat":"dso","ph":"i","s":"t","ts":5,"pid":1,"tid":0,"args":{"id":3,"parent":0}}
+        ]}"#;
+        let (errs, spans) = validate(&parse(src).unwrap());
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(spans, 3);
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        // Missing dur on an X event, dangling parent, duplicate id.
+        let src = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":1,"pid":1,"tid":1,"args":{"id":1,"parent":9}},
+            {"name":"b","ph":"X","ts":2,"dur":1,"pid":1,"tid":1,"args":{"id":1,"parent":0}}
+        ]}"#;
+        let (errs, _) = validate(&parse(src).unwrap());
+        assert!(errs.iter().any(|e| e.contains("missing numeric `dur`")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("parent span 9")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("duplicate span id")), "{errs:?}");
+        let (errs, _) = validate(&parse("{\"other\":1}").unwrap());
+        assert!(errs[0].contains("traceEvents"));
+    }
+}

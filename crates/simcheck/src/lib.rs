@@ -38,6 +38,8 @@ pub enum Rule {
     ReadonlyMutation,
     /// A protocol type without serde derives.
     SerdeDerive,
+    /// A span or metric stamped from a non-`SimTime` source.
+    TraceTime,
     /// A malformed `simlint: allow` directive (unknown rule, no reason).
     BadAllow,
 }
@@ -51,6 +53,7 @@ impl Rule {
             Rule::NoPanic => "no-panic",
             Rule::ReadonlyMutation => "readonly-mutation",
             Rule::SerdeDerive => "serde-derive",
+            Rule::TraceTime => "trace-time",
             Rule::BadAllow => "bad-allow",
         }
     }
@@ -63,6 +66,7 @@ impl Rule {
             "no-panic" => Some(Rule::NoPanic),
             "readonly-mutation" => Some(Rule::ReadonlyMutation),
             "serde-derive" => Some(Rule::SerdeDerive),
+            "trace-time" => Some(Rule::TraceTime),
             _ => None,
         }
     }
@@ -447,6 +451,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
     lint_native_thread(&ctx, &mut findings);
     lint_no_panic(&ctx, &mut findings);
     lint_serde_derive(&ctx, &mut findings);
+    lint_trace_time(&ctx, &mut findings);
     lint_readonly_mutation(&ctx, &scrubbed, &mut findings);
     findings
 }
@@ -470,6 +475,39 @@ fn lint_wall_clock(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
                     format!("wall-clock read ({pat}) breaks determinism; use virtual time"),
                 );
             }
+        }
+    }
+}
+
+fn lint_trace_time(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    // Spans and metrics must be stamped with simulated time only: a single
+    // host-clock-derived duration in a histogram makes exports differ run
+    // to run. Catches host time flowing into a recording call even where
+    // the clock read itself carries a wall-clock allow (e.g. the bench
+    // driver's operator-facing timer).
+    const SINKS: [&str; 8] = [
+        "span_begin",
+        "span_instant",
+        "span_end",
+        "span_annotate",
+        "metric_record",
+        "metric_add",
+        "metric_incr",
+        ".record(",
+    ];
+    const SOURCES: [&str; 3] = ["Instant", "SystemTime", ".elapsed()"];
+    for (idx, code) in ctx.code_lines.iter().enumerate() {
+        let line = idx + 1;
+        let Some(sink) = SINKS.iter().find(|s| code.contains(*s)) else { continue };
+        let Some(src) = SOURCES.iter().find(|s| code.contains(*s)) else { continue };
+        if !ctx.allowed(Rule::TraceTime, line) {
+            push(
+                findings,
+                ctx,
+                line,
+                Rule::TraceTime,
+                format!("{sink} fed from {src}; stamp spans/metrics with SimTime only"),
+            );
         }
     }
 }
@@ -814,6 +852,24 @@ mod tests {
         let src = "// simlint: allow(frobnicate, reason = \"x\")\n";
         let f = lint_source("crates/x/src/a.rs", src);
         assert!(f.iter().any(|f| f.rule == Rule::BadAllow && f.msg.contains("unknown rule")));
+    }
+
+    #[test]
+    fn trace_time_flagged_and_allowed() {
+        let f = lint_source("crates/x/src/a.rs", "ctx.metric_record(\"m\", t0.elapsed());\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::TraceTime);
+        assert!(f[0].msg.contains("SimTime"), "{}", f[0].msg);
+        let src = "// simlint: allow(trace-time, reason = \"host duration\")\n\
+                   ctx.metric_record(\"m\", t0.elapsed());\n";
+        assert!(lint_source("crates/x/src/a.rs", src).is_empty());
+        // SimTime-derived durations are no violation.
+        let ok = "ctx.metric_record(\"m\", ctx.now() - t0);\n";
+        assert!(lint_source("crates/x/src/a.rs", ok).is_empty());
+        // Raw tracer/histogram calls are covered too.
+        let f = lint_source("crates/x/src/a.rs", "hist.record(timer.elapsed());\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::TraceTime);
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn fixture_tree_yields_exactly_the_planted_findings() {
         ("protocol.rs".to_string(), Rule::SerdeDerive),
         ("sneaky.rs".to_string(), Rule::ReadonlyMutation),
         ("threads.rs".to_string(), Rule::NativeThread),
+        ("traced.rs".to_string(), Rule::TraceTime),
         ("wall.rs".to_string(), Rule::WallClock),
         ("wall.rs".to_string(), Rule::WallClock),
     ];

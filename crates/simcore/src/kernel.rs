@@ -24,8 +24,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::detect::{StuckProc, WaitAnnotation, WaitKind};
+use crate::metrics::MetricsRegistry;
 use crate::scheduler::{Decision, FifoScheduler, Scheduler};
 use crate::time::SimTime;
+use crate::trace::{SpanId, TraceCtx, Tracer};
 
 /// Identifier of a simulated process.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -340,6 +342,12 @@ pub(crate) struct KernelState {
     /// Virtual time a non-daemon process last received the run token; the
     /// stall detector in `run_inner` keys off this.
     last_nondaemon_run: SimTime,
+    /// Span collector, if observability is enabled ([`Sim::set_tracer`]).
+    /// `None` makes every `Ctx::span_*` call a no-op.
+    tracer: Option<Tracer>,
+    /// Metric sink, if installed ([`Sim::set_metrics`]); `None` makes every
+    /// `Ctx::metric_*` call a no-op.
+    metrics: Option<MetricsRegistry>,
 }
 
 impl KernelState {
@@ -582,6 +590,8 @@ impl Sim {
                     decisions: Vec::new(),
                     holders: HashMap::new(),
                     last_nondaemon_run: SimTime::ZERO,
+                    tracer: None,
+                    metrics: None,
                 }),
                 kernel_gate: KernelGate { flag: Mutex::new(false), cv: Condvar::new() },
                 seed,
@@ -592,6 +602,31 @@ impl Sim {
     /// The seed this simulation was created with.
     pub fn seed(&self) -> u64 {
         self.kernel.seed
+    }
+
+    /// Installs a span collector: from now on `Ctx::span_begin` and friends
+    /// record into `tracer`. Recording is pure bookkeeping — it consumes no
+    /// virtual time, no randomness, and adds no events, so an instrumented
+    /// run is event-for-event identical to an uninstrumented one.
+    pub fn set_tracer(&self, tracer: &Tracer) {
+        self.kernel.state.lock().tracer = Some(tracer.clone());
+    }
+
+    /// Installs a metric sink: from now on `Ctx::metric_incr` /
+    /// `Ctx::metric_record` write into `metrics`. Like tracing, recording
+    /// never perturbs the simulation.
+    pub fn set_metrics(&self, metrics: &MetricsRegistry) {
+        self.kernel.state.lock().metrics = Some(metrics.clone());
+    }
+
+    /// The installed span collector, if any.
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.kernel.state.lock().tracer.clone()
+    }
+
+    /// The installed metric sink, if any.
+    pub fn metrics(&self) -> Option<MetricsRegistry> {
+        self.kernel.state.lock().metrics.clone()
     }
 
     /// The scheduling decisions made so far (contended picks only).
@@ -876,6 +911,7 @@ where
                 gate: thread_gate.clone(),
                 rng: StdRng::seed_from_u64(seed),
                 name: pname,
+                trace_ctx: TraceCtx::root(),
             };
             let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
             let held = thread_gate.held.load(Ordering::SeqCst);
@@ -937,6 +973,10 @@ pub struct Ctx {
     gate: Arc<ProcGate>,
     rng: StdRng,
     name: String,
+    /// Current trace context; spans started with [`Ctx::span_begin`] are
+    /// parented under it. Not inherited on spawn — infrastructure code
+    /// forwards it explicitly inside its messages.
+    trace_ctx: TraceCtx,
 }
 
 impl fmt::Debug for Ctx {
@@ -971,6 +1011,109 @@ impl Ctx {
         let st = self.kernel.state.lock();
         if st.trace {
             eprintln!("[{}] {}: {}", st.now, self.name, msg.as_ref());
+        }
+    }
+
+    // --- observability -----------------------------------------------------
+    //
+    // All of these are no-ops when no tracer / metrics registry is installed
+    // on the kernel, and recording itself is pure bookkeeping: no virtual
+    // time, no events, no RNG — instrumented runs stay deterministic and
+    // event-for-event identical to uninstrumented ones.
+
+    /// Current time plus the installed tracer, fetched under one lock.
+    fn tracer_now(&self) -> (SimTime, Option<Tracer>) {
+        let st = self.kernel.state.lock();
+        (st.now, st.tracer.clone())
+    }
+
+    /// This process's current trace context (the parent for new spans).
+    pub fn trace_ctx(&self) -> TraceCtx {
+        self.trace_ctx
+    }
+
+    /// Replaces the current trace context, returning the previous one so
+    /// callers can scope a context and restore it.
+    pub fn set_trace_ctx(&mut self, tc: TraceCtx) -> TraceCtx {
+        std::mem::replace(&mut self.trace_ctx, tc)
+    }
+
+    /// Begins a span under the current trace context. Returns
+    /// [`SpanId::NONE`] (and records nothing) when no tracer is installed.
+    pub fn span_begin(&self, name: &str, cat: &str) -> SpanId {
+        self.span_begin_under(self.trace_ctx.span, name, cat)
+    }
+
+    /// Begins a span under an explicit parent (e.g. a span id carried in a
+    /// request message).
+    pub fn span_begin_under(&self, parent: SpanId, name: &str, cat: &str) -> SpanId {
+        let (now, tracer) = self.tracer_now();
+        match tracer {
+            Some(t) => t.begin(now, self.pid.0, &self.name, parent, name, cat),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Ends a span at the current virtual time (no-op for
+    /// [`SpanId::NONE`]).
+    pub fn span_end(&self, id: SpanId) {
+        if id.is_none() {
+            return;
+        }
+        let (now, tracer) = self.tracer_now();
+        if let Some(t) = tracer {
+            t.end(id, now);
+        }
+    }
+
+    /// Attaches a `key = value` annotation to a span.
+    pub fn span_annotate(&self, id: SpanId, key: &str, value: impl Into<String>) {
+        if id.is_none() {
+            return;
+        }
+        if let Some(t) = self.kernel.state.lock().tracer.clone() {
+            t.annotate(id, key, value);
+        }
+    }
+
+    /// Records a point event under the current trace context.
+    pub fn span_instant(&self, name: &str, cat: &str) -> SpanId {
+        let (now, tracer) = self.tracer_now();
+        match tracer {
+            Some(t) => t.instant(now, self.pid.0, &self.name, self.trace_ctx.span, name, cat),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// The installed metric sink, if any.
+    pub fn metrics(&self) -> Option<MetricsRegistry> {
+        self.kernel.state.lock().metrics.clone()
+    }
+
+    /// The installed span collector, if any.
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.kernel.state.lock().tracer.clone()
+    }
+
+    /// Increments the counter named `name` (no-op without a registry).
+    pub fn metric_incr(&self, name: &str) {
+        if let Some(m) = self.metrics() {
+            m.incr(name);
+        }
+    }
+
+    /// Adds `n` to the counter named `name` (no-op without a registry).
+    pub fn metric_add(&self, name: &str, n: u64) {
+        if let Some(m) = self.metrics() {
+            m.add(name, n);
+        }
+    }
+
+    /// Records one observation into the histogram named `name` (no-op
+    /// without a registry).
+    pub fn metric_record(&self, name: &str, d: Duration) {
+        if let Some(m) = self.metrics() {
+            m.record(name, d);
         }
     }
 

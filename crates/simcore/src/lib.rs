@@ -51,11 +51,13 @@ pub mod detect;
 pub mod explore;
 pub mod scheduler;
 pub mod sync;
+pub mod trace;
 
 pub use cpu::CpuHost;
 pub use detect::{DeadlockReport, StuckProc, WaitAnnotation, WaitKind};
 pub use kernel::{Addr, Ctx, Msg, Pid, Request, RunOutcome, Sim};
 pub use latency::{Jitter, LatencyModel};
-pub use metrics::{Counter, LatencyStats, Series};
+pub use metrics::{Counter, LatencyStats, MetricsRegistry, Series};
 pub use scheduler::{Decision, FifoScheduler, RandomScheduler, ReplayScheduler, Scheduler};
 pub use time::SimTime;
+pub use trace::{SpanId, SpanKind, SpanRecord, TraceCtx, Tracer};

@@ -3,6 +3,7 @@
 //! These are plain owned values (cheaply clonable handles around shared
 //! state) that experiment harnesses read after the simulation finishes.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -201,6 +202,138 @@ impl fmt::Debug for Series {
     }
 }
 
+/// A named registry of [`Counter`]s, [`LatencyStats`] histograms, and
+/// [`Series`] — the shared measurement surface of a simulation.
+///
+/// Install one on a `Sim` with `Sim::set_metrics`; processes then record
+/// through `Ctx::metric_incr` / `Ctx::metric_record` (or by fetching a
+/// handle with [`MetricsRegistry::counter`] / [`histogram`]), and the
+/// harness reads everything back by name after the run. Instruments are
+/// created lazily on first use and stored in sorted (`BTreeMap`) order, so
+/// snapshots iterate deterministically.
+///
+/// [`histogram`]: MetricsRegistry::histogram
+///
+/// # Examples
+///
+/// ```
+/// use simcore::MetricsRegistry;
+/// use std::time::Duration;
+///
+/// let m = MetricsRegistry::new();
+/// m.incr("dso.invokes");
+/// m.record("put", Duration::from_micros(150));
+/// assert_eq!(m.counter_value("dso.invokes"), 1);
+/// assert_eq!(m.histogram("put").count(), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, LatencyStats>,
+    series: BTreeMap<String, Series>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use. The returned
+    /// handle shares state with the registry.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner.lock().counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> LatencyStats {
+        self.inner
+            .lock()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| LatencyStats::new(name))
+            .clone()
+    }
+
+    /// The time series named `name`, created empty on first use.
+    pub fn series(&self, name: &str) -> Series {
+        self.inner.lock().series.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Increments the counter named `name`.
+    pub fn incr(&self, name: &str) {
+        self.counter(name).incr();
+    }
+
+    /// Adds `n` to the counter named `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Records one observation into the histogram named `name`.
+    pub fn record(&self, name: &str, d: Duration) {
+        self.histogram(name).record(d);
+    }
+
+    /// Current value of the counter named `name`; zero if it was never
+    /// touched (does not create it).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner.lock().counters.get(name).map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// Snapshot of all counters as `(name, value)`, in name order.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner.lock().counters.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// Snapshot of all histograms as `(name, handle)`, in name order.
+    pub fn histograms(&self) -> Vec<(String, LatencyStats)> {
+        self.inner.lock().histograms.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Human-readable dump of every instrument, in name order (so the text
+    /// is deterministic across identically-seeded runs).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in self.counters() {
+            out.push_str(&format!("counter   {name} = {v}\n"));
+        }
+        for (name, h) in self.histograms() {
+            out.push_str(&format!(
+                "histogram {name}: n={} mean={:?} p50={:?} p99={:?} max={:?}\n",
+                h.count(),
+                h.mean(),
+                h.percentile(50.0),
+                h.percentile(99.0),
+                h.max(),
+            ));
+        }
+        let g = self.inner.lock();
+        for (name, s) in g.series.iter() {
+            out.push_str(&format!("series    {name}: {} points\n", s.len()));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.inner.lock();
+        write!(
+            f,
+            "MetricsRegistry(counters={}, histograms={}, series={})",
+            g.counters.len(),
+            g.histograms.len(),
+            g.series.len()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +375,30 @@ mod tests {
         let c2 = c.clone();
         c2.incr();
         assert_eq!(c.get(), 6, "clones share state");
+    }
+
+    #[test]
+    fn registry_shares_instruments_and_orders_snapshots() {
+        let m = MetricsRegistry::new();
+        m.incr("z.last");
+        m.add("a.first", 3);
+        let c = m.counter("a.first");
+        c.incr();
+        assert_eq!(m.counter_value("a.first"), 4, "handles share state");
+        assert_eq!(m.counter_value("untouched"), 0);
+        m.record("put", Duration::from_micros(10));
+        m.record("put", Duration::from_micros(30));
+        assert_eq!(m.histogram("put").mean(), Duration::from_micros(20));
+        m.series("tput").push(SimTime::from_secs(1), 5.0);
+        let names: Vec<String> = m.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.first".to_string(), "z.last".to_string()]);
+        let clone = m.clone();
+        clone.incr("a.first");
+        assert_eq!(m.counter_value("a.first"), 5, "registry clones share state");
+        let s = m.summary();
+        assert!(s.contains("counter   a.first = 5"), "{s}");
+        assert!(s.contains("histogram put: n=2"), "{s}");
+        assert!(s.contains("series    tput: 1 points"), "{s}");
     }
 
     #[test]

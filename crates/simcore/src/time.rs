@@ -50,6 +50,11 @@ impl SimTime {
         SimTime { nanos: ms * 1_000_000 }
     }
 
+    /// Creates a `SimTime` a whole number of microseconds after the start.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime { nanos: us * 1_000 }
+    }
+
     /// Nanoseconds since the start of the simulation.
     pub const fn as_nanos(self) -> u64 {
         self.nanos

@@ -5,10 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use crucial::{join_all, AtomicLong, CrucialConfig, Deployment, FnEnv, RunResult, Runnable};
+use crucial::{join_all, AtomicLong, CrucialConfig, Deployment, FnEnv, RunResult, Runnable, Sim};
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
-use simcore::Sim;
 
 /// Points each cloud thread draws (paper scale: 100 M; the simulator
 /// charges the full virtual compute time but samples a capped subset).
