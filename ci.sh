@@ -19,3 +19,10 @@ cargo run --release -q -p simcheck --bin simexplore -- --seeds 25
 # resolve). Guards the observability exports end to end.
 cargo run --release -q -p bench --bin experiments trace-pi
 cargo run --release -q -p simcheck --bin tracecheck -- results/trace-pi.chrome.json
+
+# Elastic control-plane smoke: the 3x-ramp experiment self-asserts >=1
+# scale-out, >=1 drain, >=90% peak tracking, and shed events, then
+# exports its trace (reconcile/scale/drain spans, shed instants) for the
+# same schema validation.
+cargo run --release -q -p bench --bin experiments elastic
+cargo run --release -q -p simcheck --bin tracecheck -- results/trace-elastic.chrome.json

@@ -5,6 +5,7 @@
 //! (plus structured data where tests need it).
 
 pub mod ablate;
+pub mod elastic;
 pub mod micro;
 pub mod ml;
 pub mod readpath;

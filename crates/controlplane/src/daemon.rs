@@ -1,0 +1,298 @@
+//! The reconcile daemon: observe → decide → actuate, once per tick.
+//!
+//! The daemon is an ordinary simulated process on a [`Ticker`], so its
+//! schedule is pure virtual time. Each tick it summarizes the metrics
+//! registry into an [`Observed`] (counter deltas over the tick, series
+//! means over the tick window), asks the [`ScalingPolicy`] for a
+//! [`ScaleDecision`], and actuates: `DsoCluster::add_node_from` on `Out`,
+//! graceful drain via `DsoCluster::remove_node_from` on `In`, and the
+//! FaaS provisioned-concurrency floor from observed cold starts. Every
+//! actuation is trace-spanned (`ctl.reconcile` → `ctl.scale_out` /
+//! `ctl.drain`) and appended to the [`CtlHandle`] decision log, whose
+//! rendering is byte-identical across identically-seeded runs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dso::DsoCluster;
+use faas::FaasHandle;
+use parking_lot::Mutex;
+use simcore::{MetricsRegistry, Sim, SimTime, Ticker};
+
+use crate::policy::{Observed, ScaleDecision, ScalingPolicy};
+
+/// Configuration of the reconcile daemon.
+#[derive(Clone, Debug)]
+pub struct CtlConfig {
+    /// Time between reconcile ticks.
+    pub reconcile_interval: Duration,
+    /// Never drain below this many live nodes.
+    pub min_nodes: u32,
+    /// Never scale out beyond this many live nodes.
+    pub max_nodes: u32,
+    /// Minimum spacing between scale-outs, so a freshly added node gets a
+    /// chance to absorb load before the fleet grows again.
+    pub scale_out_cooldown: Duration,
+    /// Minimum spacing between drains, also counted from the last
+    /// scale-out (never tear down what just went up).
+    pub drain_cooldown: Duration,
+    /// The FaaS pre-warming lever; `None` leaves provisioned concurrency
+    /// alone.
+    pub prewarm: Option<PrewarmConfig>,
+}
+
+impl Default for CtlConfig {
+    fn default() -> CtlConfig {
+        CtlConfig {
+            reconcile_interval: Duration::from_secs(1),
+            min_nodes: 1,
+            max_nodes: 8,
+            scale_out_cooldown: Duration::from_secs(3),
+            drain_cooldown: Duration::from_secs(10),
+            prewarm: None,
+        }
+    }
+}
+
+/// The FaaS pre-warming lever: keep a floor of warm containers for one
+/// function, sized from observed cold starts.
+///
+/// Each tick that cold starts occurred, the floor rises by the number
+/// observed (capped at `max_provisioned`); after `decay_ticks` quiet
+/// ticks it decays by one, releasing warm capacity the workload no
+/// longer needs.
+#[derive(Clone, Debug)]
+pub struct PrewarmConfig {
+    /// Function whose pool the daemon manages.
+    pub function: String,
+    /// Hard cap on the provisioned floor.
+    pub max_provisioned: u32,
+    /// Cold-start-free ticks before the floor decays by one (default 5).
+    pub decay_ticks: u32,
+}
+
+impl PrewarmConfig {
+    /// A pre-warm lever for `function` capped at `max_provisioned`.
+    pub fn new(function: &str, max_provisioned: u32) -> PrewarmConfig {
+        PrewarmConfig { function: function.to_string(), max_provisioned, decay_ticks: 5 }
+    }
+}
+
+/// One actuation, as recorded in the decision log.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CtlEvent {
+    /// A node was added; `nodes` is the live count afterwards.
+    ScaleOut {
+        /// Tick time of the decision.
+        at: SimTime,
+        /// Live nodes after the add.
+        nodes: u32,
+    },
+    /// A node began a graceful drain; `nodes` is the live count afterwards.
+    Drain {
+        /// Tick time of the decision.
+        at: SimTime,
+        /// Index of the drained node in `DsoCluster::servers`.
+        node: usize,
+        /// Live nodes after the drain.
+        nodes: u32,
+    },
+    /// The provisioned-concurrency floor changed.
+    Prewarm {
+        /// Tick time of the decision.
+        at: SimTime,
+        /// Function whose floor moved.
+        function: String,
+        /// The new floor.
+        provisioned: u32,
+    },
+}
+
+/// Handle to a running control plane: the decision log.
+///
+/// Cloneable; all clones observe the same log. [`CtlHandle::decision_log`]
+/// renders the log deterministically, so two identically-seeded runs can
+/// be compared byte-for-byte.
+#[derive(Clone, Debug, Default)]
+pub struct CtlHandle {
+    events: Arc<Mutex<Vec<CtlEvent>>>,
+}
+
+impl CtlHandle {
+    /// Snapshot of all actuations in decision order.
+    pub fn events(&self) -> Vec<CtlEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of scale-outs so far.
+    pub fn scale_outs(&self) -> usize {
+        self.events.lock().iter().filter(|e| matches!(e, CtlEvent::ScaleOut { .. })).count()
+    }
+
+    /// Number of drains so far.
+    pub fn drains(&self) -> usize {
+        self.events.lock().iter().filter(|e| matches!(e, CtlEvent::Drain { .. })).count()
+    }
+
+    /// One line per actuation, e.g. `t=12.000s scale_out nodes=3`. The
+    /// rendering is a pure function of the log, so identically-seeded runs
+    /// produce byte-identical output — the determinism tests diff this.
+    pub fn decision_log(&self) -> String {
+        let mut out = String::new();
+        for e in self.events.lock().iter() {
+            match e {
+                CtlEvent::ScaleOut { at, nodes } => {
+                    out.push_str(&format!("t={at} scale_out nodes={nodes}\n"));
+                }
+                CtlEvent::Drain { at, node, nodes } => {
+                    out.push_str(&format!("t={at} drain node={node} nodes={nodes}\n"));
+                }
+                CtlEvent::Prewarm { at, function, provisioned } => {
+                    out.push_str(&format!("t={at} prewarm fn={function} n={provisioned}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Counter values the daemon differentiates between ticks.
+#[derive(Clone, Copy)]
+struct CounterSnap {
+    invokes: u64,
+    shed: u64,
+    cold_starts: u64,
+}
+
+impl CounterSnap {
+    fn take(m: &MetricsRegistry) -> CounterSnap {
+        CounterSnap {
+            invokes: m.counter_value("dso.invokes"),
+            shed: m.counter_value("dso.shed"),
+            cold_starts: m.counter_value("faas.cold_starts"),
+        }
+    }
+}
+
+struct PrewarmState {
+    cfg: PrewarmConfig,
+    floor: u32,
+    calm_ticks: u32,
+}
+
+/// Spawns the reconcile daemon.
+///
+/// The daemon owns no state of its own beyond the policy: it reads
+/// `registry`, locks `cluster` only around actuations (never across a
+/// blocking call), and optionally moves the provisioned-concurrency floor
+/// of `faas`. It runs forever as a daemon process — the simulation stays
+/// quiescible.
+pub fn spawn_controlplane(
+    sim: &Sim,
+    cluster: Arc<Mutex<DsoCluster>>,
+    faas: Option<FaasHandle>,
+    registry: MetricsRegistry,
+    mut policy: Box<dyn ScalingPolicy>,
+    cfg: CtlConfig,
+) -> CtlHandle {
+    let handle = CtlHandle::default();
+    let events = handle.events.clone();
+    sim.spawn_daemon("controlplane", move |ctx| {
+        let mut tick = Ticker::new(ctx.now(), cfg.reconcile_interval);
+        let mut prev = CounterSnap::take(&registry);
+        let mut prev_t = ctx.now();
+        let mut last_scale_out: Option<SimTime> = None;
+        let mut last_drain: Option<SimTime> = None;
+        let mut prewarm =
+            cfg.prewarm.clone().map(|cfg| PrewarmState { cfg, floor: 0, calm_ticks: 0 });
+        loop {
+            let now = tick.wait(ctx);
+            let dt = now.saturating_duration_since(prev_t).as_secs_f64().max(1e-9);
+            let snap = CounterSnap::take(&registry);
+            let obs = Observed {
+                request_rate: (snap.invokes - prev.invokes) as f64 / dt,
+                shed_rate: (snap.shed - prev.shed) as f64 / dt,
+                queue_depth: registry.series("dso.queue_depth").mean_in(prev_t, now).unwrap_or(0.0),
+                cold_start_rate: (snap.cold_starts - prev.cold_starts) as f64 / dt,
+                nodes: cluster.lock().live_nodes() as u32,
+            };
+            let span = ctx.span_begin("ctl.reconcile", "ctl");
+            let decision = policy.decide(&obs);
+            ctx.span_annotate(span, "policy", policy.name());
+            ctx.span_annotate(span, "rate", format!("{:.1}", obs.request_rate));
+            ctx.span_annotate(span, "shed_rate", format!("{:.1}", obs.shed_rate));
+            ctx.span_annotate(span, "queue_depth", format!("{:.1}", obs.queue_depth));
+            ctx.span_annotate(span, "nodes", format!("{}", obs.nodes));
+            ctx.span_annotate(span, "decision", format!("{decision:?}"));
+            match decision {
+                ScaleDecision::Out => {
+                    let cooling = last_scale_out
+                        .is_some_and(|t| now.saturating_duration_since(t) < cfg.scale_out_cooldown);
+                    let mut cl = cluster.lock();
+                    if !cooling && (cl.live_nodes() as u32) < cfg.max_nodes {
+                        let s = ctx.span_begin_under(span, "ctl.scale_out", "ctl");
+                        cl.add_node_from(ctx);
+                        let nodes = cl.live_nodes() as u32;
+                        drop(cl);
+                        ctx.metric_incr("ctl.scale_outs");
+                        ctx.span_annotate(s, "nodes", format!("{nodes}"));
+                        ctx.span_end(s);
+                        events.lock().push(CtlEvent::ScaleOut { at: now, nodes });
+                        last_scale_out = Some(now);
+                    }
+                }
+                ScaleDecision::In => {
+                    let cooling = last_drain
+                        .into_iter()
+                        .chain(last_scale_out)
+                        .any(|t| now.saturating_duration_since(t) < cfg.drain_cooldown);
+                    let mut cl = cluster.lock();
+                    if !cooling && (cl.live_nodes() as u32) > cfg.min_nodes {
+                        if let Some(idx) = cl.newest_live() {
+                            let s = ctx.span_begin_under(span, "ctl.drain", "ctl");
+                            cl.remove_node_from(ctx, idx);
+                            let nodes = cl.live_nodes() as u32;
+                            drop(cl);
+                            ctx.metric_incr("ctl.drains");
+                            ctx.span_annotate(s, "node", format!("{idx}"));
+                            ctx.span_annotate(s, "nodes", format!("{nodes}"));
+                            ctx.span_end(s);
+                            events.lock().push(CtlEvent::Drain { at: now, node: idx, nodes });
+                            last_drain = Some(now);
+                        }
+                    }
+                }
+                ScaleDecision::Hold => {}
+            }
+            if let (Some(f), Some(pw)) = (&faas, prewarm.as_mut()) {
+                let cold_delta = (snap.cold_starts - prev.cold_starts) as u32;
+                let mut target = pw.floor;
+                if cold_delta > 0 {
+                    pw.calm_ticks = 0;
+                    target = (pw.floor + cold_delta).min(pw.cfg.max_provisioned);
+                } else if pw.floor > 0 {
+                    pw.calm_ticks += 1;
+                    if pw.calm_ticks >= pw.cfg.decay_ticks {
+                        pw.calm_ticks = 0;
+                        target = pw.floor - 1;
+                    }
+                }
+                if target != pw.floor {
+                    pw.floor = target;
+                    f.set_provisioned(ctx, &pw.cfg.function, target);
+                    ctx.metric_push("ctl.provisioned", f64::from(target));
+                    events.lock().push(CtlEvent::Prewarm {
+                        at: now,
+                        function: pw.cfg.function.clone(),
+                        provisioned: target,
+                    });
+                }
+            }
+            ctx.metric_push("ctl.nodes", cluster.lock().live_nodes() as f64);
+            ctx.span_end(span);
+            prev = snap;
+            prev_t = now;
+        }
+    });
+    handle
+}

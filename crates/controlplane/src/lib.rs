@@ -1,0 +1,71 @@
+//! # controlplane — the elastic control plane of the Crucial reproduction
+//!
+//! Crucial's evaluation (Fig. 8) scales the DSO tier by hand: the harness
+//! adds a node mid-run and watches throughput recover. This crate closes
+//! the loop. A simulated daemon ([`spawn_controlplane`]) runs a periodic
+//! reconcile tick on a virtual-time [`simcore::Ticker`], reads the shared
+//! [`simcore::MetricsRegistry`] (request rate, shed rate, dispatcher queue
+//! depth, FaaS cold starts), and actuates three levers:
+//!
+//! 1. **DSO horizontal scaling** — `DsoCluster::add_node_from` on
+//!    sustained overload, graceful drain (`remove_node_from`) on sustained
+//!    underload, bounded by min/max fleet sizes and cooldowns.
+//! 2. **FaaS pre-warming** — a provisioned-concurrency floor per function,
+//!    raised from observed cold starts and decayed when they stop
+//!    ([`PrewarmConfig`]).
+//! 3. **Admission control** — the token-bucket load-shedder lives in the
+//!    DSO servers (`dso::AdmissionConfig`); the daemon observes its shed
+//!    rate as an overload signal, closing the feedback loop.
+//!
+//! Policies are pluggable ([`ScalingPolicy`]): [`TargetTracking`] sizes
+//! the fleet to a per-node request rate, [`StepScaling`] reacts to queue
+//! depth. Both are deterministic hysteresis machines, so identically
+//! seeded runs make byte-identical decisions ([`CtlHandle::decision_log`]).
+//! Every actuation is trace-spanned (`ctl.reconcile`, `ctl.scale_out`,
+//! `ctl.drain`) for the Chrome-trace export.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! use controlplane::{spawn_controlplane, CtlConfig, TargetTracking};
+//! use dso::{api, DsoCluster, DsoConfig, ObjectRegistry};
+//! use parking_lot::Mutex;
+//! use simcore::{MetricsRegistry, Sim};
+//!
+//! let mut sim = Sim::new(1);
+//! let registry = MetricsRegistry::new();
+//! sim.set_metrics(&registry);
+//! let cluster = Arc::new(Mutex::new(DsoCluster::start(
+//!     &sim, 1, DsoConfig::default(), ObjectRegistry::with_builtins())));
+//! let handle = cluster.lock().client_handle();
+//! let ctl = spawn_controlplane(
+//!     &sim,
+//!     cluster,
+//!     None,
+//!     registry,
+//!     Box::new(TargetTracking::new(50.0)),
+//!     CtlConfig { reconcile_interval: Duration::from_millis(500), ..CtlConfig::default() },
+//! );
+//! sim.spawn("app", move |ctx| {
+//!     let mut cli = handle.connect();
+//!     let c = api::AtomicLong::new("hits");
+//!     for _ in 0..200 {
+//!         c.increment_and_get(ctx, &mut cli).expect("dso");
+//!     }
+//! });
+//! sim.run_until_idle().expect_quiescent();
+//! // A single steady client does not trip the scaler.
+//! assert_eq!(ctl.scale_outs() + ctl.drains(), 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod daemon;
+mod policy;
+
+pub use daemon::{spawn_controlplane, CtlConfig, CtlEvent, CtlHandle, PrewarmConfig};
+pub use policy::{Observed, ScaleDecision, ScalingPolicy, StepScaling, TargetTracking};

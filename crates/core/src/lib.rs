@@ -94,14 +94,18 @@ pub use cloudstore::{
     spawn_redis, spawn_s3, spawn_sqs, QueueConfig, RedisConfig, RedisHandle, S3Config, S3Handle,
     ScriptRegistry, SqsHandle,
 };
+pub use controlplane::{
+    spawn_controlplane, CtlConfig, CtlEvent, CtlHandle, Observed, PrewarmConfig, ScaleDecision,
+    ScalingPolicy, StepScaling, TargetTracking,
+};
 pub use dso::{
-    costs, BatchOp, CallCtx, ConsistencyMode, DsoClient, DsoClientHandle, DsoCluster, DsoConfig,
-    DsoConfigBuilder, DsoConfigError, DsoError, Effects, ObjectError, ObjectRef, ObjectRegistry,
-    Reply, SharedObject, Ticket,
+    costs, AdmissionConfig, BatchOp, CallCtx, ConsistencyMode, DsoClient, DsoClientHandle,
+    DsoCluster, DsoConfig, DsoConfigBuilder, DsoConfigError, DsoError, Effects, ObjectError,
+    ObjectRef, ObjectRegistry, Reply, SharedObject, Ticket,
 };
 pub use faas::{
-    spawn_platform, Billing, FaasConfig, FaasError, FaasHandle, FnCtx, FunctionRegistry,
-    FULL_VCPU_MB,
+    spawn_platform, Billing, FaasConfig, FaasError, FaasHandle, FnCtx, FunctionRegistry, Pricing,
+    RetirementRecord, SetProvisioned, FULL_VCPU_MB,
 };
 pub use simcore::{codec, explore, sync};
 pub use simcore::{Ctx, LatencyModel, MetricsRegistry, Sim, SimTime, SpanId, TraceCtx, Tracer};

@@ -329,6 +329,17 @@ impl DsoClient {
                     ctx.sleep(backoff);
                     self.refresh_view(ctx);
                 }
+                Some(InvokeResp::Overloaded { retry_after }) => {
+                    // The node shed the request: it is healthy but over
+                    // capacity, so back off (at least its hint) and retry
+                    // the same route — no view refresh, ownership is not
+                    // in question.
+                    ctx.span_annotate(attempt_span, "outcome", "overloaded");
+                    ctx.span_end(attempt_span);
+                    ctx.metric_incr("dso.overloaded");
+                    let backoff = self.h.cfg.backoff_for(attempt).max(retry_after);
+                    ctx.sleep(backoff);
+                }
                 None => {
                     // Timeout: the node may have crashed; refresh and retry.
                     ctx.span_annotate(attempt_span, "outcome", "timeout");
@@ -494,9 +505,11 @@ impl DsoClient {
                     InvokeResp::Error(e) => {
                         results[i] = Some(Err(DsoError::Object(e)));
                     }
-                    InvokeResp::NotOwner { .. } | InvokeResp::Retry => {
+                    InvokeResp::NotOwner { .. }
+                    | InvokeResp::Retry
+                    | InvokeResp::Overloaded { .. } => {
                         // Left unanswered: the fallback below retries with
-                        // view refresh and backoff.
+                        // backoff (and, where warranted, a view refresh).
                     }
                 }
             }

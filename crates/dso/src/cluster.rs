@@ -10,7 +10,7 @@ use crate::config::DsoConfig;
 use crate::membership::spawn_coordinator;
 use crate::object::ObjectRegistry;
 use crate::protocol::NodeId;
-use crate::server::{spawn_server, ServerHandle};
+use crate::server::{spawn_server, spawn_server_from, ServerHandle};
 
 /// A running DSO deployment inside a simulation.
 ///
@@ -37,6 +37,9 @@ pub struct DsoCluster {
     cfg: DsoConfig,
     registry: ObjectRegistry,
     servers: Vec<ServerHandle>,
+    /// Liveness flags aligned with `servers`: `false` once the node was
+    /// crashed or drained through this handle.
+    alive: Vec<bool>,
     next_node: u32,
 }
 
@@ -44,8 +47,14 @@ impl DsoCluster {
     /// Starts a coordinator and `n` storage nodes.
     pub fn start(sim: &Sim, n: u32, cfg: DsoConfig, registry: ObjectRegistry) -> DsoCluster {
         let coordinator = spawn_coordinator(sim, cfg.clone());
-        let mut cluster =
-            DsoCluster { coordinator, cfg, registry, servers: Vec::new(), next_node: 0 };
+        let mut cluster = DsoCluster {
+            coordinator,
+            cfg,
+            registry,
+            servers: Vec::new(),
+            alive: Vec::new(),
+            next_node: 0,
+        };
         for _ in 0..n {
             cluster.add_node(sim);
         }
@@ -73,12 +82,48 @@ impl DsoCluster {
         self.next_node += 1;
         let h = spawn_server(sim, node, self.cfg.clone(), self.registry.clone(), self.coordinator);
         self.servers.push(h.clone());
+        self.alive.push(true);
         h
     }
 
-    /// Handles of all nodes ever started (including crashed ones).
+    /// Adds a fresh storage node from inside the simulation (the [`Ctx`]
+    /// form of [`DsoCluster::add_node`], used by the control plane).
+    pub fn add_node_from(&mut self, ctx: &mut Ctx) -> ServerHandle {
+        let node = NodeId(self.next_node);
+        self.next_node += 1;
+        let h =
+            spawn_server_from(ctx, node, self.cfg.clone(), self.registry.clone(), self.coordinator);
+        self.servers.push(h.clone());
+        self.alive.push(true);
+        h
+    }
+
+    /// Handles of all nodes ever started (including crashed and drained
+    /// ones).
     pub fn servers(&self) -> &[ServerHandle] {
         &self.servers
+    }
+
+    /// Number of nodes not yet crashed or drained through this handle.
+    pub fn live_nodes(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Whether the `idx`-th node is still considered live (not crashed or
+    /// drained through this handle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn is_live(&self, idx: usize) -> bool {
+        self.alive[idx]
+    }
+
+    /// Index of the most recently added node still live, if any — scale-in
+    /// policies retire youngest-first so long-lived nodes keep their
+    /// placement stability.
+    pub fn newest_live(&self) -> Option<usize> {
+        self.alive.iter().rposition(|a| *a)
     }
 
     /// Crashes the `idx`-th node abruptly.
@@ -91,8 +136,9 @@ impl DsoCluster {
     /// # Panics
     ///
     /// Panics if `idx` is out of range.
-    pub fn crash_node(&self, sim: &Sim, idx: usize) {
+    pub fn crash_node(&mut self, sim: &Sim, idx: usize) {
         self.servers[idx].crash(sim);
+        self.alive[idx] = false;
     }
 
     /// Crashes the `idx`-th node from inside the simulation (the [`Ctx`]
@@ -101,7 +147,37 @@ impl DsoCluster {
     /// # Panics
     ///
     /// Panics if `idx` is out of range.
-    pub fn crash_node_from(&self, ctx: &mut Ctx, idx: usize) {
+    pub fn crash_node_from(&mut self, ctx: &mut Ctx, idx: usize) {
         self.servers[idx].crash_from(ctx);
+        self.alive[idx] = false;
+    }
+
+    /// Gracefully drains the `idx`-th node: it leaves the view, transfers
+    /// its objects to the new owners, then retires (scale-in; the inverse
+    /// of [`DsoCluster::add_node`]). The drain itself is asynchronous —
+    /// this sends the [`crate::DrainNode`] request via a one-shot helper
+    /// process and returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn remove_node(&mut self, sim: &Sim, idx: usize) {
+        let h = self.servers[idx].clone();
+        self.alive[idx] = false;
+        sim.spawn(&format!("dso-drain-{}", h.node), move |ctx| {
+            h.drain_from(ctx);
+        });
+    }
+
+    /// Drains the `idx`-th node from inside the simulation (the [`Ctx`]
+    /// form of [`DsoCluster::remove_node`]). Returns `false` when the node
+    /// was not running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn remove_node_from(&mut self, ctx: &mut Ctx, idx: usize) -> bool {
+        self.alive[idx] = false;
+        self.servers[idx].drain_from(ctx)
     }
 }

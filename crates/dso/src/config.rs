@@ -25,6 +25,39 @@ pub enum ConsistencyMode {
     ReplicaReads,
 }
 
+/// Admission control at each storage node's dispatcher (load shedding).
+///
+/// Two independent gates, both checked *before* any ownership or routing
+/// work: a **token bucket** bounding the sustained request rate, and a
+/// **queue-depth cap** bounding the number of invocations a node holds
+/// in flight (queued + executing). A request failing either gate is
+/// answered with a retryable `Overloaded(retry_after)` instead of being
+/// queued — shedding early keeps latency bounded where an unbounded queue
+/// would let it collapse. Cheap dispatcher-level probes (version checks,
+/// snapshots, membership traffic) are never shed.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Sustained admission rate, tokens (requests) per second.
+    pub rate: f64,
+    /// Bucket capacity: how many requests may burst above the rate.
+    pub burst: f64,
+    /// Maximum in-flight invocations (queued + executing) per node.
+    pub max_queue_depth: u32,
+    /// Backoff hint returned to shed clients.
+    pub retry_after: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            rate: 20_000.0,
+            burst: 2_000.0,
+            max_queue_depth: 512,
+            retry_after: Duration::from_millis(10),
+        }
+    }
+}
+
 /// Configuration of a DSO deployment.
 ///
 /// The defaults are calibrated against the paper's evaluation setup
@@ -71,6 +104,9 @@ pub struct DsoConfig {
     /// silently fork replicas; this turns that into a typed error. On by
     /// default — costs host CPU only, no virtual time.
     pub verify_readonly: bool,
+    /// Per-node admission control (token bucket + queue-depth shedding).
+    /// `None` (the default) admits everything, the pre-existing behavior.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for DsoConfig {
@@ -89,6 +125,7 @@ impl Default for DsoConfig {
             read_cache: false,
             cache_lease: None,
             verify_readonly: true,
+            admission: None,
         }
     }
 }
@@ -219,6 +256,13 @@ impl DsoConfigBuilder {
         self
     }
 
+    /// Enables per-node admission control (token bucket + queue-depth
+    /// shedding), or disables it with `None`.
+    pub fn admission(mut self, a: Option<AdmissionConfig>) -> Self {
+        self.cfg.admission = a;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -251,6 +295,20 @@ impl DsoConfigBuilder {
         }
         if c.cache_lease.is_some() && !c.read_cache {
             return Err(DsoConfigError("cache_lease requires read_cache".into()));
+        }
+        if let Some(a) = &c.admission {
+            if a.rate <= 0.0 || a.rate.is_nan() {
+                return Err(DsoConfigError("admission.rate must be positive".into()));
+            }
+            if a.burst < 1.0 || a.burst.is_nan() {
+                return Err(DsoConfigError("admission.burst must be >= 1".into()));
+            }
+            if a.max_queue_depth == 0 {
+                return Err(DsoConfigError("admission.max_queue_depth must be >= 1".into()));
+            }
+            if a.retry_after.is_zero() {
+                return Err(DsoConfigError("admission.retry_after must be non-zero".into()));
+            }
         }
         Ok(c)
     }
@@ -302,6 +360,19 @@ mod tests {
             .expect("valid combination");
         assert!(cfg.read_cache);
         assert_eq!(cfg.consistency, ConsistencyMode::ReplicaReads);
+    }
+
+    #[test]
+    fn admission_validates() {
+        assert_eq!(DsoConfig::default().admission, None, "shedding is opt-in");
+        let ok = DsoConfig::builder().admission(Some(AdmissionConfig::default())).build();
+        assert!(ok.is_ok());
+        let bad = |a: AdmissionConfig| DsoConfig::builder().admission(Some(a)).build().is_err();
+        assert!(bad(AdmissionConfig { rate: 0.0, ..Default::default() }));
+        assert!(bad(AdmissionConfig { rate: f64::NAN, ..Default::default() }));
+        assert!(bad(AdmissionConfig { burst: 0.5, ..Default::default() }));
+        assert!(bad(AdmissionConfig { max_queue_depth: 0, ..Default::default() }));
+        assert!(bad(AdmissionConfig { retry_after: Duration::ZERO, ..Default::default() }));
     }
 
     #[test]

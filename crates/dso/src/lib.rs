@@ -68,12 +68,13 @@ pub mod verify;
 
 pub use client::{BatchOp, DsoClient, DsoClientHandle};
 pub use cluster::DsoCluster;
-pub use config::{ConsistencyMode, DsoConfig, DsoConfigBuilder, DsoConfigError};
+pub use config::{AdmissionConfig, ConsistencyMode, DsoConfig, DsoConfigBuilder, DsoConfigError};
 pub use error::{DsoError, ObjectError};
 pub use intern::{intern, MethodName};
 pub use membership::spawn_coordinator;
 pub use object::{
     costs, CallCtx, Effects, ObjectFactory, ObjectRef, ObjectRegistry, Reply, SharedObject, Ticket,
 };
+pub use protocol::DrainNode;
 pub use ring::{fnv1a, mix, Ring, VNODES};
-pub use server::{spawn_server, ServerHandle};
+pub use server::{spawn_server, spawn_server_from, ServerHandle};

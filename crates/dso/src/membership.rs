@@ -35,6 +35,11 @@ fn coordinator_loop(ctx: &mut Ctx, inbox: Addr, cfg: DsoConfig) {
     loop {
         let msg = ctx.recv_timeout(inbox, cfg.heartbeat_interval);
         let mut changed = false;
+        // Graceful leavers this round: they are no longer members, but the
+        // leave view must still be pushed to them — a draining node
+        // transfers its objects out only once it sees the view excluding
+        // it. (Crashed nodes get nothing: they cannot receive.)
+        let mut leavers: Vec<Addr> = Vec::new();
         if let Some(msg) = msg {
             match msg.try_take::<Request>() {
                 Ok(req) => {
@@ -56,8 +61,9 @@ fn coordinator_loop(ctx: &mut Ctx, inbox: Addr, cfg: DsoConfig) {
                         }
                     }
                     MemberMsg::Leave { node } => {
-                        if members.remove(&node).is_some() {
+                        if let Some(st) = members.remove(&node) {
                             ctx.trace(format!("leave {node}"));
+                            leavers.push(st.addr);
                             changed = true;
                         }
                     }
@@ -82,9 +88,9 @@ fn coordinator_loop(ctx: &mut Ctx, inbox: Addr, cfg: DsoConfig) {
             let mark = ctx.span_instant("dso.view_change", "dso");
             ctx.span_annotate(mark, "view", view_id.to_string());
             let view = make_view(view_id, &members);
-            for m in members.values() {
+            for addr in members.values().map(|m| m.addr).chain(leavers) {
                 let lat = cfg.peer_net.sample(ctx.rng());
-                ctx.send(m.addr, Msg::new(ViewUpdate(view.clone())), lat);
+                ctx.send(addr, Msg::new(ViewUpdate(view.clone())), lat);
             }
         }
     }

@@ -103,6 +103,14 @@ pub enum InvokeResp {
     },
     /// Transient failure (object in transfer, SMR aborted by view change).
     Retry,
+    /// The node's admission controller shed the request (token bucket
+    /// empty or dispatch queue full). Retryable: the client backs off for
+    /// at least `retry_after` and tries again, without refreshing the view
+    /// (ownership is not in question).
+    Overloaded {
+        /// Server's hint for the minimum client backoff.
+        retry_after: std::time::Duration,
+    },
     /// The object rejected the call.
     Error(ObjectError),
 }
@@ -208,6 +216,14 @@ pub enum MemberMsg {
         node: NodeId,
     },
 }
+
+/// Control-plane request to a storage node: leave the cluster gracefully.
+/// The node announces [`MemberMsg::Leave`], waits for the view excluding
+/// it, transfers every object it still stores to the new owners, then
+/// retires. Contrast with a crash, where state on the node is simply lost
+/// (recovered only via replication).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DrainNode;
 
 /// RPC to the coordinator: fetch the current view (used by clients and by
 /// servers that fall behind).

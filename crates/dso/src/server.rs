@@ -17,24 +17,28 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use simcore::{Addr, Ctx, Msg, Pid, Request, Sim, SpanId};
+use simcore::{Addr, Ctx, LatencyModel, Msg, Pid, Request, Sim, SimTime, SpanId, Ticker};
 
-use crate::config::DsoConfig;
+use crate::config::{AdmissionConfig, DsoConfig};
 use crate::object::{CallCtx, ObjectRef, ObjectRegistry, Reply, SharedObject, Ticket};
 use crate::protocol::{
-    BatchItemResp, BatchReq, InvokeReq, InvokeResp, MemberMsg, NodeId, PeerMsg, SmrOp, VersionReq,
-    VersionResp, View, ViewUpdate,
+    BatchItemResp, BatchReq, DrainNode, InvokeReq, InvokeResp, MemberMsg, NodeId, PeerMsg, SmrOp,
+    VersionReq, VersionResp, View, ViewUpdate,
 };
 use crate::ring::Ring;
 use crate::skeen::{Action, Skeen};
 
-/// Handle to a running storage node, used by test/benchmark harnesses to
-/// crash it abruptly.
+/// Handle to a running storage node, used by harnesses and the control
+/// plane to crash it abruptly or drain it gracefully.
 #[derive(Clone, Debug)]
 pub struct ServerHandle {
     /// The node's id.
     pub node: NodeId,
     pids: Arc<Mutex<Vec<Pid>>>,
+    /// The dispatcher's inbox, published once the node is up and cleared
+    /// when it retires — the target for [`DrainNode`].
+    inbox: Arc<Mutex<Option<Addr>>>,
+    peer_net: LatencyModel,
 }
 
 impl ServerHandle {
@@ -54,6 +58,17 @@ impl ServerHandle {
             ctx.kill(*pid);
         }
     }
+
+    /// Asks the node to drain gracefully: it leaves the membership view,
+    /// transfers every object it still stores to the new owners under the
+    /// leave view, then retires its processes. Returns `false` when the
+    /// node is not (or no longer) running. See [`DrainNode`].
+    pub fn drain_from(&self, ctx: &mut Ctx) -> bool {
+        let Some(addr) = *self.inbox.lock() else { return false };
+        let lat = self.peer_net.sample(ctx.rng());
+        ctx.send(addr, Msg::new(DrainNode), lat);
+        true
+    }
 }
 
 struct Stored {
@@ -69,6 +84,36 @@ struct NodeShared {
     objects: Mutex<HashMap<ObjectRef, Stored>>,
     parked: Mutex<HashMap<Ticket, Addr>>,
     next_ticket: AtomicU64,
+    /// Invocations routed to workers and not yet finished (queued +
+    /// executing) — the "queue depth" the admission controller bounds.
+    inflight: AtomicU64,
+}
+
+/// Per-node admission controller: a token bucket (sustained rate + burst)
+/// and a queue-depth cap, both over virtual time. See [`AdmissionConfig`].
+struct Shedder {
+    cfg: AdmissionConfig,
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+impl Shedder {
+    fn new(cfg: AdmissionConfig, now: SimTime) -> Shedder {
+        Shedder { tokens: cfg.burst, last_refill: now, cfg }
+    }
+
+    /// Refills by elapsed virtual time and takes one token; `false` means
+    /// the request must be shed (bucket empty or queue full).
+    fn admit(&mut self, now: SimTime, inflight: u64) -> bool {
+        let dt = now.saturating_duration_since(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + dt * self.cfg.rate).min(self.cfg.burst);
+        if self.tokens < 1.0 || inflight >= u64::from(self.cfg.max_queue_depth) {
+            return false;
+        }
+        self.tokens -= 1.0;
+        true
+    }
 }
 
 enum WorkItem {
@@ -93,8 +138,42 @@ pub fn spawn_server(
     registry: ObjectRegistry,
     coordinator: Addr,
 ) -> ServerHandle {
+    let (handle, shared, pids, inbox_slot) = prepare_server(node, cfg, registry);
+    let main = sim.spawn_daemon(&format!("dso-{node}"), move |ctx| {
+        server_main(ctx, coordinator, shared, pids, inbox_slot);
+    });
+    handle.pids.lock().push(main);
+    handle
+}
+
+/// [`spawn_server`] from inside the simulation — used by the control plane
+/// to scale out without leaving virtual time.
+pub fn spawn_server_from(
+    ctx: &mut Ctx,
+    node: NodeId,
+    cfg: DsoConfig,
+    registry: ObjectRegistry,
+    coordinator: Addr,
+) -> ServerHandle {
+    let (handle, shared, pids, inbox_slot) = prepare_server(node, cfg, registry);
+    let main = ctx.spawn_daemon(&format!("dso-{node}"), move |c| {
+        server_main(c, coordinator, shared, pids, inbox_slot);
+    });
+    handle.pids.lock().push(main);
+    handle
+}
+
+type ServerParts = (ServerHandle, Arc<NodeShared>, Arc<Mutex<Vec<Pid>>>, Arc<Mutex<Option<Addr>>>);
+
+fn prepare_server(node: NodeId, cfg: DsoConfig, registry: ObjectRegistry) -> ServerParts {
     let pids = Arc::new(Mutex::new(Vec::new()));
-    let handle = ServerHandle { node, pids: pids.clone() };
+    let inbox_slot = Arc::new(Mutex::new(None));
+    let handle = ServerHandle {
+        node,
+        pids: pids.clone(),
+        inbox: inbox_slot.clone(),
+        peer_net: cfg.peer_net,
+    };
     let shared = Arc::new(NodeShared {
         node,
         cfg,
@@ -102,12 +181,9 @@ pub fn spawn_server(
         objects: Mutex::new(HashMap::new()),
         parked: Mutex::new(HashMap::new()),
         next_ticket: AtomicU64::new(1),
+        inflight: AtomicU64::new(0),
     });
-    let main = sim.spawn_daemon(&format!("dso-{node}"), move |ctx| {
-        server_main(ctx, coordinator, shared, pids);
-    });
-    handle.pids.lock().push(main);
-    handle
+    (handle, shared, pids, inbox_slot)
 }
 
 fn server_main(
@@ -115,14 +191,17 @@ fn server_main(
     coordinator: Addr,
     shared: Arc<NodeShared>,
     pids: Arc<Mutex<Vec<Pid>>>,
+    inbox_slot: Arc<Mutex<Option<Addr>>>,
 ) {
     let node = shared.node;
     let cfg = shared.cfg.clone();
     let inbox = ctx.mailbox(&format!("dso-{node}-inbox"));
+    *inbox_slot.lock() = Some(inbox);
 
     // Worker pool. Worker mailboxes are owned by the dispatcher, so an
     // abrupt node crash closes them all at once.
     let mut workers: Vec<Addr> = Vec::with_capacity(cfg.workers_per_node as usize);
+    let mut worker_pids: Vec<Pid> = Vec::with_capacity(cfg.workers_per_node as usize);
     for w in 0..cfg.workers_per_node {
         let wmb = ctx.mailbox(&format!("dso-{node}-w{w}"));
         workers.push(wmb);
@@ -130,6 +209,7 @@ fn server_main(
         let pid = ctx.spawn_daemon(&format!("dso-{node}-w{w}"), move |wc| {
             worker_loop(wc, wmb, sh);
         });
+        worker_pids.push(pid);
         pids.lock().push(pid);
     }
 
@@ -142,15 +222,18 @@ fn server_main(
     let mut view = View::empty();
     let mut ring = Ring::new(&[]);
     let mut skeen: Skeen<SmrOp> = Skeen::new(node);
-    let mut next_hb = ctx.now() + cfg.heartbeat_interval;
+    let mut hb = Ticker::new(ctx.now(), cfg.heartbeat_interval);
+    let mut shedder = cfg.admission.map(|a| Shedder::new(a, ctx.now()));
+    let mut draining = false;
 
     loop {
-        let timeout = next_hb.saturating_duration_since(ctx.now());
-        let msg = ctx.recv_timeout(inbox, timeout);
-        if ctx.now() >= next_hb {
+        let msg = ctx.recv_timeout(inbox, hb.remaining(ctx.now()));
+        if hb.poll(ctx.now()) {
             let lat = cfg.peer_net.sample(ctx.rng());
             ctx.send(coordinator, Msg::new(MemberMsg::Heartbeat { node }), lat);
-            next_hb = ctx.now() + cfg.heartbeat_interval;
+            // Queue-depth gauge, stamped on the heartbeat cadence so the
+            // control plane (and operators) can see dispatcher pressure.
+            ctx.metric_push("dso.queue_depth", shared.inflight.load(Ordering::SeqCst) as f64);
         }
         let Some(msg) = msg else { continue };
 
@@ -190,6 +273,7 @@ fn server_main(
                             &ring,
                             &workers,
                             &mut skeen,
+                            &mut shedder,
                             item,
                             reply_to,
                             Some(tag),
@@ -199,7 +283,16 @@ fn server_main(
                 }
                 let (reply_to, invoke) = req.take::<InvokeReq>();
                 handle_client_invoke(
-                    ctx, &shared, &view, &ring, &workers, &mut skeen, invoke, reply_to, None,
+                    ctx,
+                    &shared,
+                    &view,
+                    &ring,
+                    &workers,
+                    &mut skeen,
+                    &mut shedder,
+                    invoke,
+                    reply_to,
+                    None,
                 );
                 continue;
             }
@@ -222,7 +315,7 @@ fn server_main(
             }
             Err(other) => other,
         };
-        match msg.try_take::<ViewUpdate>() {
+        let msg = match msg.try_take::<ViewUpdate>() {
             Ok(ViewUpdate(new_view)) => {
                 if new_view.id > view.id {
                     let new_ring = Ring::new(&new_view.node_ids());
@@ -233,6 +326,35 @@ fn server_main(
                     skeen.reset();
                     view = new_view;
                     ring = new_ring;
+                    if draining && view.addr_of(node).is_none() {
+                        // The leave view is installed and `rebalance` has
+                        // pushed every object to its new owners (this node
+                        // is in no placement). Retire: kill the workers and
+                        // return, which closes the owned mailboxes.
+                        ctx.trace(format!("dso-{node}: drained, retiring"));
+                        inbox_slot.lock().take();
+                        for p in &worker_pids {
+                            ctx.kill(*p);
+                        }
+                        return;
+                    }
+                }
+                continue;
+            }
+            Err(other) => other,
+        };
+        match msg.try_take::<DrainNode>() {
+            Ok(DrainNode) => {
+                if !draining {
+                    draining = true;
+                    ctx.metric_incr("dso.drains");
+                    let mark = ctx.span_instant("dso.drain", "dso");
+                    ctx.span_annotate(mark, "node", node.to_string());
+                    // Announce the graceful departure; the coordinator's
+                    // next view excludes this node and is also pushed to
+                    // it, which triggers the transfer-out + retire above.
+                    let lat = cfg.peer_net.sample(ctx.rng());
+                    ctx.send(coordinator, Msg::new(MemberMsg::Leave { node }), lat);
                 }
             }
             Err(other) => {
@@ -250,11 +372,25 @@ fn handle_client_invoke(
     ring: &Ring,
     workers: &[Addr],
     skeen: &mut Skeen<SmrOp>,
+    shedder: &mut Option<Shedder>,
     req: InvokeReq,
     reply_to: Addr,
     tag: Option<u32>,
 ) {
     let cfg = &shared.cfg;
+    if let Some(s) = shedder {
+        // Admission gate, ahead of any ownership or routing work: shedding
+        // here keeps queueing (and thus latency) bounded under overload.
+        if !s.admit(ctx.now(), shared.inflight.load(Ordering::SeqCst)) {
+            ctx.metric_incr("dso.shed");
+            let mark = ctx.span_instant("dso.shed", "dso");
+            ctx.span_annotate(mark, "obj", req.obj.to_string());
+            let lat = cfg.client_net.sample(ctx.rng());
+            let resp = InvokeResp::Overloaded { retry_after: s.cfg.retry_after };
+            reply_tagged(ctx, reply_to, tag, resp, lat);
+            return;
+        }
+    }
     let placement = ring.placement(&req.obj, req.rf.max(1));
     if !placement.contains(&shared.node) {
         let lat = cfg.client_net.sample(ctx.rng());
@@ -338,7 +474,7 @@ fn process_skeen_actions(
     }
 }
 
-fn route_to_worker(ctx: &mut Ctx, _shared: &Arc<NodeShared>, workers: &[Addr], item: WorkItem) {
+fn route_to_worker(ctx: &mut Ctx, shared: &Arc<NodeShared>, workers: &[Addr], item: WorkItem) {
     let obj = match &item {
         WorkItem::Client { req, .. } => &req.obj,
         WorkItem::Apply { op } => &op.req.obj,
@@ -346,6 +482,7 @@ fn route_to_worker(ctx: &mut Ctx, _shared: &Arc<NodeShared>, workers: &[Addr], i
     // One worker per object (by placement hash): per-object serialization,
     // disjoint-access parallelism across objects.
     let idx = (obj.placement_hash() % workers.len() as u64) as usize;
+    shared.inflight.fetch_add(1, Ordering::SeqCst);
     // Intra-node handoff costs nothing on the simulated network.
     ctx.send(workers[idx], Msg::new(item), Duration::ZERO);
 }
@@ -461,6 +598,7 @@ fn worker_loop(ctx: &mut Ctx, inbox: Addr, shared: Arc<NodeShared>) {
                 execute(ctx, &shared, op.req, op.respond_to, op.respond_tag, true, parent);
             }
         }
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
     }
 }
 

@@ -37,10 +37,25 @@ pub struct InvocationRecord {
     pub failed: bool,
 }
 
+/// One reclaimed warm container: the pool held it idle for `idle` before
+/// retiring it. The idle tail is what a provisioned pool *costs* — compute
+/// paid for but not serving requests — so it is part of the ledger, not a
+/// silent `Vec::retain`.
+#[derive(Clone, Debug)]
+pub struct RetirementRecord {
+    /// Function whose pool the container belonged to.
+    pub function: String,
+    /// Configured memory of the function.
+    pub memory_mb: u32,
+    /// How long the container sat unused before reclamation.
+    pub idle: Duration,
+}
+
 /// Shared, thread-safe ledger of invocations.
 #[derive(Clone, Default)]
 pub struct Billing {
     records: Arc<Mutex<Vec<InvocationRecord>>>,
+    retired: Arc<Mutex<Vec<RetirementRecord>>>,
 }
 
 impl Billing {
@@ -83,9 +98,30 @@ impl Billing {
         self.gb_seconds() * pricing.per_gb_second + self.invocations() as f64 * pricing.per_request
     }
 
+    /// Appends a container-retirement record.
+    pub fn record_retirement(&self, rec: RetirementRecord) {
+        self.retired.lock().push(rec);
+    }
+
+    /// Number of retired (idle-reclaimed) containers.
+    pub fn retirements(&self) -> usize {
+        self.retired.lock().len()
+    }
+
+    /// GB-seconds containers sat idle before retirement — the cost of
+    /// keeping pools warm, reported next to the execution GB-seconds.
+    pub fn idle_gb_seconds(&self) -> f64 {
+        self.retired
+            .lock()
+            .iter()
+            .map(|r| r.idle.as_secs_f64() * (r.memory_mb as f64 / 1024.0))
+            .sum()
+    }
+
     /// Forgets all records (e.g. to exclude a warm-up phase from Table 3).
     pub fn reset(&self) {
         self.records.lock().clear();
+        self.retired.lock().clear();
     }
 }
 

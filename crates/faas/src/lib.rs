@@ -37,11 +37,13 @@ mod billing;
 mod function;
 mod platform;
 
-pub use billing::{Billing, InvocationRecord, Pricing};
+pub use billing::{Billing, InvocationRecord, Pricing, RetirementRecord};
 pub use function::{
     cpu_share_for, CloudFunction, FnCtx, FunctionRegistry, FunctionSpec, FULL_VCPU_MB,
 };
-pub use platform::{spawn_platform, FaasConfig, FaasError, FaasHandle, InvokeFn, InvokeResult};
+pub use platform::{
+    spawn_platform, FaasConfig, FaasError, FaasHandle, InvokeFn, InvokeResult, SetProvisioned,
+};
 
 #[cfg(test)]
 mod tests {
@@ -175,6 +177,61 @@ mod tests {
             (dcompute - 0.1).abs() < 0.03,
             "896MB should pay ~100ms extra compute, paid {dcompute}s"
         );
+    }
+
+    #[test]
+    fn provisioned_concurrency_prewarms_and_skips_cold_starts() {
+        let mut sim = Sim::new(21);
+        let registry = simcore::MetricsRegistry::new();
+        sim.set_metrics(&registry);
+        let faas = spawn_platform(&sim, FaasConfig::default(), echo_registry());
+        let f2 = faas.clone();
+        sim.spawn("client", move |ctx| {
+            f2.set_provisioned(ctx, "echo", 3);
+            // Give the pre-warms time to boot (cold start ≈ 1–2 s).
+            ctx.sleep(Duration::from_secs(3));
+            for i in 0..3 {
+                let t0 = ctx.now();
+                let _ = f2.invoke(ctx, "echo", vec![i]).expect("ok");
+                let warm_time = ctx.now() - t0;
+                assert!(
+                    warm_time < Duration::from_millis(60),
+                    "pre-warmed invoke {i} must not pay a cold start: {warm_time:?}"
+                );
+            }
+        });
+        sim.run_until_idle().expect_quiescent();
+        assert_eq!(faas.billing().cold_starts(), 0, "no invoker paid a cold start");
+        assert_eq!(registry.counter_value("faas.prewarms"), 3);
+        assert!(
+            !registry.series("faas.pool_size").points().is_empty(),
+            "pool dynamics must be observable"
+        );
+    }
+
+    #[test]
+    fn idle_containers_are_retired_with_billing_and_floor() {
+        let mut sim = Sim::new(22);
+        let registry = simcore::MetricsRegistry::new();
+        sim.set_metrics(&registry);
+        let cfg =
+            FaasConfig { container_idle_timeout: Duration::from_secs(5), ..FaasConfig::default() };
+        let faas = spawn_platform(&sim, cfg, echo_registry());
+        let f2 = faas.clone();
+        sim.spawn("client", move |ctx| {
+            // Build a pool of 4 via the provisioning path.
+            f2.set_provisioned(ctx, "echo", 4);
+            ctx.sleep(Duration::from_secs(3));
+            // Drop the floor to 1 and let the pool sit past the timeout.
+            f2.set_provisioned(ctx, "echo", 1);
+            ctx.sleep(Duration::from_secs(10));
+            // Next dispatch reaps lazily: 3 expire, the floor keeps 1.
+            let _ = f2.invoke(ctx, "echo", vec![1]).expect("ok");
+        });
+        sim.run_until_idle().expect_quiescent();
+        assert_eq!(faas.billing().retirements(), 3, "pool of 4, floor 1");
+        assert!(faas.billing().idle_gb_seconds() > 0.0, "idle tail is billed");
+        assert_eq!(registry.counter_value("faas.retirements"), 3);
     }
 
     #[test]

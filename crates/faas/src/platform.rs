@@ -6,9 +6,9 @@ use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
 use rand::RngExt;
-use simcore::{Addr, Ctx, LatencyModel, Msg, Request, Sim, SimTime, SpanId, TraceCtx};
+use simcore::{Addr, Ctx, LatencyModel, Msg, Pid, Request, Sim, SimTime, SpanId, TraceCtx};
 
-use crate::billing::{Billing, InvocationRecord, Pricing};
+use crate::billing::{Billing, InvocationRecord, Pricing, RetirementRecord};
 use crate::function::{FnCtx, FunctionRegistry};
 
 /// Platform configuration, calibrated to AWS Lambda in 2019.
@@ -105,6 +105,28 @@ struct ContainerFree {
     container: Addr,
 }
 
+/// A pre-warmed container finished booting and enters the warm pool.
+/// Unlike [`ContainerFree`] it does *not* release a running slot — the
+/// container never held one.
+#[derive(Debug)]
+struct WarmReady {
+    function: String,
+    container: Addr,
+}
+
+/// Control-plane request: keep (at least) `n` warm containers provisioned
+/// for `function`. The platform boots the shortfall immediately (off the
+/// request path, so nobody waits on these cold starts) and exempts the
+/// floor from idle reclamation. Lowering `n` lets the surplus age out
+/// through the normal idle timeout.
+#[derive(Debug)]
+pub struct SetProvisioned {
+    /// Deployed function name.
+    pub function: String,
+    /// Number of warm containers to keep provisioned.
+    pub n: u32,
+}
+
 /// Handle to a running platform.
 #[derive(Clone, Debug)]
 pub struct FaasHandle {
@@ -142,6 +164,16 @@ impl FaasHandle {
         result
     }
 
+    /// Sets the provisioned-concurrency floor for `function`: the platform
+    /// keeps at least `n` warm containers, booting the shortfall now (off
+    /// the request path) and exempting the floor from idle reclamation.
+    /// Fire-and-forget — the pre-warms complete asynchronously; watch the
+    /// `faas.pool_size` series for the effect.
+    pub fn set_provisioned(&self, ctx: &mut Ctx, function: &str, n: u32) {
+        let lat = self.cfg.warm_dispatch.sample(ctx.rng());
+        ctx.send(self.addr, Msg::new(SetProvisioned { function: function.to_string(), n }), lat);
+    }
+
     /// The shared billing ledger.
     pub fn billing(&self) -> &Billing {
         &self.billing
@@ -169,6 +201,25 @@ struct WarmContainer {
     last_used: SimTime,
 }
 
+/// Mutable state of the platform daemon.
+struct Platform {
+    inbox: Addr,
+    cfg: FaasConfig,
+    registry: FunctionRegistry,
+    billing: Billing,
+    warm: HashMap<String, Vec<WarmContainer>>,
+    pending: VecDeque<(String, Job)>,
+    running: u32,
+    next_container: u64,
+    /// Provisioned-concurrency floor per function ([`SetProvisioned`]).
+    provisioned: HashMap<String, u32>,
+    /// Pre-warms in flight per function (booting, not yet in the pool) —
+    /// keeps repeated [`SetProvisioned`] requests from over-spawning.
+    prewarming: HashMap<String, u32>,
+    /// Process of each container, so retirement can actually reclaim it.
+    pids: HashMap<Addr, Pid>,
+}
+
 fn platform_loop(
     ctx: &mut Ctx,
     inbox: Addr,
@@ -176,40 +227,66 @@ fn platform_loop(
     registry: FunctionRegistry,
     billing: Billing,
 ) {
-    let mut warm: HashMap<String, Vec<WarmContainer>> = HashMap::new();
-    let mut pending: VecDeque<(String, Job)> = VecDeque::new();
-    let mut running: u32 = 0;
-    let mut next_container = 0u64;
+    let mut p = Platform {
+        inbox,
+        cfg,
+        registry,
+        billing,
+        warm: HashMap::new(),
+        pending: VecDeque::new(),
+        running: 0,
+        next_container: 0,
+        provisioned: HashMap::new(),
+        prewarming: HashMap::new(),
+        pids: HashMap::new(),
+    };
     loop {
         let msg = ctx.recv(inbox);
         let msg = match msg.try_take::<ContainerFree>() {
             Ok(free) => {
-                running = running.saturating_sub(1);
-                warm.entry(free.function)
+                p.running = p.running.saturating_sub(1);
+                p.warm
+                    .entry(free.function)
                     .or_default()
                     .push(WarmContainer { addr: free.container, last_used: ctx.now() });
+                p.push_pool_size(ctx);
                 // Admit one queued invocation, if any.
-                if let Some((function, job)) = pending.pop_front() {
-                    dispatch(
-                        ctx,
-                        inbox,
-                        &cfg,
-                        &registry,
-                        &billing,
-                        &mut warm,
-                        &mut running,
-                        &mut next_container,
-                        function,
-                        job,
-                    );
+                if let Some((function, job)) = p.pending.pop_front() {
+                    p.dispatch(ctx, function, job);
+                }
+                continue;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.try_take::<WarmReady>() {
+            Ok(ready) => {
+                // A pre-warm finished booting: into the pool, no running
+                // slot to release (it never held one).
+                if let Some(n) = p.prewarming.get_mut(&ready.function) {
+                    *n = n.saturating_sub(1);
+                }
+                p.warm
+                    .entry(ready.function)
+                    .or_default()
+                    .push(WarmContainer { addr: ready.container, last_used: ctx.now() });
+                p.push_pool_size(ctx);
+                continue;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.try_take::<SetProvisioned>() {
+            Ok(SetProvisioned { function, n }) => {
+                if p.registry.get(&function).is_some() {
+                    p.provisioned.insert(function.clone(), n);
+                    p.prewarm_shortfall(ctx, &function);
                 }
                 continue;
             }
             Err(m) => m,
         };
         let (reply_to, invoke) = msg.take::<Request>().take::<InvokeFn>();
-        if registry.get(&invoke.function).is_none() {
-            let lat = cfg.response.sample(ctx.rng());
+        if p.registry.get(&invoke.function).is_none() {
+            let lat = p.cfg.response.sample(ctx.rng());
             ctx.reply::<InvokeResult>(
                 reply_to,
                 Err(FaasError::UnknownFunction(invoke.function)),
@@ -218,67 +295,112 @@ fn platform_loop(
             continue;
         }
         let job = Job { payload: invoke.payload, reply_to, cold: false, span: invoke.span };
-        if running >= cfg.concurrency_limit {
-            pending.push_back((invoke.function, job));
+        if p.running >= p.cfg.concurrency_limit {
+            // The account limit throttles the invocation into the queue;
+            // the counter is what the control plane watches for pressure.
+            ctx.metric_incr("faas.throttled");
+            p.pending.push_back((invoke.function, job));
             continue;
         }
-        dispatch(
-            ctx,
-            inbox,
-            &cfg,
-            &registry,
-            &billing,
-            &mut warm,
-            &mut running,
-            &mut next_container,
-            invoke.function,
-            job,
-        );
+        p.dispatch(ctx, invoke.function, job);
     }
 }
 
-/// Routes one job to a warm container, or provisions a cold one.
-#[allow(clippy::too_many_arguments)]
-fn dispatch(
-    ctx: &mut Ctx,
-    platform_inbox: Addr,
-    cfg: &FaasConfig,
-    registry: &FunctionRegistry,
-    billing: &Billing,
-    warm: &mut HashMap<String, Vec<WarmContainer>>,
-    running: &mut u32,
-    next_container: &mut u64,
-    function: String,
-    mut job: Job,
-) {
-    *running += 1;
-    let pool = warm.entry(function.clone()).or_default();
-    // Reclaim expired containers lazily.
-    let now = ctx.now();
-    pool.retain(|c| now.saturating_duration_since(c.last_used) <= cfg.container_idle_timeout);
-    let target = if let Some(c) = pool.pop() {
-        c.addr
-    } else {
-        // Cold start: provision a fresh container process.
-        let id = *next_container;
-        *next_container += 1;
+impl Platform {
+    /// Routes one job to a warm container, or provisions a cold one.
+    fn dispatch(&mut self, ctx: &mut Ctx, function: String, mut job: Job) {
+        self.running += 1;
+        self.reap_expired(ctx, &function);
+        let pool = self.warm.entry(function.clone()).or_default();
+        let target = if let Some(c) = pool.pop() {
+            c.addr
+        } else {
+            job.cold = true;
+            self.spawn_container(ctx, &function, false)
+        };
+        self.push_pool_size(ctx);
+        // Intra-service handoff; the client already paid the dispatch latency.
+        ctx.send(target, Msg::new(job), Duration::ZERO);
+    }
+
+    /// Spawns a fresh container process for `function`. With `prewarm` it
+    /// boots immediately and reports [`WarmReady`]; otherwise it boots on
+    /// its first job (the invoker pays the cold start).
+    fn spawn_container(&mut self, ctx: &mut Ctx, function: &str, prewarm: bool) -> Addr {
+        let id = self.next_container;
+        self.next_container += 1;
         let mailbox = ctx.mailbox(&format!("ctr-{function}-{id}"));
-        let cfg2 = cfg.clone();
-        let registry2 = registry.clone();
-        let billing2 = billing.clone();
-        let fname = function.clone();
-        ctx.spawn_daemon(&format!("ctr-{function}-{id}"), move |cc| {
-            container_loop(cc, mailbox, platform_inbox, fname, cfg2, registry2, billing2);
+        let platform_inbox = self.inbox;
+        let cfg2 = self.cfg.clone();
+        let registry2 = self.registry.clone();
+        let billing2 = self.billing.clone();
+        let fname = function.to_string();
+        let pid = ctx.spawn_daemon(&format!("ctr-{function}-{id}"), move |cc| {
+            container_loop(cc, mailbox, platform_inbox, fname, cfg2, registry2, billing2, prewarm);
         });
-        job.cold = true;
+        self.pids.insert(mailbox, pid);
         mailbox
-    };
-    // Intra-service handoff; the client already paid the dispatch latency.
-    ctx.send(target, Msg::new(job), Duration::ZERO);
+    }
+
+    /// Boots warm containers until pool + in-flight pre-warms reach the
+    /// provisioned floor for `function`.
+    fn prewarm_shortfall(&mut self, ctx: &mut Ctx, function: &str) {
+        let floor = self.provisioned.get(function).copied().unwrap_or(0) as usize;
+        let have = self.warm.get(function).map_or(0, Vec::len)
+            + self.prewarming.get(function).copied().unwrap_or(0) as usize;
+        for _ in have..floor {
+            *self.prewarming.entry(function.to_string()).or_insert(0) += 1;
+            self.spawn_container(ctx, function, true);
+        }
+    }
+
+    /// Retires idle-expired containers of `function`, keeping at least the
+    /// provisioned floor warm. Retirements are traced (`faas.retire`) and
+    /// billed ([`RetirementRecord`]) — a reclaimed container is a real
+    /// platform event, not a silent `Vec::retain`.
+    fn reap_expired(&mut self, ctx: &mut Ctx, function: &str) {
+        let Some(pool) = self.warm.get_mut(function) else { return };
+        let now = ctx.now();
+        let timeout = self.cfg.container_idle_timeout;
+        let floor = self.provisioned.get(function).copied().unwrap_or(0) as usize;
+        let expired =
+            pool.iter().filter(|c| now.saturating_duration_since(c.last_used) > timeout).count();
+        let retire_n = expired.min(pool.len().saturating_sub(floor));
+        if retire_n == 0 {
+            return;
+        }
+        // Retire the longest-idle containers first; the floor keeps the
+        // freshest ones even past their timeout.
+        pool.sort_by_key(|c| c.last_used);
+        let memory_mb = self.registry.get(function).map_or(0, |s| s.memory_mb);
+        for c in pool.drain(..retire_n) {
+            let idle = now.saturating_duration_since(c.last_used);
+            ctx.metric_incr("faas.retirements");
+            let mark = ctx.span_instant("faas.retire", "faas");
+            ctx.span_annotate(mark, "function", function);
+            self.billing.record_retirement(RetirementRecord {
+                function: function.to_string(),
+                memory_mb,
+                idle,
+            });
+            if let Some(pid) = self.pids.remove(&c.addr) {
+                ctx.kill(pid);
+            }
+        }
+    }
+
+    /// Publishes the total warm-pool size (all functions) as the
+    /// `faas.pool_size` series.
+    fn push_pool_size(&self, ctx: &mut Ctx) {
+        let total: usize = self.warm.values().map(Vec::len).sum();
+        ctx.metric_push("faas.pool_size", total as f64);
+    }
 }
 
 /// One container: runs jobs for a single function, sequentially, reporting
-/// back to the platform between jobs.
+/// back to the platform between jobs. With `prewarm` it boots up front
+/// (off anyone's request path) and announces [`WarmReady`].
+#[allow(clippy::too_many_arguments)]
 fn container_loop(
     ctx: &mut Ctx,
     inbox: Addr,
@@ -287,8 +409,23 @@ fn container_loop(
     cfg: FaasConfig,
     registry: FunctionRegistry,
     billing: Billing,
+    prewarm: bool,
 ) {
     let mut first = true;
+    if prewarm {
+        let boot = cfg.cold_start.sample(ctx.rng());
+        let boot_span = ctx.span_begin("faas.prewarm", "faas");
+        ctx.span_annotate(boot_span, "function", &function);
+        ctx.sleep(boot);
+        ctx.span_end(boot_span);
+        ctx.metric_incr("faas.prewarms");
+        first = false;
+        ctx.send(
+            platform,
+            Msg::new(WarmReady { function: function.clone(), container: inbox }),
+            Duration::ZERO,
+        );
+    }
     loop {
         let job = ctx.recv(inbox).take::<Job>();
         // Adopt the invoker's trace context for the whole job.

@@ -21,6 +21,7 @@
 
 pub mod cost;
 pub mod datagen;
+pub mod elastic;
 pub mod inference;
 pub mod kmeans;
 pub mod logreg;

@@ -1,0 +1,9 @@
+// Fixture: a reconcile loop stamping its tick off the host clock instead
+// of the virtual `Ticker`. Expected findings: wall-clock at the `now()`
+// line — the control plane's decisions must be a function of simulated
+// time only or seeded runs diverge.
+
+fn reconcile_tick(mut on_tick: impl FnMut()) {
+    let _tick_started = std::time::Instant::now();
+    on_tick();
+}

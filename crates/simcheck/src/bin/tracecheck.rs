@@ -165,12 +165,18 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character, not one byte.
-                    let rest = std::str::from_utf8(&self.b[self.pos..])
+                    // Consume the whole run up to the next quote or escape
+                    // in one slice. Byte-wise scanning is UTF-8-safe: the
+                    // bytes of a multi-byte character never collide with
+                    // ASCII '"' or '\\'. Validating per consumed character
+                    // instead was quadratic in the document size.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.b[start..self.pos])
                         .map_err(|_| self.err("invalid utf8"))?;
-                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
                 }
             }
         }

@@ -24,6 +24,7 @@ fn fixture_tree_yields_exactly_the_planted_findings() {
         ("panics.rs".to_string(), Rule::NoPanic),
         ("panics.rs".to_string(), Rule::NoPanic),
         ("protocol.rs".to_string(), Rule::SerdeDerive),
+        ("reconcile.rs".to_string(), Rule::WallClock),
         ("sneaky.rs".to_string(), Rule::ReadonlyMutation),
         ("threads.rs".to_string(), Rule::NativeThread),
         ("traced.rs".to_string(), Rule::TraceTime),

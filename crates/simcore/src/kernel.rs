@@ -1117,6 +1117,16 @@ impl Ctx {
         }
     }
 
+    /// Appends `(now, value)` to the time series named `name` (no-op
+    /// without a registry) — gauge-style measurements such as queue depths
+    /// or pool sizes, stamped with virtual time.
+    pub fn metric_push(&self, name: &str, value: f64) {
+        if let Some(m) = self.metrics() {
+            let now = self.now();
+            m.series(name).push(now, value);
+        }
+    }
+
     fn yield_to_kernel(&mut self) {
         self.gate.held.store(false, Ordering::SeqCst);
         self.kernel.signal_kernel();

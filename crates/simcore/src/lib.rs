@@ -44,6 +44,7 @@ mod kernel;
 mod latency;
 mod metrics;
 mod time;
+mod timer;
 
 pub mod codec;
 pub mod cpu;
@@ -60,4 +61,5 @@ pub use latency::{Jitter, LatencyModel};
 pub use metrics::{Counter, LatencyStats, MetricsRegistry, Series};
 pub use scheduler::{Decision, FifoScheduler, RandomScheduler, ReplayScheduler, Scheduler};
 pub use time::SimTime;
+pub use timer::Ticker;
 pub use trace::{SpanId, SpanKind, SpanRecord, TraceCtx, Tracer};

@@ -1,0 +1,198 @@
+//! Elastic control-plane tests: graceful drain conservation, admission
+//! control (shedding + client retries + linearizability under shed-heavy
+//! histories), and determinism of the autoscaler's decisions.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use dso::api;
+use dso::verify::{check_unit_counter, Op};
+use dso::{AdmissionConfig, DsoCluster, DsoConfig, ObjectRegistry};
+use simcore::explore::{explore_seeds, Check};
+use simcore::{MetricsRegistry, Sim, SimTime};
+
+/// Scale-out → scale-in round trip: every object and every per-object
+/// version must survive the drain. Counters are unreplicated (`rf = 1`),
+/// so the drained node's transfer-out is the *only* copy — losing it
+/// would show up as a wrong value or version here.
+#[test]
+fn drain_conserves_objects_and_versions() {
+    const K: usize = 24;
+    let mut sim = Sim::new(11);
+    let registry = MetricsRegistry::new();
+    sim.set_metrics(&registry);
+    let mut cluster =
+        DsoCluster::start(&sim, 2, DsoConfig::default(), ObjectRegistry::with_builtins());
+    let handle = cluster.client_handle();
+
+    // Counter `c{i}` is incremented exactly `i + 1` times, so value and
+    // version are both `i + 1` — a per-object fingerprint.
+    let h = handle.clone();
+    sim.spawn("writer", move |ctx| {
+        let mut cli = h.connect();
+        for i in 0..K {
+            let c = api::AtomicLong::new(&format!("c{i}"));
+            for _ in 0..=i {
+                c.increment_and_get(ctx, &mut cli).expect("dso reachable");
+            }
+        }
+    });
+    sim.run_until(SimTime::from_secs(2));
+
+    cluster.add_node(&sim);
+    sim.run_until(SimTime::from_secs(4));
+    assert_eq!(cluster.live_nodes(), 3);
+
+    let newest = cluster.newest_live().expect("a live node");
+    cluster.remove_node(&sim, newest);
+    sim.run_until(SimTime::from_secs(8));
+    assert_eq!(cluster.live_nodes(), 2);
+    assert_eq!(registry.counter_value("dso.drains"), 1);
+
+    let audited = Arc::new(Mutex::new(false));
+    let flag = audited.clone();
+    sim.spawn("auditor", move |ctx| {
+        let mut cli = handle.connect();
+        for i in 0..K {
+            let c = api::AtomicLong::new(&format!("c{i}"));
+            let v = c.get(ctx, &mut cli).expect("dso reachable");
+            assert_eq!(v, (i + 1) as i64, "counter c{i} lost updates across the drain");
+            assert_eq!(
+                cli.observed_version(c.raw().object_ref()),
+                (i + 1) as u64,
+                "counter c{i}'s version was not conserved"
+            );
+        }
+        *flag.lock() = true;
+    });
+    sim.run_until(SimTime::from_secs(10));
+    assert!(*audited.lock(), "auditor must finish");
+}
+
+/// A config tight enough to shed must still complete every call: shed
+/// responses take the client's backoff-and-retry path, not the error path.
+#[test]
+fn shed_requests_are_retried_by_the_client() {
+    let mut sim = Sim::new(5);
+    let registry = MetricsRegistry::new();
+    sim.set_metrics(&registry);
+    let cfg = DsoConfig::builder()
+        .admission(Some(AdmissionConfig {
+            rate: 400.0,
+            burst: 4.0,
+            max_queue_depth: 4,
+            retry_after: Duration::from_millis(2),
+        }))
+        .max_retries(40)
+        .build()
+        .expect("valid config");
+    let cluster = DsoCluster::start(&sim, 1, cfg, ObjectRegistry::with_builtins());
+    let handle = cluster.client_handle();
+    let done = Arc::new(Mutex::new(0u32));
+    for w in 0..8 {
+        let handle = handle.clone();
+        let done = done.clone();
+        sim.spawn(&format!("worker-{w}"), move |ctx| {
+            let mut cli = handle.connect();
+            let c = api::AtomicLong::new("hot");
+            for _ in 0..20 {
+                c.increment_and_get(ctx, &mut cli).expect("sheds are retried, not failed");
+            }
+            *done.lock() += 1;
+        });
+    }
+    sim.run_until_idle().expect_quiescent();
+    assert_eq!(*done.lock(), 8, "every worker finished");
+    assert!(registry.counter_value("dso.shed") > 0, "the tight config must actually shed");
+    assert_eq!(
+        registry.counter_value("dso.shed"),
+        registry.counter_value("dso.overloaded"),
+        "every shed response is observed (and retried) by a client"
+    );
+}
+
+/// A shed-heavy history must still be linearizable: shedding rejects
+/// requests *before* execution, so it must never duplicate or reorder the
+/// increments that are admitted.
+#[test]
+fn linearizability_holds_on_shed_heavy_history() {
+    let mut sim = Sim::new(17);
+    let registry = MetricsRegistry::new();
+    sim.set_metrics(&registry);
+    let cfg = DsoConfig::builder()
+        .admission(Some(AdmissionConfig {
+            rate: 600.0,
+            burst: 2.0,
+            max_queue_depth: 3,
+            retry_after: Duration::from_millis(1),
+        }))
+        .max_retries(60)
+        .build()
+        .expect("valid config");
+    let cluster = DsoCluster::start(&sim, 2, cfg, ObjectRegistry::with_builtins());
+    let handle = cluster.client_handle();
+    let history: Arc<Mutex<Vec<Op>>> = Arc::new(Mutex::new(Vec::new()));
+    for w in 0..6 {
+        let handle = handle.clone();
+        let history = history.clone();
+        sim.spawn(&format!("inc-{w}"), move |ctx| {
+            let mut cli = handle.connect();
+            let c = api::AtomicLong::new("lin");
+            for _ in 0..10 {
+                let start = ctx.now();
+                let value = c.increment_and_get(ctx, &mut cli).expect("dso reachable");
+                history.lock().push(Op { start, end: ctx.now(), value });
+            }
+        });
+    }
+    sim.run_until_idle().expect_quiescent();
+    let history = history.lock();
+    assert_eq!(history.len(), 60);
+    assert!(registry.counter_value("dso.shed") > 0, "history must actually be shed-heavy");
+    check_unit_counter(&history).expect("shed-heavy history stays linearizable");
+}
+
+/// An over-admitted configuration (bucket far larger than the cluster can
+/// serve) must degrade gracefully — slower, but no deadlock and no failed
+/// calls — across schedules.
+#[test]
+fn over_admitted_config_degrades_gracefully() {
+    let scenario = |sim: &mut Sim| -> Check {
+        let cfg = DsoConfig::builder()
+            .admission(Some(AdmissionConfig {
+                rate: 1_000_000.0,
+                burst: 1_000_000.0,
+                max_queue_depth: 1_000_000,
+                retry_after: Duration::from_millis(1),
+            }))
+            .build()
+            .expect("valid config");
+        let cluster = DsoCluster::start(sim, 1, cfg, ObjectRegistry::with_builtins());
+        let handle = cluster.client_handle();
+        let done = Arc::new(Mutex::new(0u32));
+        for w in 0..6 {
+            let handle = handle.clone();
+            let done = done.clone();
+            sim.spawn(&format!("w{w}"), move |ctx| {
+                let mut cli = handle.connect();
+                let c = api::AtomicLong::new("over");
+                for _ in 0..8 {
+                    c.increment_and_get(ctx, &mut cli).expect("dso reachable");
+                }
+                *done.lock() += 1;
+            });
+        }
+        Box::new(move || {
+            let _keep = cluster;
+            let done = *done.lock();
+            if done == 6 {
+                Ok(())
+            } else {
+                Err(format!("only {done}/6 workers finished"))
+            }
+        })
+    };
+    explore_seeds(7, 8, scenario).expect_clean();
+}
