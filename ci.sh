@@ -26,3 +26,11 @@ cargo run --release -q -p simcheck --bin tracecheck -- results/trace-pi.chrome.j
 # same schema validation.
 cargo run --release -q -p bench --bin experiments elastic
 cargo run --release -q -p simcheck --bin tracecheck -- results/trace-elastic.chrome.json
+
+# Kernel speed baseline: raw wheel churn, empty-cycle timers, the message
+# ring, and the DSO smoke, each reported as events/sec in
+# BENCH_kernel.json. benchcheck validates the file and holds every
+# section above a sanity floor (~1/10 of typical release numbers), so an
+# order-of-magnitude kernel regression fails here.
+cargo run --release -q -p bench --bin experiments kernel-bench
+cargo run --release -q -p simcheck --bin benchcheck -- BENCH_kernel.json

@@ -6,12 +6,15 @@
 //!
 //! targets: table2 fig2a fig2b fig3 fig4 fig5 table3 fig6 fig7a fig7b
 //!          fig7c fig8 table4 ablate-rf ablate-workers ablate-barrier
-//!          ablate-read-path trace-pi trace-kmeans elastic all
+//!          ablate-read-path trace-pi trace-kmeans elastic kernel-bench
+//!          all
 //! ```
 //!
 //! `--paper` switches to the paper's full parameters (much slower).
 
-use bench::experiments::{ablate, elastic, micro, ml, readpath, state, sync, traced, Scale};
+use bench::experiments::{
+    ablate, elastic, kernelbench, micro, ml, readpath, state, sync, traced, Scale,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,7 +24,7 @@ fn main() {
         eprintln!(
             "targets: table2 fig2a fig2b fig3 fig4 fig5 table3 fig6 fig7a \
                  fig7b fig7c fig8 table4 ablate-rf ablate-workers ablate-barrier \
-                 ablate-read-path trace-pi trace-kmeans elastic all"
+                 ablate-read-path trace-pi trace-kmeans elastic kernel-bench all"
         );
         std::process::exit(2);
     });
@@ -62,6 +65,7 @@ fn run(target: &str, scale: Scale) {
         "ablate-read-path" => readpath::ablate_read_path(scale).0.print(),
         "trace-pi" => traced::trace_pi(scale),
         "trace-kmeans" => traced::trace_kmeans(scale),
+        "kernel-bench" => kernelbench::kernel_bench(scale).0.print(),
         "elastic" => {
             let (t, auto, _) = elastic::elastic(scale);
             t.print();

@@ -6,6 +6,7 @@
 
 pub mod ablate;
 pub mod elastic;
+pub mod kernelbench;
 pub mod micro;
 pub mod ml;
 pub mod readpath;

@@ -48,6 +48,7 @@ impl DsoClientHandle {
             monotonic: MonotonicReads::new(),
             cache: HashMap::new(),
             read_rr: 0,
+            scratch: Vec::new(),
         }
     }
 }
@@ -132,6 +133,10 @@ pub struct DsoClient {
     cache: HashMap<(ObjectRef, MethodName, Bytes), CacheEntry>,
     /// Round-robin counter spreading replica reads over the placement set.
     read_rr: u64,
+    /// Reusable argument-encoding buffer; plateaus at the largest request
+    /// this client has built, so per-call encoding stops allocating a
+    /// fresh `Vec` (see [`DsoClient::encode_args`]).
+    scratch: Vec<u8>,
 }
 
 impl fmt::Debug for DsoClient {
@@ -562,11 +567,28 @@ impl DsoClient {
         A: serde::Serialize,
         R: serde::de::DeserializeOwned,
     {
-        let bytes = simcore::codec::to_bytes(args)
-            .map_err(|e| DsoError::Object(crate::error::ObjectError::BadArgs(e.to_string())))?;
-        let out = self.invoke(ctx, obj, method, bytes.into(), rf, create, blocking, readonly)?;
+        let bytes = self.encode_args(args)?;
+        let out = self.invoke(ctx, obj, method, bytes, rf, create, blocking, readonly)?;
         simcore::codec::from_bytes(&out)
             .map_err(|e| DsoError::Object(crate::error::ObjectError::BadState(e.to_string())))
+    }
+
+    /// Encodes `args` into a request payload through the client's
+    /// reusable scratch buffer: the encoder writes into capacity that
+    /// plateaus at the largest request, so a typed call performs a single
+    /// allocation (the shared payload) instead of encode-buffer +
+    /// payload.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the codec cannot represent `args`.
+    pub fn encode_args<A>(&mut self, args: &A) -> Result<Bytes, DsoError>
+    where
+        A: serde::Serialize + ?Sized,
+    {
+        simcore::codec::to_bytes_into(args, &mut self.scratch)
+            .map_err(|e| DsoError::Object(crate::error::ObjectError::BadArgs(e.to_string())))?;
+        Ok(Bytes::copy_from_slice(&self.scratch))
     }
 
     /// Measures one call's latency, returning the value and elapsed time.

@@ -1,0 +1,16 @@
+// Fixture: kernel event-queue internals (the timing wheel / slab arena)
+// are not exempt from the wall-clock rule. A host timestamp taken while
+// staging a slot would silently break determinism. Expected finding:
+// wall-clock at the `Instant::now` line; the cursor math is clean.
+
+pub struct Wheel {
+    cursor: u64,
+}
+
+impl Wheel {
+    pub fn advance(&mut self) -> u64 {
+        let _stamp = std::time::Instant::now();
+        self.cursor = self.cursor.wrapping_add(1);
+        self.cursor
+    }
+}

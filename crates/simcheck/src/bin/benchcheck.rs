@@ -1,0 +1,147 @@
+//! CI gate: validates `BENCH_kernel.json` written by `experiments
+//! kernel-bench`.
+//!
+//! Usage: `cargo run -p simcheck --bin benchcheck -- BENCH_kernel.json`
+//!
+//! Checks, with the shared parser in [`simcheck::json`]:
+//!
+//! * the file is well-formed JSON with `"bench": "kernel"` and a
+//!   `sections` array,
+//! * every expected section is present, with positive `work`, `events`,
+//!   `elapsed_s`, and `events_per_s` fields,
+//! * each section's `events_per_s` clears a hard sanity floor, set at
+//!   roughly 1/10 of a typical release-build run so host noise cannot
+//!   flake the gate but an order-of-magnitude kernel regression (a
+//!   reintroduced hot-path allocation, an accidental O(n) queue scan)
+//!   fails CI.
+//!
+//! Exits non-zero listing each violation.
+
+use std::process::ExitCode;
+
+use simcheck::json::{parse, Json};
+
+/// (section name, minimum events/sec) — the sanity floors.
+///
+/// Reference numbers from a release build of this workspace's container:
+/// wheel_raw ~30M events/s (pure data structure), timer_churn and
+/// ping_ring ~150-400k events/s (each event wakes an OS thread, so these
+/// are context-switch bound), dso_smoke in the same range with many
+/// events per object op. Floors sit an order of magnitude below.
+const FLOORS: [(&str, f64); 4] = [
+    ("wheel_raw", 2_000_000.0),
+    ("timer_churn", 15_000.0),
+    ("ping_ring", 15_000.0),
+    ("dso_smoke", 15_000.0),
+];
+
+/// Validates the document; returns violations (empty = clean).
+fn validate(doc: &Json) -> Vec<String> {
+    let mut errs = Vec::new();
+    if doc.get("bench").and_then(Json::as_str) != Some("kernel") {
+        errs.push("top-level `bench` is not \"kernel\"".to_string());
+    }
+    let Some(Json::Arr(sections)) = doc.get("sections") else {
+        errs.push("top-level object lacks a `sections` array".to_string());
+        return errs;
+    };
+    for (name, floor) in FLOORS {
+        let Some(sec) =
+            sections.iter().find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            errs.push(format!("section `{name}` missing"));
+            continue;
+        };
+        for key in ["work", "events", "elapsed_s", "events_per_s"] {
+            match sec.get(key).and_then(Json::as_num) {
+                Some(v) if v > 0.0 => {}
+                Some(v) => errs.push(format!("{name}: `{key}` must be positive, got {v}")),
+                None => errs.push(format!("{name}: missing numeric `{key}`")),
+            }
+        }
+        if let Some(rate) = sec.get("events_per_s").and_then(Json::as_num) {
+            if rate < floor {
+                errs.push(format!(
+                    "{name}: events_per_s {rate:.0} is below the sanity floor {floor:.0} — \
+                     kernel throughput regressed by an order of magnitude"
+                ));
+            }
+        }
+    }
+    errs
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: benchcheck <BENCH_kernel.json>");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("benchcheck: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match parse(&src) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("benchcheck: {path}: malformed JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let errs = validate(&doc);
+    for e in &errs {
+        println!("{path}: {e}");
+    }
+    if errs.is_empty() {
+        println!("benchcheck: {path}: clean ({} sections)", FLOORS.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("benchcheck: {path}: {} violation(s)", errs.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rate: f64) -> String {
+        let sections = FLOORS
+            .iter()
+            .map(|(name, _)| {
+                format!(
+                    "{{\"name\": \"{name}\", \"work\": 1000, \"work_unit\": \"x\", \
+                     \"events\": 1000, \"elapsed_s\": 0.001, \"events_per_s\": {rate}}}"
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"bench\": \"kernel\", \"scale\": \"quick\", \"sections\": [{sections}]}}")
+    }
+
+    #[test]
+    fn accepts_a_healthy_report() {
+        let errs = validate(&parse(&doc(50_000_000.0)).unwrap());
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_a_throughput_collapse() {
+        let errs = validate(&parse(&doc(10.0)).unwrap());
+        assert_eq!(errs.len(), FLOORS.len(), "{errs:?}");
+        assert!(errs[0].contains("below the sanity floor"));
+    }
+
+    #[test]
+    fn rejects_missing_sections_and_fields() {
+        let errs = validate(&parse("{\"bench\": \"kernel\", \"sections\": []}").unwrap());
+        assert_eq!(errs.len(), FLOORS.len());
+        let src = "{\"bench\": \"elastic\", \"sections\": [{\"name\": \"wheel_raw\", \
+                    \"events_per_s\": 1e9}]}";
+        let errs = validate(&parse(src).unwrap());
+        assert!(errs.iter().any(|e| e.contains("not \"kernel\"")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("missing numeric `work`")), "{errs:?}");
+    }
+}

@@ -25,6 +25,8 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::path::Path;
 
+pub mod json;
+
 /// A lint rule enforced by `simlint`.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {

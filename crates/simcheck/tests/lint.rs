@@ -30,6 +30,7 @@ fn fixture_tree_yields_exactly_the_planted_findings() {
         ("traced.rs".to_string(), Rule::TraceTime),
         ("wall.rs".to_string(), Rule::WallClock),
         ("wall.rs".to_string(), Rule::WallClock),
+        ("wheel.rs".to_string(), Rule::WallClock),
     ];
     want.sort();
     assert_eq!(got, want, "full findings: {findings:#?}");

@@ -69,9 +69,31 @@ impl de::Error for CodecError {
 /// Returns an error for values the format cannot represent (e.g. sequences
 /// of unknown length).
 pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, CodecError> {
-    let mut ser = Encoder { out: Vec::new() };
-    value.serialize(&mut ser)?;
-    Ok(ser.out)
+    let mut out = Vec::new();
+    to_bytes_into(value, &mut out)?;
+    Ok(out)
+}
+
+/// Encodes `value` into `out`, reusing its capacity.
+///
+/// The hot-path variant of [`to_bytes`]: callers that encode in a loop
+/// (request building, argument marshalling) keep one buffer and let it
+/// plateau at the largest message size instead of allocating a fresh
+/// `Vec` per encode. `out` is cleared first.
+///
+/// # Errors
+///
+/// Returns an error for values the format cannot represent (e.g. sequences
+/// of unknown length); `out` may hold a partial encoding on error.
+pub fn to_bytes_into<T: Serialize + ?Sized>(
+    value: &T,
+    out: &mut Vec<u8>,
+) -> Result<(), CodecError> {
+    out.clear();
+    let mut ser = Encoder { out: std::mem::take(out) };
+    let res = value.serialize(&mut ser);
+    *out = ser.out;
+    res
 }
 
 /// Decodes a `T` from bytes previously produced by [`to_bytes`].

@@ -11,8 +11,7 @@
 //! seed, while application code stays plain imperative Rust (no async).
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,6 +27,7 @@ use crate::metrics::MetricsRegistry;
 use crate::scheduler::{Decision, FifoScheduler, Scheduler};
 use crate::time::SimTime;
 use crate::trace::{SpanId, TraceCtx, Tracer};
+use crate::wheel::{EventQueueStats, TimingWheel};
 
 /// Identifier of a simulated process.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -182,26 +182,27 @@ enum EventKind {
 /// request/reply chains serving a blocked client stay well under this.
 const STALL_LIMIT: Duration = Duration::from_secs(60);
 
-struct EventEntry {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for EventEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for EventEntry {}
-impl PartialOrd for EventEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EventEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+/// Whether firing this event can directly hand progress to a non-daemon
+/// process: a wake for a live non-daemon (sleep or recv timeout), or a
+/// delivery to a mailbox a non-daemon is blocked on. Such events are
+/// exempt from the stall cutoff in `run_inner` — a client sleeping for an
+/// hour is idle, not wedged.
+///
+/// A free function over the individual tables (rather than a
+/// `KernelState` method) so `run_inner` can consult it while the event
+/// queue is borrowed by `peek`.
+fn event_can_progress(
+    procs: &HashMap<u64, ProcSlot>,
+    mailboxes: &HashMap<u64, MailboxState>,
+    kind: &EventKind,
+) -> bool {
+    match kind {
+        EventKind::Wake { pid, .. } => procs.get(&pid.0).is_some_and(|p| !p.daemon),
+        EventKind::Deliver { mailbox, .. } => mailboxes
+            .get(mailbox)
+            .and_then(|mb| mb.waiting)
+            .and_then(|pid| procs.get(&pid.0))
+            .is_some_and(|p| !p.daemon),
     }
 }
 
@@ -321,7 +322,7 @@ struct MailboxState {
 pub(crate) struct KernelState {
     now: SimTime,
     next_seq: u64,
-    events: BinaryHeap<Reverse<EventEntry>>,
+    events: TimingWheel<EventKind>,
     procs: HashMap<u64, ProcSlot>,
     runnable: VecDeque<Pid>,
     mailboxes: HashMap<u64, MailboxState>,
@@ -354,7 +355,7 @@ impl KernelState {
     fn push_event(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.events.push(Reverse(EventEntry { time, seq, kind }));
+        self.events.push(time, seq, kind);
     }
 
     fn make_runnable(&mut self, pid: Pid) {
@@ -380,23 +381,6 @@ impl KernelState {
                 self.decisions.push(Decision { options: n as u32, choice: idx as u32 });
                 self.runnable.remove(idx)
             }
-        }
-    }
-
-    /// Whether firing this event can directly hand progress to a
-    /// non-daemon process: a wake for a live non-daemon (sleep or recv
-    /// timeout), or a delivery to a mailbox a non-daemon is blocked on.
-    /// Such events are exempt from the stall cutoff in `run_inner` — a
-    /// client sleeping for an hour is idle, not wedged.
-    fn event_can_progress(&self, kind: &EventKind) -> bool {
-        match kind {
-            EventKind::Wake { pid, .. } => self.procs.get(&pid.0).is_some_and(|p| !p.daemon),
-            EventKind::Deliver { mailbox, .. } => self
-                .mailboxes
-                .get(mailbox)
-                .and_then(|mb| mb.waiting)
-                .and_then(|pid| self.procs.get(&pid.0))
-                .is_some_and(|p| !p.daemon),
         }
     }
 
@@ -576,7 +560,7 @@ impl Sim {
                 state: Mutex::new(KernelState {
                     now: SimTime::ZERO,
                     next_seq: 0,
-                    events: BinaryHeap::new(),
+                    events: TimingWheel::new(),
                     procs: HashMap::new(),
                     runnable: VecDeque::new(),
                     mailboxes: HashMap::new(),
@@ -602,6 +586,13 @@ impl Sim {
     /// The seed this simulation was created with.
     pub fn seed(&self) -> u64 {
         self.kernel.seed
+    }
+
+    /// Allocation and occupancy accounting for the kernel event queue.
+    /// Used by the zero-allocation assertions in tests and the kernel
+    /// bench report.
+    pub fn event_queue_stats(&self) -> EventQueueStats {
+        self.kernel.state.lock().events.stats()
     }
 
     /// Installs a span collector: from now on `Ctx::span_begin` and friends
@@ -729,22 +720,23 @@ impl Sim {
             // has run for that long in virtual time, the survivors are
             // wedged and firing more daemon timers can never free them.
             let mut st = self.kernel.state.lock();
+            let st = &mut *st;
             let fire = match st.events.peek() {
-                Some(Reverse(ev)) => match deadline {
-                    Some(d) => ev.time <= d,
+                Some((time, _, kind)) => match deadline {
+                    Some(d) => time <= d,
                     None => {
                         st.live_nondaemon > 0
-                            && (ev.time <= st.last_nondaemon_run + STALL_LIMIT
-                                || st.event_can_progress(&ev.kind))
+                            && (time <= st.last_nondaemon_run + STALL_LIMIT
+                                || event_can_progress(&st.procs, &st.mailboxes, kind))
                     }
                 },
                 None => false,
             };
             if fire {
-                let Reverse(ev) = st.events.pop().expect("peeked event");
-                debug_assert!(ev.time >= st.now, "event in the past");
-                st.now = ev.time;
-                st.apply_event(ev.kind);
+                let (time, _, kind) = st.events.pop().expect("peeked event");
+                debug_assert!(time >= st.now, "event in the past");
+                st.now = time;
+                st.apply_event(kind);
             } else {
                 if let Some(d) = deadline {
                     if st.now < d {

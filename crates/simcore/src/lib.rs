@@ -43,8 +43,11 @@
 mod kernel;
 mod latency;
 mod metrics;
+mod slab;
+mod symbol;
 mod time;
 mod timer;
+mod wheel;
 
 pub mod codec;
 pub mod cpu;
@@ -60,6 +63,8 @@ pub use kernel::{Addr, Ctx, Msg, Pid, Request, RunOutcome, Sim};
 pub use latency::{Jitter, LatencyModel};
 pub use metrics::{Counter, LatencyStats, MetricsRegistry, Series};
 pub use scheduler::{Decision, FifoScheduler, RandomScheduler, ReplayScheduler, Scheduler};
+pub use slab::Slab;
 pub use time::SimTime;
 pub use timer::Ticker;
 pub use trace::{SpanId, SpanKind, SpanRecord, TraceCtx, Tracer};
+pub use wheel::{EventQueueStats, TimingWheel};

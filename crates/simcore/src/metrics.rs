@@ -246,23 +246,35 @@ impl MetricsRegistry {
 
     /// The counter named `name`, created at zero on first use. The returned
     /// handle shares state with the registry.
+    ///
+    /// Looks up by `&str` first so the steady-state path (instrument
+    /// already exists) never allocates an owned key.
     pub fn counter(&self, name: &str) -> Counter {
-        self.inner.lock().counters.entry(name.to_string()).or_default().clone()
+        let mut g = self.inner.lock();
+        if let Some(c) = g.counters.get(name) {
+            return c.clone();
+        }
+        g.counters.entry(name.to_string()).or_default().clone()
     }
 
-    /// The histogram named `name`, created empty on first use.
+    /// The histogram named `name`, created empty on first use (allocation
+    /// only on that first use, like [`MetricsRegistry::counter`]).
     pub fn histogram(&self, name: &str) -> LatencyStats {
-        self.inner
-            .lock()
-            .histograms
-            .entry(name.to_string())
-            .or_insert_with(|| LatencyStats::new(name))
-            .clone()
+        let mut g = self.inner.lock();
+        if let Some(h) = g.histograms.get(name) {
+            return h.clone();
+        }
+        g.histograms.entry(name.to_string()).or_insert_with(|| LatencyStats::new(name)).clone()
     }
 
-    /// The time series named `name`, created empty on first use.
+    /// The time series named `name`, created empty on first use (allocation
+    /// only on that first use, like [`MetricsRegistry::counter`]).
     pub fn series(&self, name: &str) -> Series {
-        self.inner.lock().series.entry(name.to_string()).or_default().clone()
+        let mut g = self.inner.lock();
+        if let Some(s) = g.series.get(name) {
+            return s.clone();
+        }
+        g.series.entry(name.to_string()).or_default().clone()
     }
 
     /// Increments the counter named `name`.

@@ -12,6 +12,15 @@
 //! iterate in allocation order — two identically-seeded runs therefore
 //! produce byte-identical exports. No wall clock is ever consulted.
 //!
+//! Hot-path cost: recording stores a compact row — names, categories,
+//! process names, and annotation keys are interned behind `u32` symbols
+//! (see [`crate::symbol`]), so a span begin/end performs no string
+//! allocation after a name's first appearance. The exporters stream
+//! straight from the rows and the symbol table under the lock, formatting
+//! integers through a stack buffer; they never clone the span buffer.
+//! [`Tracer::spans`] materializes owned [`SpanRecord`]s for tests and
+//! ad-hoc inspection.
+//!
 //! Exports: [`Tracer::export_chrome_json`] writes the Chrome trace-event
 //! format (load it in `chrome://tracing` or Perfetto), and
 //! [`Tracer::export_jsonl`] writes one JSON object per span for ad-hoc
@@ -24,6 +33,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::symbol::{Sym, SymbolTable};
 use crate::time::SimTime;
 
 /// Identifier of a span. `SpanId::NONE` (zero) means "no span": it is the
@@ -85,7 +95,11 @@ pub enum SpanKind {
     Instant,
 }
 
-/// One recorded span.
+/// One recorded span, resolved to owned strings.
+///
+/// This is the *snapshot* type returned by [`Tracer::spans`]; internally
+/// the tracer stores compact rows with interned names and only resolves
+/// them on request.
 #[derive(Clone, Debug)]
 pub struct SpanRecord {
     /// This span's id.
@@ -118,20 +132,66 @@ impl SpanRecord {
     }
 }
 
+/// The compact stored form of a span: names are interned [`Sym`]s, the id
+/// is implicit (row `i` has id `i + 1`). Annotation *values* stay owned —
+/// they are dynamic data (object names, counts), not vocabulary.
+struct SpanRow {
+    parent: SpanId,
+    name: Sym,
+    cat: Sym,
+    proc_name: Sym,
+    pid: u64,
+    start: SimTime,
+    end: Option<SimTime>,
+    kind: SpanKind,
+    args: Vec<(Sym, String)>,
+}
+
+impl SpanRow {
+    /// Duration in nanoseconds (zero while open).
+    fn dur_ns(&self) -> u64 {
+        let end = self.end.unwrap_or(self.start);
+        end.as_nanos().saturating_sub(self.start.as_nanos())
+    }
+}
+
 #[derive(Default)]
 struct TracerInner {
     /// Next id to allocate; ids start at 1 so that 0 can mean "none".
     next: u64,
-    /// All records, in allocation order (record `i` has id `i + 1`).
-    spans: Vec<SpanRecord>,
+    /// All rows, in allocation order (row `i` has id `i + 1`).
+    rows: Vec<SpanRow>,
+    /// Interned vocabulary for names, categories, processes, arg keys.
+    symbols: SymbolTable,
 }
 
 impl TracerInner {
-    fn get_mut(&mut self, id: SpanId) -> Option<&mut SpanRecord> {
+    fn get_mut(&mut self, id: SpanId) -> Option<&mut SpanRow> {
         if id.is_none() {
             return None;
         }
-        self.spans.get_mut((id.0 - 1) as usize)
+        self.rows.get_mut((id.0 - 1) as usize)
+    }
+
+    /// Resolves row `i` into an owned snapshot record.
+    fn resolve(&self, i: usize) -> SpanRecord {
+        let r = &self.rows[i];
+        SpanRecord {
+            id: SpanId(i as u64 + 1),
+            parent: r.parent,
+            name: self.symbols.get(r.name).to_string(),
+            cat: self.symbols.get(r.cat).to_string(),
+            proc_name: self.symbols.get(r.proc_name).to_string(),
+            pid: r.pid,
+            start: r.start,
+            end: r.end,
+            kind: r.kind,
+            args: r
+                .args
+                .iter()
+                .map(|(k, v)| (self.symbols.get(*k).to_string(), v.clone()))
+                .collect(),
+        }
     }
 }
 
@@ -191,12 +251,14 @@ impl Tracer {
         let mut g = self.inner.lock();
         g.next += 1;
         let id = SpanId(g.next);
-        g.spans.push(SpanRecord {
-            id,
+        let name = g.symbols.intern(name);
+        let cat = g.symbols.intern(cat);
+        let proc_name = g.symbols.intern(proc_name);
+        g.rows.push(SpanRow {
             parent,
-            name: name.to_string(),
-            cat: cat.to_string(),
-            proc_name: proc_name.to_string(),
+            name,
+            cat,
+            proc_name,
             pid,
             start: now,
             end: if kind == SpanKind::Instant { Some(now) } else { None },
@@ -218,17 +280,19 @@ impl Tracer {
     }
 
     /// Attaches a `key = value` annotation to a span (no-op for
-    /// [`SpanId::NONE`] or unknown ids).
+    /// [`SpanId::NONE`] or unknown ids). The key is interned; the value is
+    /// stored as given.
     pub fn annotate(&self, id: SpanId, key: &str, value: impl Into<String>) {
         let mut g = self.inner.lock();
+        let key = g.symbols.intern(key);
         if let Some(rec) = g.get_mut(id) {
-            rec.args.push((key.to_string(), value.into()));
+            rec.args.push((key, value.into()));
         }
     }
 
     /// Number of recorded spans.
     pub fn len(&self) -> usize {
-        self.inner.lock().spans.len()
+        self.inner.lock().rows.len()
     }
 
     /// Whether nothing has been recorded.
@@ -236,28 +300,38 @@ impl Tracer {
         self.len() == 0
     }
 
-    /// Snapshot of every record, in allocation order.
+    /// Snapshot of every record, in allocation order, resolved to owned
+    /// strings. This materializes a fresh vector — use it for tests and
+    /// inspection; the `export_*` methods stream without snapshotting.
     pub fn spans(&self) -> Vec<SpanRecord> {
-        self.inner.lock().spans.clone()
+        let g = self.inner.lock();
+        (0..g.rows.len()).map(|i| g.resolve(i)).collect()
     }
 
     /// Snapshot of the records whose name equals `name`.
     pub fn spans_named(&self, name: &str) -> Vec<SpanRecord> {
-        self.inner.lock().spans.iter().filter(|s| s.name == name).cloned().collect()
+        let g = self.inner.lock();
+        (0..g.rows.len())
+            .filter(|&i| g.symbols.get(g.rows[i].name) == name)
+            .map(|i| g.resolve(i))
+            .collect()
     }
 
     /// Exports the Chrome trace-event format (`chrome://tracing`,
     /// Perfetto). Deterministic: byte-identical across identically-seeded
     /// runs. Each simulated process becomes one named thread track.
+    ///
+    /// Streams from the stored rows under the lock: no span clone, no
+    /// per-span allocation beyond the output string itself.
     pub fn export_chrome_json(&self) -> String {
         let g = self.inner.lock();
-        let mut out = String::with_capacity(128 + g.spans.len() * 160);
+        let mut out = String::with_capacity(128 + g.rows.len() * 160);
         out.push_str("{\"traceEvents\":[");
         let mut first = true;
         // Thread-name metadata: one per distinct pid, in pid order.
-        let mut names: BTreeMap<u64, &str> = BTreeMap::new();
-        for s in &g.spans {
-            names.entry(s.pid).or_insert(s.proc_name.as_str());
+        let mut names: BTreeMap<u64, Sym> = BTreeMap::new();
+        for r in &g.rows {
+            names.entry(r.pid).or_insert(r.proc_name);
         }
         for (pid, name) in &names {
             if !first {
@@ -265,41 +339,41 @@ impl Tracer {
             }
             first = false;
             out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
-            out.push_str(&pid.to_string());
+            push_u64(&mut out, *pid);
             out.push_str(",\"args\":{\"name\":");
-            json_string(&mut out, name);
+            json_string(&mut out, g.symbols.get(*name));
             out.push_str("}}");
         }
-        for s in &g.spans {
+        for (i, r) in g.rows.iter().enumerate() {
             if !first {
                 out.push(',');
             }
             first = false;
             out.push_str("{\"name\":");
-            json_string(&mut out, &s.name);
+            json_string(&mut out, g.symbols.get(r.name));
             out.push_str(",\"cat\":");
-            json_string(&mut out, &s.cat);
-            match s.kind {
+            json_string(&mut out, g.symbols.get(r.cat));
+            match r.kind {
                 SpanKind::Span => {
                     out.push_str(",\"ph\":\"X\",\"ts\":");
-                    micros(&mut out, s.start);
+                    micros(&mut out, r.start.as_nanos());
                     out.push_str(",\"dur\":");
-                    dur_micros(&mut out, s);
+                    micros(&mut out, r.dur_ns());
                 }
                 SpanKind::Instant => {
                     out.push_str(",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
-                    micros(&mut out, s.start);
+                    micros(&mut out, r.start.as_nanos());
                 }
             }
             out.push_str(",\"pid\":1,\"tid\":");
-            out.push_str(&s.pid.to_string());
+            push_u64(&mut out, r.pid);
             out.push_str(",\"args\":{\"id\":");
-            out.push_str(&s.id.0.to_string());
+            push_u64(&mut out, i as u64 + 1);
             out.push_str(",\"parent\":");
-            out.push_str(&s.parent.0.to_string());
-            for (k, v) in &s.args {
+            push_u64(&mut out, r.parent.0);
+            for (k, v) in &r.args {
                 out.push(',');
-                json_string(&mut out, k);
+                json_string(&mut out, g.symbols.get(*k));
                 out.push(':');
                 json_string(&mut out, v);
             }
@@ -310,38 +384,39 @@ impl Tracer {
     }
 
     /// Exports one JSON object per span (newline-delimited), with integer
-    /// nanosecond timestamps. Deterministic, like the Chrome export.
+    /// nanosecond timestamps. Deterministic and streaming, like the Chrome
+    /// export.
     pub fn export_jsonl(&self) -> String {
         let g = self.inner.lock();
-        let mut out = String::with_capacity(g.spans.len() * 160);
-        for s in &g.spans {
+        let mut out = String::with_capacity(g.rows.len() * 160);
+        for (i, r) in g.rows.iter().enumerate() {
             out.push_str("{\"id\":");
-            out.push_str(&s.id.0.to_string());
+            push_u64(&mut out, i as u64 + 1);
             out.push_str(",\"parent\":");
-            out.push_str(&s.parent.0.to_string());
+            push_u64(&mut out, r.parent.0);
             out.push_str(",\"kind\":");
-            out.push_str(match s.kind {
+            out.push_str(match r.kind {
                 SpanKind::Span => "\"span\"",
                 SpanKind::Instant => "\"instant\"",
             });
             out.push_str(",\"name\":");
-            json_string(&mut out, &s.name);
+            json_string(&mut out, g.symbols.get(r.name));
             out.push_str(",\"cat\":");
-            json_string(&mut out, &s.cat);
+            json_string(&mut out, g.symbols.get(r.cat));
             out.push_str(",\"proc\":");
-            json_string(&mut out, &s.proc_name);
+            json_string(&mut out, g.symbols.get(r.proc_name));
             out.push_str(",\"pid\":");
-            out.push_str(&s.pid.to_string());
+            push_u64(&mut out, r.pid);
             out.push_str(",\"start_ns\":");
-            out.push_str(&s.start.as_nanos().to_string());
+            push_u64(&mut out, r.start.as_nanos());
             out.push_str(",\"end_ns\":");
-            out.push_str(&s.end.unwrap_or(s.start).as_nanos().to_string());
+            push_u64(&mut out, r.end.unwrap_or(r.start).as_nanos());
             out.push_str(",\"args\":{");
-            for (i, (k, v)) in s.args.iter().enumerate() {
-                if i > 0 {
+            for (j, (k, v)) in r.args.iter().enumerate() {
+                if j > 0 {
                     out.push(',');
                 }
-                json_string(&mut out, k);
+                json_string(&mut out, g.symbols.get(*k));
                 out.push(':');
                 json_string(&mut out, v);
             }
@@ -357,25 +432,32 @@ impl fmt::Debug for Tracer {
     }
 }
 
-/// Writes `t` as microseconds with nanosecond decimals (`123.456`).
-fn micros(out: &mut String, t: SimTime) {
-    let ns = t.as_nanos();
-    out.push_str(&(ns / 1_000).to_string());
-    let frac = ns % 1_000;
-    if frac != 0 {
-        out.push('.');
-        out.push_str(&format!("{frac:03}"));
+/// Appends `v`'s decimal digits through a stack buffer — no `format!`
+/// machinery, no intermediate `String`.
+fn push_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
     }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ascii"));
 }
 
-/// Writes a span's duration as microseconds with nanosecond decimals.
-fn dur_micros(out: &mut String, s: &SpanRecord) {
-    let ns = s.duration().as_nanos().min(u64::MAX as u128) as u64;
-    out.push_str(&(ns / 1_000).to_string());
+/// Writes a nanosecond count as microseconds with nanosecond decimals
+/// (`123.456`), the unit Chrome traces expect.
+fn micros(out: &mut String, ns: u64) {
+    push_u64(out, ns / 1_000);
     let frac = ns % 1_000;
     if frac != 0 {
         out.push('.');
-        out.push_str(&format!("{frac:03}"));
+        out.push((b'0' + (frac / 100) as u8) as char);
+        out.push((b'0' + (frac / 10 % 10) as u8) as char);
+        out.push((b'0' + (frac % 10) as u8) as char);
     }
 }
 
@@ -390,7 +472,10 @@ fn json_string(out: &mut String, s: &str) {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                const HEX: &[u8; 16] = b"0123456789abcdef";
+                out.push_str("\\u00");
+                out.push(HEX[(c as usize >> 4) & 0xf] as char);
+                out.push(HEX[c as usize & 0xf] as char);
             }
             c => out.push(c),
         }
@@ -520,5 +605,22 @@ mod tests {
         let mut s = String::new();
         json_string(&mut s, "a\"b\\c\nd\u{1}");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn stack_buffer_integer_writer_matches_display() {
+        for v in [0u64, 1, 9, 10, 999, 1_000, 123_456_789, u64::MAX] {
+            let mut s = String::new();
+            push_u64(&mut s, v);
+            assert_eq!(s, v.to_string());
+        }
+        // The Chrome µs formatter: trailing .000 omitted, zero-padded frac.
+        let cases =
+            [(0u64, "0"), (1_000, "1"), (1_500, "1.500"), (123_456, "123.456"), (7, "0.007")];
+        for (ns, want) in cases {
+            let mut s = String::new();
+            micros(&mut s, ns);
+            assert_eq!(s, want, "ns={ns}");
+        }
     }
 }
