@@ -8,10 +8,15 @@ cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 
-# Correctness tooling (crates/simcheck): the determinism lint pass, then
-# the DSO cluster smoke workload under 25 perturbed schedules with
-# linearizability checked on each (see DESIGN.md, "Correctness tooling").
+# Correctness tooling (crates/simcheck): the line-level determinism lint,
+# the interprocedural analyzer (determinism taint, readonly purity, wait
+# annotation coverage — zero findings required; also refreshes the
+# proven-pure report consumed via DsoConfig::pure_methods), then the DSO
+# cluster smoke workload under 25 perturbed schedules with linearizability
+# checked on each (see DESIGN.md, "Correctness tooling" / "Static
+# analysis").
 cargo run --release -q -p simcheck --bin simlint
+cargo run --release -q -p simcheck --bin simanalyze -- --readonly-report results/pure_methods.txt
 cargo run --release -q -p simcheck --bin simexplore -- --seeds 25
 
 # Traced smoke run: export a Chrome trace from the π workload and
@@ -31,6 +36,9 @@ cargo run --release -q -p simcheck --bin tracecheck -- results/trace-elastic.chr
 # ring, and the DSO smoke, each reported as events/sec in
 # BENCH_kernel.json. benchcheck validates the file and holds every
 # section above a sanity floor (~1/10 of typical release numbers), so an
-# order-of-magnitude kernel regression fails here.
+# order-of-magnitude kernel regression fails here. On failure a second,
+# --json run leaves a machine-readable violation list for trend tooling.
 cargo run --release -q -p bench --bin experiments kernel-bench
-cargo run --release -q -p simcheck --bin benchcheck -- BENCH_kernel.json
+cargo run --release -q -p simcheck --bin benchcheck -- BENCH_kernel.json \
+    || { cargo run --release -q -p simcheck --bin benchcheck -- --json BENCH_kernel.json \
+           > results/benchcheck_violations.json || true; exit 1; }

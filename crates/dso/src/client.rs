@@ -162,6 +162,12 @@ impl DsoClient {
     /// Forces a view refresh from the coordinator.
     pub fn refresh_view(&mut self, ctx: &mut Ctx) -> View {
         let lat = self.h.cfg.client_net.sample(ctx.rng());
+        ctx.annotate_wait(
+            self.h.coordinator.into_raw(),
+            WaitKind::Call,
+            "coordinator",
+            "DsoClient::refresh_view",
+        );
         let view: View = ctx.call(self.h.coordinator, GetView, lat);
         let ring = Ring::new(&view.node_ids());
         self.view = Some((view.clone(), ring));

@@ -68,7 +68,9 @@ pub mod verify;
 
 pub use client::{BatchOp, DsoClient, DsoClientHandle};
 pub use cluster::DsoCluster;
-pub use config::{AdmissionConfig, ConsistencyMode, DsoConfig, DsoConfigBuilder, DsoConfigError};
+pub use config::{
+    AdmissionConfig, ConsistencyMode, DsoConfig, DsoConfigBuilder, DsoConfigError, PureMethods,
+};
 pub use error::{DsoError, ObjectError};
 pub use intern::{intern, MethodName};
 pub use membership::spawn_coordinator;

@@ -697,8 +697,14 @@ fn execute(
             // Runtime read-only verification: the read fast path *trusts*
             // `is_readonly` (skipping SMR and the version bump), so a
             // method misdeclared as read-only would silently fork replicas.
-            // Snapshot the state around the call and reject on mutation.
-            let snapshot = if !mutating && shared.cfg.verify_readonly {
+            // Snapshot the state around the call and reject on mutation —
+            // except for methods the simanalyze purity pass already proved
+            // side-effect-free, where the static proof replaces the check.
+            let verify = !mutating
+                && shared.cfg.verify_readonly
+                && !shared.cfg.pure_methods.contains(req.obj.type_name(), &req.method);
+            let snapshot = if verify {
+                ctx.metric_incr("dso.readonly_snapshots");
                 Some(stored.obj.save())
             } else {
                 None

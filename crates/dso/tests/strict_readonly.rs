@@ -31,7 +31,8 @@ impl SharedObject for Sneaky {
                 self.count += 1;
                 Effects::value(&self.count)
             }
-            // simlint: allow(readonly-mutation, reason = "deliberate misdeclaration under test")
+            // Deliberate misdeclaration under test; integration tests are
+            // exempt from the readonly-mutation lint for exactly this.
             "peek" => {
                 self.count += 1; // the lie: declared read-only below
                 Effects::value(&self.count)
@@ -62,8 +63,20 @@ fn registry() -> ObjectRegistry {
     registry
 }
 
-fn run(cfg: DsoConfig) -> (Result<i64, DsoError>, Result<i64, DsoError>) {
+/// Outcome of the peek-then-bump client: one declared-readonly call, one
+/// honest mutator.
+type PeekBump = (Result<i64, DsoError>, Result<i64, DsoError>);
+
+fn run(cfg: DsoConfig) -> PeekBump {
+    run_metered(cfg).0
+}
+
+/// Like [`run`], but also reports how many `verify_readonly` snapshots the
+/// servers actually took (the `dso.readonly_snapshots` counter).
+fn run_metered(cfg: DsoConfig) -> (PeekBump, u64) {
+    let metrics = simcore::MetricsRegistry::new();
     let mut sim = Sim::new(5);
+    sim.set_metrics(&metrics);
     let cluster = DsoCluster::start(&sim, 2, cfg, registry());
     let handle = cluster.client_handle();
     let results = std::sync::Arc::new(parking_lot::Mutex::new(None));
@@ -78,7 +91,7 @@ fn run(cfg: DsoConfig) -> (Result<i64, DsoError>, Result<i64, DsoError>) {
     sim.run_until_idle().expect_quiescent();
     let out = results.lock().take().expect("client ran");
     drop(cluster);
-    out
+    (out, metrics.counter_value("dso.readonly_snapshots"))
 }
 
 #[test]
@@ -101,5 +114,31 @@ fn verification_can_be_disabled() {
     let (read, write) = run(cfg);
     // Unverified, the lie goes through — and the mutation with it.
     assert_eq!(read.expect("peek succeeds unverified"), 1);
+    assert_eq!(write.expect("bump succeeds"), 2);
+}
+
+#[test]
+fn unproven_readonly_methods_are_snapshotted() {
+    let ((read, _), snapshots) = run_metered(DsoConfig::default());
+    assert!(read.is_err(), "the lying peek is rejected");
+    // Sneaky is not in any proven-pure report, so the server paid for a
+    // snapshot around the declared-readonly call.
+    assert!(snapshots >= 1, "expected at least one verify snapshot, saw {snapshots}");
+}
+
+#[test]
+fn proven_pure_methods_skip_snapshotting() {
+    // Pretend the static purity pass proved Sneaky::peek pure (it is a
+    // deliberate false certificate — exactly what this test needs to
+    // observe that the snapshot is skipped on the proof's say-so).
+    let mut pure = dso::PureMethods::default();
+    pure.insert("Sneaky", "peek");
+    let cfg = DsoConfig { pure_methods: pure, ..DsoConfig::default() };
+    let ((read, write), snapshots) = run_metered(cfg);
+    // No snapshot was taken, so the lie goes through undetected: trusting
+    // a wrong proof trades the runtime net away. simanalyze only certifies
+    // methods it can see the full source of, which Sneaky is not.
+    assert_eq!(snapshots, 0, "proven-pure call must not snapshot");
+    assert_eq!(read.expect("peek unverified under the certificate"), 1);
     assert_eq!(write.expect("bump succeeds"), 2);
 }

@@ -1,0 +1,26 @@
+// Fixture: a method declared read-only whose match arm mutates state.
+// Expected finding: readonly-impure at the "peek" arm.
+
+pub struct SneakyCounter {
+    count: i64,
+}
+
+impl SharedObject for SneakyCounter {
+    fn invoke(&mut self, _call: &CallCtx, method: &str, _args: &[u8]) -> Result<Effects, ObjErr> {
+        match method {
+            "peek" => {
+                self.count += 1;
+                Effects::value(&self.count)
+            }
+            "bump" => {
+                self.count += 1;
+                Effects::value(&self.count)
+            }
+            other => Err(ObjErr::MethodNotFound(other.to_string())),
+        }
+    }
+
+    fn is_readonly(&self, method: &str) -> bool {
+        method == "peek"
+    }
+}

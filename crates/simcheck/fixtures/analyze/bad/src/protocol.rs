@@ -1,0 +1,7 @@
+// Fixture wire-message types: structs defined in a `protocol.rs` are
+// taint sinks for the determinism pass.
+
+pub struct Announce {
+    pub seq: u32,
+    pub sent_ms: u64,
+}

@@ -1,0 +1,17 @@
+// Fixture: the interprocedural case a line-regex provably cannot catch.
+// The wall-clock read sits two calls below the sink; neither `stamp_ms`
+// nor `announce` mentions any clock API on any line. Expected finding:
+// determinism-taint at the `Announce` literal in `announce`.
+
+fn raw_clock_ms() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).unwrap().as_millis() as u64
+}
+
+fn stamp_ms() -> u64 {
+    raw_clock_ms()
+}
+
+pub fn announce(seq: u32) -> Announce {
+    Announce { seq, sent_ms: stamp_ms() }
+}

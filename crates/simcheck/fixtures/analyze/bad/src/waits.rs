@@ -1,0 +1,7 @@
+// Fixture: a blocking `ctx.call` with no `Ctx::annotate_wait` anywhere on
+// any path reaching it (this fn has no callers in the tree). Expected
+// finding: wait-annotation at the call site.
+
+pub fn fetch_unannotated(ctx: &mut Ctx, addr: Addr) -> Reply {
+    ctx.call(addr, Request::Get, TIMEOUT)
+}

@@ -1,0 +1,17 @@
+// Fixture: determinism-clean counterparts of the bad tree. Virtual time
+// from the kernel may flow into protocol messages; a reasoned allow
+// suppresses taint origination for deliberate host-side measurement.
+
+pub fn virtual_stamp_ms(ctx: &Ctx) -> u64 {
+    ctx.now().as_millis() as u64
+}
+
+pub fn announce(ctx: &Ctx, seq: u32) -> Announce {
+    Announce { seq, sent_ms: virtual_stamp_ms(ctx) }
+}
+
+pub fn bench_elapsed() -> u64 {
+    // simlint: allow(wall-clock, reason = "host-side bench timing, never enters sim state")
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}

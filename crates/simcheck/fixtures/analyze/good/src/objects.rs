@@ -1,0 +1,32 @@
+// Fixture: an honest read-only method, plus one that proves purity
+// through a `&self` helper. Both must land in the proven-pure report.
+
+pub struct Counter {
+    count: i64,
+    history: Vec<i64>,
+}
+
+impl Counter {
+    fn total(&self) -> i64 {
+        self.count + self.history.len() as i64
+    }
+}
+
+impl SharedObject for Counter {
+    fn invoke(&mut self, _call: &CallCtx, method: &str, _args: &[u8]) -> Result<Effects, ObjErr> {
+        match method {
+            "get" => Effects::value(&self.count),
+            "summary" => Effects::value(&self.total()),
+            "bump" => {
+                self.count += 1;
+                self.history.push(self.count);
+                Effects::value(&self.count)
+            }
+            other => Err(ObjErr::MethodNotFound(other.to_string())),
+        }
+    }
+
+    fn is_readonly(&self, method: &str) -> bool {
+        matches!(method, "get" | "summary")
+    }
+}

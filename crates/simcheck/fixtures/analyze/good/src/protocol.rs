@@ -1,0 +1,6 @@
+// Fixture wire-message types for the clean tree.
+
+pub struct Announce {
+    pub seq: u32,
+    pub sent_ms: u64,
+}

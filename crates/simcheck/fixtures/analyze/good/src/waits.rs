@@ -1,0 +1,22 @@
+// Fixture: both ways a blocking call is covered. `fetch` annotates
+// through a wrapper helper (the transitive closure must count it);
+// `raw_call` never annotates itself but its only caller does, so the
+// reverse-call-graph walk finds every path covered.
+
+fn note_wait(ctx: &mut Ctx, addr: Addr) {
+    ctx.annotate_wait(addr.into_raw(), WaitKind::Call, "store", "fetch");
+}
+
+pub fn fetch(ctx: &mut Ctx, addr: Addr) -> Reply {
+    note_wait(ctx, addr);
+    ctx.call(addr, Request::Get, TIMEOUT)
+}
+
+fn raw_call(ctx: &mut Ctx, addr: Addr) -> Reply {
+    ctx.call(addr, Request::Get, TIMEOUT)
+}
+
+pub fn safe_call(ctx: &mut Ctx, addr: Addr) -> Reply {
+    ctx.annotate_wait(addr.into_raw(), WaitKind::Call, "store", "safe_call");
+    raw_call(ctx, addr)
+}

@@ -1,7 +1,7 @@
 //! CI gate: validates `BENCH_kernel.json` written by `experiments
 //! kernel-bench`.
 //!
-//! Usage: `cargo run -p simcheck --bin benchcheck -- BENCH_kernel.json`
+//! Usage: `cargo run -p simcheck --bin benchcheck -- [--json] BENCH_kernel.json`
 //!
 //! Checks, with the shared parser in [`simcheck::json`]:
 //!
@@ -15,11 +15,13 @@
 //!   reintroduced hot-path allocation, an accidental O(n) queue scan)
 //!   fails CI.
 //!
-//! Exits non-zero listing each violation.
+//! Exits non-zero listing each violation — as human-readable lines, or
+//! with `--json` as a JSON array of `{section, observed, floor, msg}`
+//! objects for tooling to consume.
 
 use std::process::ExitCode;
 
-use simcheck::json::{parse, Json};
+use simcheck::json::{escape, parse, Json};
 
 /// (section name, minimum events/sec) — the sanity floors.
 ///
@@ -35,72 +37,152 @@ const FLOORS: [(&str, f64); 4] = [
     ("dso_smoke", 15_000.0),
 ];
 
+/// One gate failure, structured so `--json` output carries the numbers
+/// (not just prose) for dashboards and trend tooling.
+#[derive(Debug)]
+struct Violation {
+    /// The bench section at fault; empty for document-level problems.
+    section: String,
+    /// The offending measured value, when one exists.
+    observed: Option<f64>,
+    /// The floor it had to clear, for floor violations.
+    floor: Option<f64>,
+    /// Human-readable description.
+    msg: String,
+}
+
+impl Violation {
+    fn doc(msg: impl Into<String>) -> Violation {
+        Violation { section: String::new(), observed: None, floor: None, msg: msg.into() }
+    }
+
+    fn section(name: &str, msg: impl Into<String>) -> Violation {
+        Violation { section: name.to_string(), observed: None, floor: None, msg: msg.into() }
+    }
+
+    /// Human-readable one-liner (the pre-`--json` output format).
+    fn human(&self) -> String {
+        if self.section.is_empty() {
+            self.msg.clone()
+        } else {
+            format!("{}: {}", self.section, self.msg)
+        }
+    }
+
+    /// One JSON object; `observed`/`floor` are `null` when inapplicable.
+    fn json(&self) -> String {
+        let num = |v: Option<f64>| v.map_or("null".to_string(), |n| format!("{n}"));
+        format!(
+            "{{\"section\": \"{}\", \"observed\": {}, \"floor\": {}, \"msg\": \"{}\"}}",
+            escape(&self.section),
+            num(self.observed),
+            num(self.floor),
+            escape(&self.msg)
+        )
+    }
+}
+
 /// Validates the document; returns violations (empty = clean).
-fn validate(doc: &Json) -> Vec<String> {
+fn validate(doc: &Json) -> Vec<Violation> {
     let mut errs = Vec::new();
     if doc.get("bench").and_then(Json::as_str) != Some("kernel") {
-        errs.push("top-level `bench` is not \"kernel\"".to_string());
+        errs.push(Violation::doc("top-level `bench` is not \"kernel\""));
     }
     let Some(Json::Arr(sections)) = doc.get("sections") else {
-        errs.push("top-level object lacks a `sections` array".to_string());
+        errs.push(Violation::doc("top-level object lacks a `sections` array"));
         return errs;
     };
     for (name, floor) in FLOORS {
         let Some(sec) =
             sections.iter().find(|s| s.get("name").and_then(Json::as_str) == Some(name))
         else {
-            errs.push(format!("section `{name}` missing"));
+            errs.push(Violation::section(name, "section missing"));
             continue;
         };
         for key in ["work", "events", "elapsed_s", "events_per_s"] {
             match sec.get(key).and_then(Json::as_num) {
                 Some(v) if v > 0.0 => {}
-                Some(v) => errs.push(format!("{name}: `{key}` must be positive, got {v}")),
-                None => errs.push(format!("{name}: missing numeric `{key}`")),
+                Some(v) => errs.push(Violation {
+                    observed: Some(v),
+                    ..Violation::section(name, format!("`{key}` must be positive, got {v}"))
+                }),
+                None => errs.push(Violation::section(name, format!("missing numeric `{key}`"))),
             }
         }
         if let Some(rate) = sec.get("events_per_s").and_then(Json::as_num) {
             if rate < floor {
-                errs.push(format!(
-                    "{name}: events_per_s {rate:.0} is below the sanity floor {floor:.0} — \
-                     kernel throughput regressed by an order of magnitude"
-                ));
+                errs.push(Violation {
+                    observed: Some(rate),
+                    floor: Some(floor),
+                    ..Violation::section(
+                        name,
+                        format!(
+                            "events_per_s {rate:.0} is below the sanity floor {floor:.0} — \
+                             kernel throughput regressed by an order of magnitude"
+                        ),
+                    )
+                });
             }
         }
     }
     errs
 }
 
+/// Prints the violations in the selected format and returns the exit
+/// code. With `--json` even read/parse failures come out as a one-element
+/// violation array, so a consumer can always parse stdout.
+fn report(path: &str, errs: &[Violation], json: bool) -> ExitCode {
+    if json {
+        let body = errs.iter().map(Violation::json).collect::<Vec<_>>().join(",\n  ");
+        if errs.is_empty() {
+            println!("[]");
+        } else {
+            println!("[\n  {body}\n]");
+        }
+    } else {
+        for e in errs {
+            println!("{path}: {}", e.human());
+        }
+        if errs.is_empty() {
+            println!("benchcheck: {path}: clean ({} sections)", FLOORS.len());
+        } else {
+            println!("benchcheck: {path}: {} violation(s)", errs.len());
+        }
+    }
+    if errs.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: benchcheck <BENCH_kernel.json>");
+    let mut json = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else {
+            path = Some(arg);
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: benchcheck [--json] <BENCH_kernel.json>");
         return ExitCode::from(2);
     };
     let src = match std::fs::read_to_string(&path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("benchcheck: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            return report(&path, &[Violation::doc(format!("cannot read {path}: {e}"))], json);
         }
     };
     let doc = match parse(&src) {
         Ok(d) => d,
         Err(e) => {
-            eprintln!("benchcheck: {path}: malformed JSON: {e}");
-            return ExitCode::FAILURE;
+            return report(&path, &[Violation::doc(format!("malformed JSON: {e}"))], json);
         }
     };
-    let errs = validate(&doc);
-    for e in &errs {
-        println!("{path}: {e}");
-    }
-    if errs.is_empty() {
-        println!("benchcheck: {path}: clean ({} sections)", FLOORS.len());
-        ExitCode::SUCCESS
-    } else {
-        println!("benchcheck: {path}: {} violation(s)", errs.len());
-        ExitCode::FAILURE
-    }
+    report(&path, &validate(&doc), json)
 }
 
 #[cfg(test)]
@@ -130,8 +212,12 @@ mod tests {
     #[test]
     fn rejects_a_throughput_collapse() {
         let errs = validate(&parse(&doc(10.0)).unwrap());
-        assert_eq!(errs.len(), FLOORS.len(), "{errs:?}");
-        assert!(errs[0].contains("below the sanity floor"));
+        assert_eq!(errs.len(), FLOORS.len(), "{:?}", humans(&errs));
+        assert!(errs[0].msg.contains("below the sanity floor"));
+        // Floor violations carry the numbers, not just prose.
+        assert_eq!(errs[0].section, "wheel_raw");
+        assert_eq!(errs[0].observed, Some(10.0));
+        assert_eq!(errs[0].floor, Some(2_000_000.0));
     }
 
     #[test]
@@ -141,7 +227,35 @@ mod tests {
         let src = "{\"bench\": \"elastic\", \"sections\": [{\"name\": \"wheel_raw\", \
                     \"events_per_s\": 1e9}]}";
         let errs = validate(&parse(src).unwrap());
-        assert!(errs.iter().any(|e| e.contains("not \"kernel\"")), "{errs:?}");
-        assert!(errs.iter().any(|e| e.contains("missing numeric `work`")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.msg.contains("not \"kernel\"")), "{:?}", humans(&errs));
+        assert!(
+            errs.iter()
+                .any(|e| e.section == "wheel_raw" && e.msg.contains("missing numeric `work`")),
+            "{:?}",
+            humans(&errs)
+        );
+    }
+
+    fn humans(errs: &[Violation]) -> Vec<String> {
+        errs.iter().map(Violation::human).collect()
+    }
+
+    #[test]
+    fn json_output_is_parseable_and_structured() {
+        let errs = validate(&parse(&doc(10.0)).unwrap());
+        let body = errs.iter().map(Violation::json).collect::<Vec<_>>().join(",");
+        let arr = parse(&format!("[{body}]")).expect("emitted JSON parses");
+        let Json::Arr(items) = arr else { panic!("array expected") };
+        assert_eq!(items.len(), FLOORS.len());
+        let first = &items[0];
+        assert_eq!(first.get("section").and_then(Json::as_str), Some("wheel_raw"));
+        assert_eq!(first.get("observed").and_then(Json::as_num), Some(10.0));
+        assert_eq!(first.get("floor").and_then(Json::as_num), Some(2_000_000.0));
+        assert!(first.get("msg").and_then(Json::as_str).unwrap().contains("sanity floor"));
+        // A doc-level violation nulls the inapplicable fields.
+        let v = Violation::doc("malformed").json();
+        let obj = parse(&v).unwrap();
+        assert_eq!(obj.get("section").and_then(Json::as_str), Some(""));
+        assert_eq!(obj.get("observed"), Some(&Json::Null));
     }
 }

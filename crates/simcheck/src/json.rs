@@ -4,8 +4,10 @@
 //! *read* JSON the benches and tracer write: `tracecheck` (Chrome trace
 //! exports) and `benchcheck` (`BENCH_*.json` result files). Both share
 //! this parser. It handles the full JSON grammar the exporters emit —
-//! objects, arrays, strings with escapes, numbers as `f64` — and rejects
-//! trailing garbage, which is all a checker needs.
+//! objects, arrays, strings with escapes (including UTF-16 surrogate
+//! pairs), numbers as `f64` — and rejects trailing garbage, which is all
+//! a checker needs. [`escape`] is the matching writer-side helper for the
+//! gates that emit machine-readable findings.
 
 /// A parsed JSON value. Just enough of the data model for the checkers.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,15 +52,44 @@ impl Json {
     }
 }
 
+/// Escapes `s` for embedding inside a JSON string literal (without the
+/// surrounding quotes). The inverse of what [`parse`] unescapes; used by
+/// the gates that *emit* machine-readable findings (`benchcheck --json`,
+/// `simanalyze --json`).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Maximum container nesting [`parse`] accepts. The recursive-descent
+/// parser uses the host stack, so an adversarially deep `[[[[…` in a
+/// checked artifact must hit a typed error before it hits a stack
+/// overflow. Real trace/bench exports nest a handful of levels.
+const MAX_DEPTH: usize = 512;
+
 /// A recursive-descent JSON parser over raw bytes.
 struct Parser<'a> {
     b: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Parser<'a> {
-        Parser { b: src.as_bytes(), pos: 0 }
+        Parser { b: src.as_bytes(), pos: 0, depth: 0 }
     }
 
     fn err(&self, msg: &str) -> String {
@@ -87,8 +118,8 @@ impl<'a> Parser<'a> {
     fn value(&mut self) -> Result<Json, String> {
         self.skip_ws();
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Parser::object),
+            Some(b'[') => self.nested(Parser::array),
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -96,6 +127,16 @@ impl<'a> Parser<'a> {
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
+    }
+
+    fn nested(&mut self, f: fn(&mut Parser<'a>) -> Result<Json, String>) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        self.depth += 1;
+        let v = f(self);
+        self.depth -= 1;
+        v
     }
 
     fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
@@ -143,17 +184,7 @@ impl<'a> Parser<'a> {
                         b't' => out.push('\t'),
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .b
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        }
+                        b'u' => out.push(self.unicode_escape()?),
                         _ => return Err(self.err("unknown escape")),
                     }
                 }
@@ -173,6 +204,44 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+    }
+
+    /// Reads the four hex digits of a `\u` escape (the `\u` itself
+    /// already consumed) and returns the code unit.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .b
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// Decodes one `\uXXXX` escape, combining UTF-16 surrogate pairs:
+    /// JSON spells astral-plane characters as `\uD8xx\uDCxx`. A lone or
+    /// mismatched surrogate half decodes to U+FFFD (the artifact is still
+    /// readable; the character is unrepresentable).
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let code = self.hex4()?;
+        if !(0xD800..=0xDBFF).contains(&code) {
+            return Ok(char::from_u32(code).unwrap_or('\u{fffd}'));
+        }
+        // High surrogate: try to pair it with an immediately following
+        // `\uDCxx`. On a mismatched low half, rewind so the next escape
+        // is decoded on its own.
+        if self.b.get(self.pos..self.pos + 2) == Some(b"\\u".as_slice()) {
+            let save = self.pos;
+            self.pos += 2;
+            let low = self.hex4()?;
+            if (0xDC00..=0xDFFF).contains(&low) {
+                let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                return Ok(char::from_u32(c).unwrap_or('\u{fffd}'));
+            }
+            self.pos = save;
+        }
+        Ok('\u{fffd}')
     }
 
     fn array(&mut self) -> Result<Json, String> {
@@ -249,6 +318,56 @@ mod tests {
         assert_eq!(v.get("a"), Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])));
         assert!(parse("{}, trailing").is_err());
         assert!(parse("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_combine() {
+        // 😀 is U+1F600, spelled \uD83D\uDE00 in JSON.
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap(), Json::Str("😀".to_string()));
+        // A lone high or low half is unrepresentable → U+FFFD.
+        assert_eq!(parse("\"\\ud83d!\"").unwrap(), Json::Str("\u{fffd}!".to_string()));
+        assert_eq!(parse("\"\\ude00\"").unwrap(), Json::Str("\u{fffd}".to_string()));
+        // A high half followed by a non-surrogate escape: the second
+        // escape still decodes on its own.
+        assert_eq!(parse("\"\\ud83d\\u0041\"").unwrap(), Json::Str("\u{fffd}A".to_string()));
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Within the limit: parses fine.
+        let ok = format!("{}null{}", "[".repeat(400), "]".repeat(400));
+        assert!(parse(&ok).is_ok());
+        // Past the limit: a typed error, not a stack overflow.
+        let deep = format!("{}null{}", "[".repeat(100_000), "]".repeat(100_000));
+        let err = parse(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+        // Mixed object/array nesting counts the same way.
+        let mixed = format!("{}null{}", "[{\"k\":".repeat(50_000), "}]".repeat(50_000));
+        assert!(parse(&mixed).unwrap_err().contains("nesting deeper"));
+    }
+
+    #[test]
+    fn boundary_numbers_round_trip_through_f64() {
+        // 2^53 is the last contiguous exact integer in f64.
+        assert_eq!(parse("9007199254740992").unwrap(), Json::Num(9007199254740992.0));
+        assert_eq!(parse("-9007199254740992").unwrap(), Json::Num(-9007199254740992.0));
+        // i64::MAX is representable only approximately; parsing must not
+        // error, and rounds like any f64 conversion.
+        assert_eq!(parse("9223372036854775807").unwrap(), Json::Num(9223372036854775807i64 as f64));
+        // f64 extremes: largest finite, smallest subnormal, and a clean
+        // overflow to infinity (f64::from_str saturates; the data model
+        // carries what f64 carries).
+        assert_eq!(parse("1.7976931348623157e308").unwrap(), Json::Num(f64::MAX));
+        assert_eq!(parse("5e-324").unwrap(), Json::Num(5e-324));
+        assert_eq!(parse("1e400").unwrap(), Json::Num(f64::INFINITY));
+        assert_eq!(parse("1e-400").unwrap(), Json::Num(0.0));
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "quote\" backslash\\ newline\n tab\t ctrl\u{1} emoji😀";
+        let wrapped = format!("\"{}\"", escape(nasty));
+        assert_eq!(parse(&wrapped).unwrap(), Json::Str(nasty.to_string()));
     }
 
     #[test]

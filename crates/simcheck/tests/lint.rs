@@ -50,6 +50,39 @@ fn fixture_findings_carry_lines_and_messages() {
 }
 
 #[test]
+fn allow_census_stays_at_three() {
+    // Every `simlint: allow` escape hatch in shipped code, by file. The
+    // census keeps the list deliberate: a new allow (or a directive that
+    // stopped being needed) must update this test alongside its reason.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+    let files = simcheck::analyze::read_tree(&root).expect("walk crates");
+    let mut allows: Vec<String> = Vec::new();
+    for (path, src) in &files {
+        for t in simcheck::lex::lex(src) {
+            if !matches!(t.kind, simcheck::lex::TokKind::LineComment) {
+                continue;
+            }
+            let body = t.text(src).trim_start_matches('/').trim();
+            if body.starts_with("simlint: allow(") {
+                // read_tree shows paths relative to the walk root's
+                // parent; keep only the crate-relative tail.
+                allows.push(path.trim_start_matches("../").to_string());
+            }
+        }
+    }
+    allows.sort();
+    assert_eq!(
+        allows,
+        vec![
+            "apps/ports/monte_carlo_local.rs".to_string(),
+            "bench/src/bin/experiments.rs".to_string(),
+            "bench/src/experiments/kernelbench.rs".to_string(),
+        ],
+        "unexpected allow census"
+    );
+}
+
+#[test]
 fn workspace_tree_is_clean() {
     // The real gate: the shipped sources must lint clean. Walking from the
     // crate's parent covers the whole `crates/` tree.

@@ -93,9 +93,21 @@ pub struct SparkHandle {
 }
 
 impl SparkHandle {
+    /// Tells the deadlock detector this process is about to block on the
+    /// driver (stages can park indefinitely behind executor work).
+    fn annotate(&self, ctx: &mut Ctx, op: &str) {
+        ctx.annotate_wait(
+            self.driver.into_raw(),
+            simcore::WaitKind::Call,
+            "spark-driver",
+            format!("SparkHandle::{op}"),
+        );
+    }
+
     /// Distributes partitions round-robin across executors.
     pub fn load_partitions(&self, ctx: &mut Ctx, partitions: Vec<Vec<u8>>) {
         let lat = self.net.sample(ctx.rng());
+        self.annotate(ctx, "load_partitions");
         match ctx.call(self.driver, DriverReq::LoadPartitions(partitions), lat) {
             DriverResp::Loaded => {}
             other => panic!("protocol: expected Loaded, got {other:?}"),
@@ -105,6 +117,7 @@ impl SparkHandle {
     /// Broadcasts a value to every executor (returns once all acked).
     pub fn broadcast(&self, ctx: &mut Ctx, data: Vec<u8>) {
         let lat = self.net.sample(ctx.rng());
+        self.annotate(ctx, "broadcast");
         match ctx.call(self.driver, DriverReq::Broadcast(data), lat) {
             DriverResp::Broadcasted => {}
             other => panic!("protocol: expected Broadcasted, got {other:?}"),
@@ -114,6 +127,7 @@ impl SparkHandle {
     /// Runs one task per partition; returns results ordered by partition.
     pub fn run_stage(&self, ctx: &mut Ctx, task: &str, args: Vec<u8>) -> Vec<Vec<u8>> {
         let lat = self.net.sample(ctx.rng());
+        self.annotate(ctx, "run_stage");
         match ctx.call(self.driver, DriverReq::RunStage { task: task.to_string(), args }, lat) {
             DriverResp::StageDone(r) => r,
             other => panic!("protocol: expected StageDone, got {other:?}"),
