@@ -42,3 +42,13 @@ cargo run --release -q -p bench --bin experiments kernel-bench
 cargo run --release -q -p simcheck --bin benchcheck -- BENCH_kernel.json \
     || { cargo run --release -q -p simcheck --bin benchcheck -- --json BENCH_kernel.json \
            > results/benchcheck_violations.json || true; exit 1; }
+
+# Consistency-spectrum ablation: the mode x cache matrix on the hot rf=3
+# read workload under client churn, reported in BENCH_consistency.json.
+# benchcheck holds the relational claims the docs make — replica reads
+# beat primary-only reads, and the host-shared node cache beats the
+# per-client cache once clients churn like FaaS containers do.
+cargo run --release -q -p bench --bin experiments consistency-ablate
+cargo run --release -q -p simcheck --bin benchcheck -- BENCH_consistency.json \
+    || { cargo run --release -q -p simcheck --bin benchcheck -- --json BENCH_consistency.json \
+           > results/benchcheck_violations.json || true; exit 1; }

@@ -6,14 +6,14 @@
 //!
 //! targets: table2 fig2a fig2b fig3 fig4 fig5 table3 fig6 fig7a fig7b
 //!          fig7c fig8 table4 ablate-rf ablate-workers ablate-barrier
-//!          ablate-read-path trace-pi trace-kmeans elastic kernel-bench
-//!          all
+//!          ablate-read-path consistency-ablate trace-pi trace-kmeans
+//!          elastic kernel-bench all
 //! ```
 //!
 //! `--paper` switches to the paper's full parameters (much slower).
 
 use bench::experiments::{
-    ablate, elastic, kernelbench, micro, ml, readpath, state, sync, traced, Scale,
+    ablate, consistency, elastic, kernelbench, micro, ml, readpath, state, sync, traced, Scale,
 };
 
 fn main() {
@@ -24,7 +24,8 @@ fn main() {
         eprintln!(
             "targets: table2 fig2a fig2b fig3 fig4 fig5 table3 fig6 fig7a \
                  fig7b fig7c fig8 table4 ablate-rf ablate-workers ablate-barrier \
-                 ablate-read-path trace-pi trace-kmeans elastic kernel-bench all"
+                 ablate-read-path consistency-ablate trace-pi trace-kmeans \
+                 elastic kernel-bench all"
         );
         std::process::exit(2);
     });
@@ -63,6 +64,7 @@ fn run(target: &str, scale: Scale) {
         "ablate-workers" => ablate::ablate_workers(scale).0.print(),
         "ablate-barrier" => ablate::ablate_barrier(scale).0.print(),
         "ablate-read-path" => readpath::ablate_read_path(scale).0.print(),
+        "consistency-ablate" => consistency::consistency_ablate(scale).0.print(),
         "trace-pi" => traced::trace_pi(scale),
         "trace-kmeans" => traced::trace_kmeans(scale),
         "kernel-bench" => kernelbench::kernel_bench(scale).0.print(),

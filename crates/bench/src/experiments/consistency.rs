@@ -1,0 +1,284 @@
+//! `consistency-ablate` — the consistency spectrum × cache-tier matrix on
+//! a hot, fully replicated, read-mostly workload served through *churning*
+//! clients: every simulated invocation connects a fresh `DsoClient` (the
+//! FaaS reality — a container's client dies with the invocation), does a
+//! handful of reads, and drops it. Client-side warmth therefore dies every
+//! iteration; the host-shared [`NodeCache`] is the only tier that survives
+//! churn, which is exactly the ablation this table isolates.
+//!
+//! Results go to `BENCH_consistency.json`; `simcheck`'s `benchcheck` bin
+//! gates CI on it — each row must show forward progress and the
+//! `node_cache` row must beat the PR-1 `client_cache` baseline.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use simcore::{MetricsRegistry, Sim};
+
+use dso::api::AtomicByteArray;
+use dso::{ConsistencyMode, DsoCluster, DsoConfig, NodeCache, ObjectRegistry};
+
+use super::Scale;
+use crate::report::{fmt_dur, Table};
+
+/// One cell of the mode × cache matrix.
+#[derive(Clone, Debug)]
+pub struct ConsistencyRow {
+    /// Section name (`<mode>/<cache>`), the key `benchcheck` gates on.
+    pub name: String,
+    /// Consistency-mode label.
+    pub mode: &'static str,
+    /// Cache-tier label: `none`, `client_cache`, or `node_cache`.
+    pub cache: &'static str,
+    /// Completed reads per second over the measurement window.
+    pub reads_per_sec: f64,
+    /// Mean read latency.
+    pub read_latency: Duration,
+}
+
+// The readpath ablation's hot model, under churn: two 1 KB rf=3 objects,
+// 40 invocation loops, 8 loops per simulated host.
+const OBJECTS: u32 = 2;
+const PAYLOAD: usize = 1024;
+const READERS: u32 = 40;
+const READERS_PER_HOST: u32 = 8;
+const READS_PER_INVOCATION: u32 = 8;
+const RF: u8 = 3;
+const LEASE: Duration = Duration::from_millis(2);
+
+/// Which cache tiers a row enables.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum CacheTier {
+    None,
+    /// PR-1 baseline: the per-client cache with a short lease. Dies with
+    /// every churned client.
+    Client,
+    /// The client cache *plus* the host-shared node cache (as the
+    /// deployment layer wires co-located containers).
+    Node,
+}
+
+impl CacheTier {
+    fn label(self) -> &'static str {
+        match self {
+            CacheTier::None => "none",
+            CacheTier::Client => "client_cache",
+            CacheTier::Node => "node_cache",
+        }
+    }
+}
+
+fn run_cell(seed: u64, scale: Scale, cfg: DsoConfig, tier: CacheTier) -> (f64, Duration) {
+    let run = scale.pick(Duration::from_millis(400), Duration::from_secs(5));
+    let mut sim = Sim::new(seed);
+    let reg = MetricsRegistry::new();
+    sim.set_metrics(&reg);
+    // One worker per node: the storage tier is the bottleneck, so cache
+    // hits (which never reach it) translate directly into throughput.
+    let cfg = DsoConfig { workers_per_node: 1, ..cfg };
+    let cluster = DsoCluster::start(&sim, 3, cfg, ObjectRegistry::with_builtins());
+    let handle = cluster.client_handle();
+    let start = simcore::SimTime::ZERO + Duration::from_secs(1);
+    let deadline = start + run;
+    // Writer: installs the model, then keeps mutating one object every
+    // 2 ms — read-mostly, not read-only.
+    {
+        let handle = handle.clone();
+        sim.spawn("writer", move |ctx| {
+            use rand::RngExt;
+            let mut cli = handle.connect();
+            let payload = vec![7u8; PAYLOAD];
+            for i in 0..OBJECTS {
+                let o = AtomicByteArray::persistent(&format!("m{i}"), Vec::new(), RF);
+                o.set(ctx, &mut cli, &payload).expect("install");
+            }
+            while ctx.now() < deadline {
+                ctx.sleep(Duration::from_millis(2));
+                let i: u32 = ctx.rng().random_range(0..OBJECTS);
+                let o = AtomicByteArray::persistent(&format!("m{i}"), Vec::new(), RF);
+                o.set(ctx, &mut cli, &payload).expect("update");
+            }
+        });
+    }
+    // One shared cache per simulated host, as `containers_per_host` packs
+    // them in the FaaS tier.
+    let hosts: Vec<Arc<NodeCache>> =
+        (0..READERS.div_ceil(READERS_PER_HOST)).map(|_| Arc::new(NodeCache::new())).collect();
+    for t in 0..READERS {
+        let handle = handle.clone();
+        let host_cache = hosts[(t / READERS_PER_HOST) as usize].clone();
+        sim.spawn(&format!("inv{t}"), move |ctx| {
+            use rand::RngExt;
+            // Let the writer install the model first.
+            ctx.sleep(Duration::from_millis(200));
+            let objs: Vec<AtomicByteArray> = (0..OBJECTS)
+                .map(|i| AtomicByteArray::persistent(&format!("m{i}"), Vec::new(), RF))
+                .collect();
+            while ctx.now() < deadline {
+                // One invocation: a fresh client (container-lifetime
+                // state), a burst of reads, then the client dies.
+                let mut cli = match tier {
+                    CacheTier::Node => handle.connect_with_node_cache(host_cache.clone()),
+                    _ => handle.connect(),
+                };
+                for _ in 0..READS_PER_INVOCATION {
+                    let i = ctx.rng().random_range(0..OBJECTS) as usize;
+                    let t0 = ctx.now();
+                    if objs[i].get(ctx, &mut cli).is_ok() && t0 >= start && ctx.now() < deadline {
+                        ctx.metric_incr("bench.reads");
+                        ctx.metric_record("bench.read_latency", ctx.now() - t0);
+                    }
+                    // Local work consuming each read.
+                    ctx.sleep(Duration::from_micros(20));
+                }
+                // Invocation gap (dispatch + billing tail).
+                ctx.sleep(Duration::from_micros(100));
+            }
+        });
+    }
+    sim.run_until_idle().expect_quiescent();
+    let total = reg.counter_value("bench.reads");
+    (total as f64 / run.as_secs_f64(), reg.histogram("bench.read_latency").mean())
+}
+
+/// The matrix. Invalid combinations of the config space (a lease without
+/// the cache, `BoundedStaleness` without `read_cache`) are simply not
+/// rows — the builder rejects them, which `dso`'s config tests pin.
+fn cells() -> Vec<(&'static str, CacheTier, DsoConfig)> {
+    let b = DsoConfig::builder;
+    vec![
+        ("linearizable", CacheTier::None, b().build().expect("valid")),
+        (
+            "replica-reads",
+            CacheTier::None,
+            b().consistency(ConsistencyMode::ReplicaReads).build().expect("valid"),
+        ),
+        (
+            "causal",
+            CacheTier::None,
+            b().consistency(ConsistencyMode::Causal).build().expect("valid"),
+        ),
+        (
+            "replica-reads",
+            CacheTier::Client,
+            b().consistency(ConsistencyMode::ReplicaReads)
+                .read_cache(true)
+                .cache_lease(LEASE)
+                .build()
+                .expect("valid"),
+        ),
+        (
+            "bounded-staleness",
+            CacheTier::Client,
+            b().consistency(ConsistencyMode::BoundedStaleness)
+                .staleness_bound(LEASE)
+                .read_cache(true)
+                .build()
+                .expect("valid"),
+        ),
+        (
+            "replica-reads",
+            CacheTier::Node,
+            b().consistency(ConsistencyMode::ReplicaReads)
+                .read_cache(true)
+                .cache_lease(LEASE)
+                .node_cache(true)
+                .build()
+                .expect("valid"),
+        ),
+    ]
+}
+
+/// Runs the mode × cache matrix, writes `BENCH_consistency.json`.
+pub fn consistency_ablate(scale: Scale) -> (Table, Vec<ConsistencyRow>) {
+    let mut rows = Vec::new();
+    for (i, (mode, tier, cfg)) in cells().into_iter().enumerate() {
+        let (reads_per_sec, read_latency) = run_cell(960 + i as u64, scale, cfg, tier);
+        rows.push(ConsistencyRow {
+            name: format!("{mode}/{}", tier.label()),
+            mode,
+            cache: tier.label(),
+            reads_per_sec,
+            read_latency,
+        });
+    }
+    let mut t = Table::new(
+        "Ablation — consistency × cache tier (3 nodes, hot rf = 3 model, churning clients)",
+        &["Mode", "Cache", "Reads/s", "Mean read latency", "Speedup"],
+    );
+    let base = rows[0].reads_per_sec;
+    for r in &rows {
+        t.row(&[
+            r.mode.to_string(),
+            r.cache.to_string(),
+            format!("{:.0}", r.reads_per_sec),
+            fmt_dur(r.read_latency),
+            format!("{:.2}x", r.reads_per_sec / base.max(1e-9)),
+        ]);
+    }
+    if let Err(e) = write_json(scale, &rows) {
+        eprintln!("could not write BENCH_consistency.json: {e}");
+    }
+    (t, rows)
+}
+
+fn write_json(scale: Scale, rows: &[ConsistencyRow]) -> std::io::Result<()> {
+    let body = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"mode\": \"{}\", \"cache\": \"{}\", \
+                 \"reads_per_s\": {:.1}, \"mean_read_latency_s\": {:.9}}}",
+                r.name,
+                r.mode,
+                r.cache,
+                r.reads_per_sec,
+                r.read_latency.as_secs_f64(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"consistency\",\n  \"scale\": \"{}\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        },
+        body,
+    );
+    std::fs::write("BENCH_consistency.json", &json)?;
+    println!("wrote BENCH_consistency.json");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_cache_beats_the_churned_client_cache() {
+        let (_, rows) = consistency_ablate(Scale::Quick);
+        let rate = |name: &str| {
+            rows.iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("row {name}"))
+                .reads_per_sec
+        };
+        let lin = rate("linearizable/none");
+        let replica = rate("replica-reads/none");
+        let client = rate("replica-reads/client_cache");
+        let node = rate("replica-reads/node_cache");
+        assert!(
+            replica > lin * 1.2,
+            "replica reads must relieve the primaries: lin={lin:.0} replica={replica:.0}"
+        );
+        assert!(
+            node > client * 1.2,
+            "the host-shared cache must survive client churn that kills \
+             the per-client cache: client={client:.0} node={node:.0}"
+        );
+        for r in &rows {
+            assert!(r.reads_per_sec > 0.0, "{} made no progress", r.name);
+        }
+    }
+}

@@ -1,9 +1,13 @@
 //! One-stop deployment of a Crucial application: the DSO tier, the FaaS
 //! platform, and the object store, wired together inside a simulation.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use cloudstore::{spawn_s3, S3Config, S3Handle};
-use dso::{DsoClientHandle, DsoCluster, DsoConfig, ObjectRegistry};
+use dso::{DsoClientHandle, DsoCluster, DsoConfig, NodeCache, ObjectRegistry};
 use faas::{spawn_platform, FaasConfig, FaasHandle, FnCtx, FunctionRegistry, FULL_VCPU_MB};
+use parking_lot::Mutex;
 use simcore::Sim;
 
 use crate::blackboard::Blackboard;
@@ -54,7 +58,15 @@ pub struct Deployment {
     pub s3: S3Handle,
     functions: FunctionRegistry,
     blackboard: Blackboard,
+    /// One [`NodeCache`] per FaaS host ([`FnCtx::host`]), shared by every
+    /// container the platform packs onto that host. Lazily populated the
+    /// first time a function runs on a host; `None` when
+    /// [`DsoConfig::node_cache`] is off.
+    node_caches: Option<Arc<HostCaches>>,
 }
+
+/// Host id → the [`NodeCache`] shared by that host's containers.
+type HostCaches = Mutex<HashMap<u64, Arc<NodeCache>>>;
 
 impl Deployment {
     /// Starts every service of the deployment on `sim`.
@@ -63,7 +75,8 @@ impl Deployment {
         let s3 = spawn_s3(sim, cfg.s3.clone());
         let functions = FunctionRegistry::new();
         let faas = spawn_platform(sim, cfg.faas.clone(), functions.clone());
-        Deployment { dso, faas, s3, functions, blackboard: Blackboard::new() }
+        let node_caches = cfg.dso.node_cache.then(|| Arc::new(Mutex::new(HashMap::new())));
+        Deployment { dso, faas, s3, functions, blackboard: Blackboard::new(), node_caches }
     }
 
     /// Deploys a [`Runnable`] type with the default memory (one full vCPU).
@@ -77,13 +90,22 @@ impl Deployment {
         let dso_handle = self.dso.client_handle();
         let s3 = self.s3.clone();
         let blackboard = self.blackboard.clone();
+        let node_caches = self.node_caches.clone();
         self.functions.register(
             &function_name::<R>(),
             memory_mb,
             move |fx: &mut FnCtx<'_>, payload: Vec<u8>| {
                 let mut runnable: R =
                     simcore::codec::from_bytes(&payload).map_err(|e| e.to_string())?;
-                let mut env = FnEnv::new(fx, dso_handle.clone(), s3.clone(), blackboard.clone());
+                let dso = match &node_caches {
+                    Some(caches) => {
+                        let cache = caches.lock().entry(fx.host()).or_default().clone();
+                        dso_handle.connect_with_node_cache(cache)
+                    }
+                    None => dso_handle.connect(),
+                };
+                let mut env =
+                    FnEnv::with_client(fx, dso, dso_handle.clone(), s3.clone(), blackboard.clone());
                 runnable.run(&mut env)?;
                 Ok(Vec::new())
             },

@@ -78,7 +78,21 @@ impl<'a, 'b> FnEnv<'a, 'b> {
         s3: S3Handle,
         blackboard: Blackboard,
     ) -> FnEnv<'a, 'b> {
-        FnEnv { dso: dso_factory.connect(), fx, dso_factory, s3, blackboard }
+        let dso = dso_factory.connect();
+        FnEnv::with_client(fx, dso, dso_factory, s3, blackboard)
+    }
+
+    /// Assembles an environment around an already-connected client (the
+    /// deployment layer uses this to hand functions a client wired to the
+    /// host-shared [`dso::NodeCache`]).
+    pub fn with_client(
+        fx: &'a mut FnCtx<'b>,
+        dso: DsoClient,
+        dso_factory: DsoClientHandle,
+        s3: S3Handle,
+        blackboard: Blackboard,
+    ) -> FnEnv<'a, 'b> {
+        FnEnv { dso, fx, dso_factory, s3, blackboard }
     }
 
     /// Connects an additional DSO client (for application structures that

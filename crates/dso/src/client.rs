@@ -5,18 +5,21 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
 use simcore::{Addr, Ctx, SimTime, SpanId, TraceCtx, WaitKind};
 
-use crate::config::{ConsistencyMode, DsoConfig};
+use crate::config::DsoConfig;
 use crate::error::DsoError;
 use crate::intern::{intern, MethodName};
+use crate::node_cache::{NodeCache, NodeEntry};
 use crate::object::ObjectRef;
 use crate::protocol::{
     BatchItemResp, BatchReq, GetView, InvokeReq, InvokeResp, VersionReq, VersionResp, View,
 };
+use crate::read_policy::{policy_for, ReadPolicy};
 use crate::ring::Ring;
 
 /// Cheap, `Send` handle describing how to reach a DSO deployment. Each
@@ -43,13 +46,25 @@ impl DsoClientHandle {
     /// Instantiates a per-process client.
     pub fn connect(&self) -> DsoClient {
         DsoClient {
+            policy: policy_for(&self.cfg),
             h: self.clone(),
             view: None,
             monotonic: MonotonicReads::new(),
             cache: HashMap::new(),
-            read_rr: 0,
+            node_cache: None,
             scratch: Vec::new(),
         }
+    }
+
+    /// Instantiates a per-process client that additionally consults (and
+    /// fills) a host-shared [`NodeCache`] on its read path. Used by the
+    /// FaaS deployment layer when [`DsoConfig::node_cache`] is on: every
+    /// container on one host connects against the same cache, so warmth
+    /// survives the containers.
+    pub fn connect_with_node_cache(&self, node_cache: Arc<NodeCache>) -> DsoClient {
+        let mut client = self.connect();
+        client.node_cache = Some(node_cache);
+        client
     }
 }
 
@@ -129,10 +144,16 @@ const CACHE_HIT_COST: Duration = Duration::from_micros(1);
 pub struct DsoClient {
     h: DsoClientHandle,
     view: Option<(View, Ring)>,
+    /// The consistency strategy: routing, admission, dependency
+    /// piggybacking and lease policy, per [`crate::ConsistencyMode`].
+    policy: Box<dyn ReadPolicy>,
     monotonic: MonotonicReads,
+    /// Client-private read cache (`dso.read_cache.*`): dies with this
+    /// client — i.e. with the function invocation that connected it.
     cache: HashMap<(ObjectRef, MethodName, Bytes), CacheEntry>,
-    /// Round-robin counter spreading replica reads over the placement set.
-    read_rr: u64,
+    /// Host-shared read cache (`dso.node_cache.*`), consulted after the
+    /// client cache; survives this client. See [`NodeCache`].
+    node_cache: Option<Arc<NodeCache>>,
     /// Reusable argument-encoding buffer; plateaus at the largest request
     /// this client has built, so per-call encoding stops allocating a
     /// fresh `Vec` (see [`DsoClient::encode_args`]).
@@ -143,6 +164,7 @@ impl fmt::Debug for DsoClient {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DsoClient")
             .field("view", &self.view.as_ref().map(|(v, _)| v.id))
+            .field("policy", &self.policy.name())
             .field("cached", &self.cache.len())
             .finish()
     }
@@ -182,30 +204,24 @@ impl DsoClient {
         self.view.as_ref().expect("view cached")
     }
 
-    /// Picks the node to contact for one attempt: the primary for writes
-    /// (and for all reads under [`ConsistencyMode::Linearizable`]), any
-    /// node of the placement set — round-robin — for read-only calls under
-    /// [`ConsistencyMode::ReplicaReads`].
+    /// Picks the node to contact for one attempt, as decided by the
+    /// consistency policy: the primary for writes (and for all reads
+    /// under [`crate::ConsistencyMode::Linearizable`] and
+    /// [`crate::ConsistencyMode::BoundedStaleness`]), any node of the
+    /// placement set — round-robin — for read-only calls under the
+    /// replica-reading policies.
     fn route(&mut self, ctx: &mut Ctx, obj: &ObjectRef, rf: u8, readonly: bool) -> Option<Addr> {
-        let replica_reads =
-            readonly && rf > 1 && self.h.cfg.consistency == ConsistencyMode::ReplicaReads;
-        let rr = self.read_rr;
-        let (view, ring) = self.view(ctx);
-        let node = if replica_reads {
-            let placement = ring.placement(obj, rf.max(1));
-            if placement.is_empty() {
-                None
-            } else {
-                Some(placement[(rr % placement.len() as u64) as usize])
-            }
-        } else {
-            ring.primary(obj)
-        };
-        let addr = node.and_then(|n| view.addr_of(n));
-        if replica_reads {
-            self.read_rr = self.read_rr.wrapping_add(1);
+        if self.view.is_none() {
+            self.refresh_view(ctx);
         }
-        addr
+        // invariant: refresh_view stored Some just above when it was None.
+        let (view, ring) = self.view.as_ref().expect("view cached");
+        let node = if readonly {
+            self.policy.route_read(ring, obj, rf)
+        } else {
+            self.policy.route_write(ring, obj, rf)
+        };
+        node.and_then(|n| view.addr_of(n))
     }
 
     /// Invokes `method(args)` on the object, routing per the consistency
@@ -240,11 +256,21 @@ impl DsoClient {
         ctx.span_annotate(call_span, "obj", obj.to_string());
         ctx.span_annotate(call_span, "method", method);
         ctx.metric_incr("dso.invokes");
-        // Cache fast path: a validated (or leased) earlier result.
+        // Client-cache fast path: a validated (or leased) earlier result.
         if readonly && self.h.cfg.read_cache {
             if let Some(bytes) = self.cached_read(ctx, obj, method, &args, rf) {
                 ctx.span_annotate(call_span, "cache", "hit");
-                ctx.metric_incr("dso.cache_hits");
+                ctx.metric_incr("dso.read_cache.hit");
+                ctx.span_end(call_span);
+                return Ok(bytes);
+            }
+            ctx.metric_incr("dso.read_cache.miss");
+        }
+        // Host-shared cache, second: warmth put there by other containers
+        // on this host (or by this client's earlier incarnations).
+        if readonly && self.node_cache.is_some() {
+            if let Some(bytes) = self.node_cached_read(ctx, obj, method, &args, rf) {
+                ctx.span_annotate(call_span, "cache", "node-hit");
                 ctx.span_end(call_span);
                 return Ok(bytes);
             }
@@ -258,6 +284,7 @@ impl DsoClient {
             rf,
             create,
             readonly,
+            dep: self.policy.dep(obj),
             span: SpanId::NONE,
         };
         let max = self.h.cfg.max_retries;
@@ -298,11 +325,13 @@ impl DsoClient {
                 ctx.call_timeout(addr, attempt_req, lat, self.h.cfg.call_timeout)
             };
             match resp {
-                Some(InvokeResp::Value { bytes, version }) => {
-                    if readonly && !self.monotonic.admit(obj, version) {
-                        // Stale replica: behind something this client
-                        // already observed. Go straight to the primary,
-                        // which is never behind an acknowledged write.
+                Some(InvokeResp::Value { bytes, version, lamport }) => {
+                    if readonly && !self.policy.admit(&mut self.monotonic, obj, version, lamport) {
+                        // Stale replica: behind something this session
+                        // already observed (a version regression, or a
+                        // Lamport stamp below the causal frontier). Go
+                        // straight to the primary, which is never behind
+                        // an acknowledged write.
                         ctx.span_annotate(attempt_span, "outcome", "stale-replica");
                         ctx.span_end(attempt_span);
                         ctx.metric_incr("dso.stale_reads");
@@ -310,13 +339,35 @@ impl DsoClient {
                         continue;
                     }
                     if !readonly {
-                        self.monotonic.observe(obj, version);
+                        self.policy.observe_write(&mut self.monotonic, obj, version, lamport);
                         self.invalidate(obj);
-                    } else if self.h.cfg.read_cache {
-                        self.cache.insert(
-                            (obj.clone(), req.method.clone(), req.args.clone()),
-                            CacheEntry { bytes: bytes.clone(), version, validated_at: ctx.now() },
-                        );
+                        if let Some(nc) = &self.node_cache {
+                            if nc.invalidate(obj) > 0 {
+                                ctx.metric_incr("dso.node_cache.invalidate");
+                            }
+                        }
+                    } else {
+                        if self.h.cfg.read_cache {
+                            self.cache.insert(
+                                (obj.clone(), req.method.clone(), req.args.clone()),
+                                CacheEntry {
+                                    bytes: bytes.clone(),
+                                    version,
+                                    validated_at: ctx.now(),
+                                },
+                            );
+                        }
+                        if let Some(nc) = &self.node_cache {
+                            nc.insert(
+                                (obj.clone(), req.method.clone(), req.args.clone()),
+                                NodeEntry {
+                                    bytes: bytes.clone(),
+                                    version,
+                                    lamport,
+                                    validated_at: ctx.now(),
+                                },
+                            );
+                        }
                     }
                     ctx.span_end(attempt_span);
                     ctx.span_end(call_span);
@@ -382,9 +433,8 @@ impl DsoClient {
         let (version, lease_ok) = {
             let entry = self.cache.get(&key)?;
             let lease_ok = self
-                .h
-                .cfg
-                .cache_lease
+                .policy
+                .lease()
                 .is_some_and(|l| ctx.now().saturating_duration_since(entry.validated_at) < l);
             (entry.version, lease_ok)
         };
@@ -417,6 +467,81 @@ impl DsoClient {
                 // Changed version, unknown object, not an owner, or
                 // timeout: drop the entry and take the full read path.
                 self.cache.remove(&key);
+                None
+            }
+        }
+    }
+
+    /// Serves a read from the host-shared [`NodeCache`] if possible:
+    /// within the policy's lease without any message (gated by the
+    /// policy's admission check, so a session never accepts a shared
+    /// entry behind its own frontier), otherwise after a
+    /// dispatcher-level version probe confirming the entry is current.
+    /// Returns `None` on miss; a failed revalidation drops the entry.
+    fn node_cached_read(
+        &mut self,
+        ctx: &mut Ctx,
+        obj: &ObjectRef,
+        method: &str,
+        args: &Bytes,
+        rf: u8,
+    ) -> Option<Bytes> {
+        let nc = self.node_cache.as_ref()?.clone();
+        let key = (obj.clone(), intern(method), args.clone());
+        let Some(entry) = nc.get(&key) else {
+            ctx.metric_incr("dso.node_cache.miss");
+            return None;
+        };
+        let lease_ok = self
+            .policy
+            .lease()
+            .is_some_and(|l| ctx.now().saturating_duration_since(entry.validated_at) < l);
+        if lease_ok {
+            if !self.policy.admit(&mut self.monotonic, obj, entry.version, entry.lamport) {
+                // Another container's older result: stale for *this*
+                // session even though the lease is live.
+                ctx.metric_incr("dso.node_cache.miss");
+                return None;
+            }
+            let mark = ctx.span_instant("dso.cache", "dso");
+            ctx.span_annotate(mark, "obj", obj.to_string());
+            ctx.span_annotate(mark, "source", "node-leased");
+            ctx.metric_incr("dso.node_cache.hit");
+            ctx.sleep(CACHE_HIT_COST);
+            return Some(entry.bytes);
+        }
+        // Lease expired (or the policy validates every hit): one cheap
+        // version probe, no worker hop, no method CPU.
+        let target = self.route(ctx, obj, rf, true)?;
+        let lat = self.h.cfg.client_net.sample(ctx.rng());
+        let resp: Option<VersionResp> = ctx.call_timeout(
+            target,
+            VersionReq { obj: obj.clone(), rf },
+            lat,
+            self.h.cfg.call_timeout,
+        );
+        match resp {
+            Some(VersionResp(Some(v)))
+                if v == entry.version
+                    && self.policy.admit(
+                        &mut self.monotonic,
+                        obj,
+                        entry.version,
+                        entry.lamport,
+                    ) =>
+            {
+                nc.revalidate(&key, ctx.now());
+                let mark = ctx.span_instant("dso.cache", "dso");
+                ctx.span_annotate(mark, "obj", obj.to_string());
+                ctx.span_annotate(mark, "source", "node-validated");
+                ctx.metric_incr("dso.node_cache.hit");
+                Some(entry.bytes)
+            }
+            _ => {
+                // Changed version, unknown object, not an owner, or
+                // timeout: drop the shared entry and take the full path.
+                nc.remove(&key);
+                ctx.metric_incr("dso.node_cache.miss");
                 None
             }
         }
@@ -480,6 +605,7 @@ impl DsoClient {
                     rf: op.rf,
                     create: op.create.clone(),
                     readonly: op.readonly,
+                    dep: self.policy.dep(&op.obj),
                     span: batch_span,
                 },
             ));
@@ -494,13 +620,25 @@ impl DsoClient {
                 let i = tag as usize;
                 let op = &ops[i];
                 match resp {
-                    InvokeResp::Value { bytes, version } => {
-                        if op.readonly && !self.monotonic.admit(&op.obj, version) {
+                    InvokeResp::Value { bytes, version, lamport } => {
+                        if op.readonly
+                            && !self.policy.admit(&mut self.monotonic, &op.obj, version, lamport)
+                        {
                             continue; // stale replica: retry via fallback
                         }
                         if !op.readonly {
-                            self.monotonic.observe(&op.obj, version);
+                            self.policy.observe_write(
+                                &mut self.monotonic,
+                                &op.obj,
+                                version,
+                                lamport,
+                            );
                             self.invalidate(&op.obj);
+                            if let Some(nc) = &self.node_cache {
+                                if nc.invalidate(&op.obj) > 0 {
+                                    ctx.metric_incr("dso.node_cache.invalidate");
+                                }
+                            }
                         } else if self.h.cfg.read_cache {
                             self.cache.insert(
                                 (op.obj.clone(), op.method.clone(), op.args.clone()),

@@ -23,6 +23,30 @@ pub enum ConsistencyMode {
     /// numbers (a read never observes an older version than one the same
     /// client already saw).
     ReplicaReads,
+    /// Session-causal reads: every reply carries the object's Lamport
+    /// stamp, the client tracks the stamps it has observed (its causal
+    /// frontier) and piggybacks them as dependencies on later requests.
+    /// A replica reply behind the client's frontier for that object is
+    /// rejected and retried at the primary, restoring **monotonic reads**
+    /// and **read-your-writes** per session on top of replica routing.
+    Causal,
+    /// Bounded-staleness reads: the primary's reply is cached and
+    /// re-served without *any* server round-trip for
+    /// [`DsoConfig::staleness_bound`] of virtual time — the bound *is*
+    /// the lease, generalizing [`DsoConfig::cache_lease`] into a
+    /// first-class mode whose guarantee `dso::verify::check_staleness_bound`
+    /// machine-checks. Requires `read_cache` and a `staleness_bound`.
+    BoundedStaleness,
+    /// Convergent (CRDT) objects: writes to [`Mergeable`] types apply at
+    /// the contacted replica *without* the SMR multicast; replicas
+    /// exchange state on an anti-entropy ticker
+    /// ([`DsoConfig::anti_entropy_interval`]) and reconcile through
+    /// [`Mergeable::merge`]. Reads rotate over replicas and are always
+    /// admitted — the guarantee is convergence, not linearizability.
+    ///
+    /// [`Mergeable`]: crate::object::Mergeable
+    /// [`Mergeable::merge`]: crate::object::Mergeable::merge
+    CrdtMerge,
 }
 
 /// Admission control at each storage node's dispatcher (load shedding).
@@ -96,6 +120,26 @@ pub struct DsoConfig {
     /// every hit with a cheap dispatcher-level version probe; reads are
     /// then never staler than the probed replica.
     pub cache_lease: Option<Duration>,
+    /// Under [`ConsistencyMode::BoundedStaleness`], the maximum virtual
+    /// time a read may trail the write frontier: primary replies are
+    /// cached and re-served for this long, so the bound holds by
+    /// construction (`dso::verify::check_staleness_bound` verifies it).
+    /// Must be `None` in every other mode.
+    pub staleness_bound: Option<Duration>,
+    /// Opt-in co-located cache tier: one [`NodeCache`] per FaaS host,
+    /// shared by all containers (and their DSO clients) on that host.
+    /// Kept coherent by write-through invalidation from co-located
+    /// clients, version probes, and lease expiry. Counted separately from
+    /// the per-client cache (`dso.node_cache.*` vs `dso.read_cache.*`).
+    ///
+    /// [`NodeCache`]: crate::node_cache::NodeCache
+    pub node_cache: bool,
+    /// Under [`ConsistencyMode::CrdtMerge`], how often each server pushes
+    /// the state of its [`Mergeable`] objects to the other replicas for
+    /// reconciliation. Unused (and no ticker runs) in every other mode.
+    ///
+    /// [`Mergeable`]: crate::object::Mergeable
+    pub anti_entropy_interval: Duration,
     /// Runtime check that methods declared read-only really do not mutate:
     /// the server snapshots the object state around every declared
     /// read-only invocation and rejects the call (restoring the state) if
@@ -130,6 +174,9 @@ impl Default for DsoConfig {
             consistency: ConsistencyMode::default(),
             read_cache: false,
             cache_lease: None,
+            staleness_bound: None,
+            node_cache: false,
+            anti_entropy_interval: Duration::from_millis(10),
             verify_readonly: true,
             pure_methods: PureMethods::default(),
             admission: None,
@@ -307,8 +354,31 @@ impl DsoConfigBuilder {
     }
 
     /// Sets the cache lease (requires the read cache to be enabled).
-    pub fn cache_lease(mut self, lease: Option<Duration>) -> Self {
-        self.cfg.cache_lease = lease;
+    /// Accepts a bare `Duration` or an `Option`; an explicit
+    /// `Some(Duration::ZERO)` is rejected at [`build`](Self::build) —
+    /// omit the lease (or pass `None`) to validate every hit instead.
+    pub fn cache_lease(mut self, lease: impl Into<Option<Duration>>) -> Self {
+        self.cfg.cache_lease = lease.into();
+        self
+    }
+
+    /// Sets the staleness bound (requires
+    /// [`ConsistencyMode::BoundedStaleness`]).
+    pub fn staleness_bound(mut self, bound: impl Into<Option<Duration>>) -> Self {
+        self.cfg.staleness_bound = bound.into();
+        self
+    }
+
+    /// Enables or disables the co-located per-host node cache tier.
+    pub fn node_cache(mut self, on: bool) -> Self {
+        self.cfg.node_cache = on;
+        self
+    }
+
+    /// Sets the anti-entropy exchange interval used under
+    /// [`ConsistencyMode::CrdtMerge`].
+    pub fn anti_entropy_interval(mut self, d: Duration) -> Self {
+        self.cfg.anti_entropy_interval = d;
         self
     }
 
@@ -338,9 +408,11 @@ impl DsoConfigBuilder {
     ///
     /// Returns [`DsoConfigError`] when a field is out of range
     /// (`workers_per_node == 0`, `max_retries == 0`, non-positive
-    /// `transfer_bandwidth`) or the combination is inconsistent (failure
-    /// timeout not beyond the heartbeat interval, a zero call timeout, or
-    /// a cache lease without the read cache).
+    /// `transfer_bandwidth`, a zero lease or staleness bound) or the
+    /// combination is inconsistent (failure timeout not beyond the
+    /// heartbeat interval, a zero call timeout, a cache lease without the
+    /// read cache, a staleness bound outside `BoundedStaleness`, or
+    /// `BoundedStaleness` without its bound/cache).
     pub fn build(self) -> Result<DsoConfig, DsoConfigError> {
         let c = self.cfg;
         if c.workers_per_node == 0 {
@@ -365,6 +437,55 @@ impl DsoConfigBuilder {
         if c.cache_lease.is_some() && !c.read_cache {
             return Err(DsoConfigError("cache_lease requires read_cache".into()));
         }
+        // The lease/cache dependency used to be checked only one way: a
+        // lease without the cache failed, but an explicit zero lease (and
+        // a cache silently promising lease semantics it cannot honor)
+        // passed. Every explicit lease value is validated now.
+        if c.cache_lease == Some(Duration::ZERO) {
+            return Err(DsoConfigError(
+                "cache_lease must be positive; pass None to validate every hit instead".into(),
+            ));
+        }
+        match (c.consistency, c.staleness_bound) {
+            (ConsistencyMode::BoundedStaleness, None) => {
+                return Err(DsoConfigError(
+                    "ConsistencyMode::BoundedStaleness requires staleness_bound (the read lease)"
+                        .into(),
+                ));
+            }
+            (ConsistencyMode::BoundedStaleness, Some(b)) if b.is_zero() => {
+                return Err(DsoConfigError(
+                    "staleness_bound must be positive; a zero bound is Linearizable".into(),
+                ));
+            }
+            (ConsistencyMode::BoundedStaleness, Some(_)) => {
+                if !c.read_cache {
+                    return Err(DsoConfigError(
+                        "BoundedStaleness serves leased reads from the client cache: \
+                         enable read_cache"
+                            .into(),
+                    ));
+                }
+                if c.cache_lease.is_some() {
+                    return Err(DsoConfigError(
+                        "cache_lease conflicts with staleness_bound: BoundedStaleness \
+                         uses the staleness bound as the lease"
+                            .into(),
+                    ));
+                }
+            }
+            (_, Some(_)) => {
+                return Err(DsoConfigError(
+                    "staleness_bound requires ConsistencyMode::BoundedStaleness".into(),
+                ));
+            }
+            (_, None) => {}
+        }
+        if c.consistency == ConsistencyMode::CrdtMerge && c.anti_entropy_interval.is_zero() {
+            return Err(DsoConfigError(
+                "ConsistencyMode::CrdtMerge requires a non-zero anti_entropy_interval".into(),
+            ));
+        }
         if let Some(a) = &c.admission {
             if a.rate <= 0.0 || a.rate.is_nan() {
                 return Err(DsoConfigError("admission.rate must be positive".into()));
@@ -378,6 +499,36 @@ impl DsoConfigBuilder {
             if a.retry_after.is_zero() {
                 return Err(DsoConfigError("admission.retry_after must be non-zero".into()));
             }
+        }
+        Ok(c)
+    }
+
+    /// Validates against an [`ObjectRegistry`] as well: everything
+    /// [`build`](Self::build) checks, plus registration-dependent rules —
+    /// [`ConsistencyMode::CrdtMerge`] is rejected unless at least one
+    /// type was registered through
+    /// [`ObjectRegistry::register_mergeable`](crate::object::ObjectRegistry::register_mergeable),
+    /// since merge-on-anti-entropy on a registry with no [`Mergeable`]
+    /// types would silently degrade every object to last-writer-wins
+    /// transfer semantics.
+    ///
+    /// [`Mergeable`]: crate::object::Mergeable
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsoConfigError`] as for [`build`](Self::build), or when
+    /// `CrdtMerge` is selected with no mergeable type registered.
+    pub fn build_with_registry(
+        self,
+        registry: &crate::object::ObjectRegistry,
+    ) -> Result<DsoConfig, DsoConfigError> {
+        let c = self.build()?;
+        if c.consistency == ConsistencyMode::CrdtMerge && registry.mergeable_types().is_empty() {
+            return Err(DsoConfigError(
+                "ConsistencyMode::CrdtMerge requires a Mergeable type registered via \
+                 ObjectRegistry::register_mergeable (e.g. GCounter)"
+                    .into(),
+            ));
         }
         Ok(c)
     }
@@ -454,6 +605,74 @@ mod tests {
             .expect("valid combination");
         assert!(cfg.read_cache);
         assert_eq!(cfg.consistency, ConsistencyMode::ReplicaReads);
+    }
+
+    #[test]
+    fn consistency_spectrum_validates() {
+        let err = |b: DsoConfigBuilder| b.build().unwrap_err().to_string();
+        // The old asymmetry: an explicit zero lease used to pass silently.
+        assert!(err(DsoConfig::builder().read_cache(true).cache_lease(Duration::ZERO))
+            .contains("cache_lease must be positive"),);
+        // A bare Duration is accepted too (the `None` asymmetry fix made
+        // the setter take `impl Into<Option<Duration>>`).
+        assert!(DsoConfig::builder()
+            .read_cache(true)
+            .cache_lease(Duration::from_millis(2))
+            .build()
+            .is_ok());
+        assert!(err(DsoConfig::builder().staleness_bound(Duration::from_millis(5)))
+            .contains("requires ConsistencyMode::BoundedStaleness"));
+        assert!(err(DsoConfig::builder().consistency(ConsistencyMode::BoundedStaleness))
+            .contains("requires staleness_bound"));
+        assert!(err(DsoConfig::builder()
+            .consistency(ConsistencyMode::BoundedStaleness)
+            .staleness_bound(Duration::ZERO))
+        .contains("staleness_bound must be positive"));
+        assert!(err(DsoConfig::builder()
+            .consistency(ConsistencyMode::BoundedStaleness)
+            .staleness_bound(Duration::from_millis(5)))
+        .contains("enable read_cache"));
+        assert!(err(DsoConfig::builder()
+            .consistency(ConsistencyMode::BoundedStaleness)
+            .staleness_bound(Duration::from_millis(5))
+            .read_cache(true)
+            .cache_lease(Duration::from_millis(1)))
+        .contains("cache_lease conflicts with staleness_bound"));
+        let cfg = DsoConfig::builder()
+            .consistency(ConsistencyMode::BoundedStaleness)
+            .staleness_bound(Duration::from_millis(5))
+            .read_cache(true)
+            .build()
+            .expect("coherent BoundedStaleness config");
+        assert_eq!(cfg.staleness_bound, Some(Duration::from_millis(5)));
+        assert!(err(DsoConfig::builder()
+            .consistency(ConsistencyMode::CrdtMerge)
+            .anti_entropy_interval(Duration::ZERO))
+        .contains("anti_entropy_interval"));
+        assert!(DsoConfig::builder().consistency(ConsistencyMode::Causal).build().is_ok());
+    }
+
+    #[test]
+    fn crdt_merge_requires_a_mergeable_registration() {
+        use crate::object::ObjectRegistry;
+        let bare = ObjectRegistry::with_builtins();
+        // The builtins include GCounter (mergeable), so the stock registry
+        // passes; a registry without any mergeable type is rejected.
+        assert!(DsoConfig::builder()
+            .consistency(ConsistencyMode::CrdtMerge)
+            .build_with_registry(&bare)
+            .is_ok());
+        let empty = ObjectRegistry::new();
+        let err = DsoConfig::builder()
+            .consistency(ConsistencyMode::CrdtMerge)
+            .build_with_registry(&empty)
+            .unwrap_err();
+        assert!(err.to_string().contains("register_mergeable"), "{err}");
+        // Registry validation composes with the plain checks.
+        assert!(DsoConfig::builder()
+            .workers_per_node(0)
+            .build_with_registry(&ObjectRegistry::new())
+            .is_err());
     }
 
     #[test]

@@ -57,16 +57,18 @@ mod config;
 mod error;
 pub mod intern;
 mod membership;
+mod node_cache;
 mod object;
 pub mod objects;
 pub mod passivation;
 pub mod protocol;
+pub mod read_policy;
 mod ring;
 pub mod server;
 pub mod skeen;
 pub mod verify;
 
-pub use client::{BatchOp, DsoClient, DsoClientHandle};
+pub use client::{BatchOp, DsoClient, DsoClientHandle, MonotonicReads};
 pub use cluster::DsoCluster;
 pub use config::{
     AdmissionConfig, ConsistencyMode, DsoConfig, DsoConfigBuilder, DsoConfigError, PureMethods,
@@ -74,9 +76,12 @@ pub use config::{
 pub use error::{DsoError, ObjectError};
 pub use intern::{intern, MethodName};
 pub use membership::spawn_coordinator;
+pub use node_cache::{NodeCache, NodeCacheKey, NodeEntry};
 pub use object::{
-    costs, CallCtx, Effects, ObjectFactory, ObjectRef, ObjectRegistry, Reply, SharedObject, Ticket,
+    costs, CallCtx, Effects, Mergeable, ObjectFactory, ObjectRef, ObjectRegistry, Reply,
+    SharedObject, Ticket,
 };
 pub use protocol::DrainNode;
+pub use read_policy::{policy_for, ReadPolicy};
 pub use ring::{fnv1a, mix, Ring, VNODES};
 pub use server::{spawn_server, spawn_server_from, ServerHandle};

@@ -163,7 +163,8 @@ mod tests {
     #[test]
     fn list_set_out_of_bounds() {
         let mut o = ListObject::default();
-        let cc = crate::object::CallCtx { ticket: crate::object::Ticket(0), replicated: false };
+        let cc =
+            crate::object::CallCtx { ticket: crate::object::Ticket(0), replicated: false, node: 0 };
         let args = simcore::codec::to_bytes(&(0u64, vec![1u8])).expect("encode");
         assert!(o.invoke(&cc, "set", &args).is_err());
     }

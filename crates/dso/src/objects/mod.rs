@@ -9,7 +9,7 @@ mod atomics;
 mod containers;
 mod sync;
 
-pub use arith::Arithmetic;
+pub use arith::{Arithmetic, GCounter};
 pub use atomics::{AtomicBoolean, AtomicByteArray, AtomicLong};
 pub use containers::{ListObject, MapObject};
 pub use sync::{CountDownLatch, CyclicBarrier, FutureObject, Semaphore};
@@ -45,6 +45,10 @@ pub fn register_builtins(reg: &mut ObjectRegistry) {
     reg.register(CountDownLatch::TYPE, CountDownLatch::factory);
     reg.register(FutureObject::TYPE, FutureObject::factory);
     reg.register(Arithmetic::TYPE, Arithmetic::factory);
+    // The convergent counter registers as *mergeable*, which is what lets
+    // `ConsistencyMode::CrdtMerge` route its writes past the SMR multicast
+    // and reconcile replicas by merge on anti-entropy exchange.
+    reg.register_mergeable(GCounter::TYPE, GCounter::factory);
 }
 
 #[cfg(test)]
@@ -79,9 +83,25 @@ pub(crate) mod testutil {
         args: &impl serde::Serialize,
         ticket: Ticket,
     ) -> Effects {
-        let call = CallCtx { ticket, replicated: false };
+        let call = CallCtx { ticket, replicated: false, node: 0 };
         let bytes = simcore::codec::to_bytes(args).expect("encode args");
         obj.invoke(&call, method, &bytes).expect("invoke ok")
+    }
+
+    /// Invokes a method as if executing on storage node `node` (for
+    /// per-replica CRDT attribution tests).
+    pub fn call_at_node<R: serde::de::DeserializeOwned>(
+        obj: &mut dyn SharedObject,
+        method: &str,
+        args: &impl serde::Serialize,
+        node: u32,
+    ) -> R {
+        let call = CallCtx { ticket: Ticket(0), replicated: false, node };
+        let bytes = simcore::codec::to_bytes(args).expect("encode args");
+        match obj.invoke(&call, method, &bytes).expect("invoke ok").reply {
+            Reply::Value(v) => simcore::codec::from_bytes(&v).expect("decode reply"),
+            Reply::Park => panic!("unexpected park from {method}"),
+        }
     }
 
     /// Decodes a wake payload.
@@ -108,9 +128,12 @@ mod tests {
             "CountDownLatch",
             "Future",
             "Arithmetic",
+            "GCounter",
         ] {
             assert!(reg.contains(t), "missing builtin {t}");
             assert!(reg.create(t, &[]).is_ok(), "default-create {t}");
         }
+        assert!(reg.is_mergeable("GCounter"), "the CRDT counter registers as mergeable");
+        assert!(!reg.is_mergeable("AtomicLong"), "plain builtins stay last-writer-wins");
     }
 }

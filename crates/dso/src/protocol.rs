@@ -77,6 +77,12 @@ pub struct InvokeReq {
     /// [`crate::ConsistencyMode::ReplicaReads`], may be served by any
     /// replica.
     pub readonly: bool,
+    /// Causal dependency piggybacked by the client, `TraceCtx`-style: the
+    /// highest Lamport stamp the session has observed (`0` = none, the
+    /// value every non-causal policy sends). Mutations are stamped
+    /// strictly above it — `max(stored, dep) + 1` — deterministically per
+    /// applied write, so SMR replicas assign identical stamps.
+    pub dep: u64,
     /// Client-side trace span of this attempt; server-side execution spans
     /// are parented under it ([`SpanId::NONE`] when untraced).
     pub span: SpanId,
@@ -94,6 +100,11 @@ pub enum InvokeResp {
         /// unit replies of maintenance methods). Clients use it for
         /// monotonic reads and cache validation.
         version: u64,
+        /// The object's Lamport stamp when the method ran (`0` where
+        /// `version` is also meaningless). Under
+        /// [`crate::ConsistencyMode::Causal`] the client folds it into
+        /// its session frontier and rejects replica reads behind it.
+        lamport: u64,
     },
     /// Contacted node is not an owner; the attached view id hints the
     /// client to refresh.
@@ -192,6 +203,24 @@ pub enum PeerMsg {
         state: Vec<u8>,
         /// Version (applied-operation count) for conflict resolution.
         version: u64,
+        /// Lamport stamp travelling with the state, so causal sessions
+        /// survive rebalancing.
+        lamport: u64,
+    },
+    /// Anti-entropy exchange under [`crate::ConsistencyMode::CrdtMerge`]:
+    /// a replica pushes the full saved state of a [`Mergeable`] object;
+    /// the receiver reconciles through [`Mergeable::merge`] (never
+    /// last-writer-wins replacement).
+    ///
+    /// [`Mergeable`]: crate::object::Mergeable
+    /// [`Mergeable::merge`]: crate::object::Mergeable::merge
+    Merge {
+        /// Object being reconciled.
+        obj: ObjectRef,
+        /// Replication factor recorded at creation.
+        rf: u8,
+        /// The sender's full saved state.
+        state: Vec<u8>,
     },
 }
 

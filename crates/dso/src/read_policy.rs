@@ -1,0 +1,434 @@
+//! The pluggable read-path policy layer: one strategy object per client
+//! that decides *where* reads and writes are routed, *which* replies a
+//! session may accept, and *how long* cached results may be served without
+//! revalidation.
+//!
+//! Every [`crate::ConsistencyMode`] maps to one [`ReadPolicy`]
+//! implementation, built at [`crate::DsoClientHandle::connect`] time by
+//! [`policy_for`]. The client core ([`crate::DsoClient`]) is
+//! policy-agnostic: it asks the policy for a route, sends the request, and
+//! filters the reply through [`ReadPolicy::admit`] — a rejected reply
+//! retries at the primary, which is never behind an acknowledged write.
+//!
+//! The default policies ([`LinearizablePolicy`], [`ReplicaReadsPolicy`])
+//! re-express the pre-refactor routing byte-for-byte: same RNG draws, same
+//! round-robin arithmetic, same admission rule — pinned by the golden
+//! determinism hashes in `tests/kernel_determinism.rs`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+use crate::client::MonotonicReads;
+use crate::config::{ConsistencyMode, DsoConfig};
+use crate::object::ObjectRef;
+use crate::protocol::NodeId;
+use crate::ring::Ring;
+
+/// A client-side consistency strategy: routing, admission, dependency
+/// piggybacking, and cache-lease policy for one session.
+///
+/// Implementations are stateful (round-robin counters, causal frontiers)
+/// and live for the lifetime of one [`crate::DsoClient`].
+pub trait ReadPolicy: fmt::Debug + Send {
+    /// The policy's name, used in spans and debug output.
+    fn name(&self) -> &'static str;
+
+    /// Picks the node a declared read-only call contacts.
+    fn route_read(&mut self, ring: &Ring, obj: &ObjectRef, rf: u8) -> Option<NodeId>;
+
+    /// Picks the node a mutating call contacts. Defaults to the primary;
+    /// only convergent policies deviate.
+    fn route_write(&mut self, ring: &Ring, obj: &ObjectRef, rf: u8) -> Option<NodeId> {
+        let _ = rf;
+        ring.primary(obj)
+    }
+
+    /// The causal dependency to piggyback on a request
+    /// ([`crate::protocol::InvokeReq::dep`]); `0` means none.
+    fn dep(&self, obj: &ObjectRef) -> u64 {
+        let _ = obj;
+        0
+    }
+
+    /// Whether a reply carrying `(version, lamport)` is admissible for
+    /// this session. Accepting also records the observation; rejecting
+    /// makes the client retry at the primary.
+    fn admit(
+        &mut self,
+        monotonic: &mut MonotonicReads,
+        obj: &ObjectRef,
+        version: u64,
+        lamport: u64,
+    ) -> bool;
+
+    /// Records the outcome of an acknowledged write through this session.
+    fn observe_write(
+        &mut self,
+        monotonic: &mut MonotonicReads,
+        obj: &ObjectRef,
+        version: u64,
+        lamport: u64,
+    ) {
+        let _ = lamport;
+        monotonic.observe(obj, version);
+    }
+
+    /// How long a cached read result may be served without revalidation;
+    /// `None` means every cache hit must be version-validated.
+    fn lease(&self) -> Option<Duration> {
+        None
+    }
+}
+
+/// Builds the policy for a configuration. Called once per client at
+/// connect time.
+pub fn policy_for(cfg: &DsoConfig) -> Box<dyn ReadPolicy> {
+    match cfg.consistency {
+        ConsistencyMode::Linearizable => Box::new(LinearizablePolicy { lease: cfg.cache_lease }),
+        ConsistencyMode::ReplicaReads => {
+            Box::new(ReplicaReadsPolicy { rr: 0, lease: cfg.cache_lease })
+        }
+        ConsistencyMode::Causal => {
+            Box::new(CausalPolicy { rr: 0, clock: 0, deps: HashMap::new(), lease: cfg.cache_lease })
+        }
+        ConsistencyMode::BoundedStaleness => {
+            Box::new(BoundedStalenessPolicy { lease: cfg.staleness_bound })
+        }
+        ConsistencyMode::CrdtMerge => Box::new(CrdtMergePolicy { rr: 0, lease: cfg.cache_lease }),
+    }
+}
+
+/// Round-robin pick over the placement set; increments the counter only
+/// when a replica choice was actually made (`rf > 1`), exactly matching
+/// the pre-refactor routing arithmetic.
+fn round_robin(rr: &mut u64, ring: &Ring, obj: &ObjectRef, rf: u8) -> Option<NodeId> {
+    if rf > 1 {
+        let placement = ring.placement(obj, rf.max(1));
+        let node = if placement.is_empty() {
+            None
+        } else {
+            Some(placement[(*rr % placement.len() as u64) as usize])
+        };
+        *rr = rr.wrapping_add(1);
+        node
+    } else {
+        ring.primary(obj)
+    }
+}
+
+/// [`ConsistencyMode::Linearizable`]: every call — read or write — goes to
+/// the primary; replies pass through the monotonic-version filter (which
+/// the primary trivially satisfies).
+#[derive(Debug)]
+pub struct LinearizablePolicy {
+    lease: Option<Duration>,
+}
+
+impl ReadPolicy for LinearizablePolicy {
+    fn name(&self) -> &'static str {
+        "linearizable"
+    }
+
+    fn route_read(&mut self, ring: &Ring, obj: &ObjectRef, _rf: u8) -> Option<NodeId> {
+        ring.primary(obj)
+    }
+
+    fn admit(
+        &mut self,
+        monotonic: &mut MonotonicReads,
+        obj: &ObjectRef,
+        version: u64,
+        _lamport: u64,
+    ) -> bool {
+        monotonic.admit(obj, version)
+    }
+
+    fn lease(&self) -> Option<Duration> {
+        self.lease
+    }
+}
+
+/// [`ConsistencyMode::ReplicaReads`]: reads round-robin over the replica
+/// group; the monotonic-version filter rejects replies from replicas that
+/// trail something this session already observed.
+#[derive(Debug)]
+pub struct ReplicaReadsPolicy {
+    rr: u64,
+    lease: Option<Duration>,
+}
+
+impl ReadPolicy for ReplicaReadsPolicy {
+    fn name(&self) -> &'static str {
+        "replica-reads"
+    }
+
+    fn route_read(&mut self, ring: &Ring, obj: &ObjectRef, rf: u8) -> Option<NodeId> {
+        round_robin(&mut self.rr, ring, obj, rf)
+    }
+
+    fn admit(
+        &mut self,
+        monotonic: &mut MonotonicReads,
+        obj: &ObjectRef,
+        version: u64,
+        _lamport: u64,
+    ) -> bool {
+        monotonic.admit(obj, version)
+    }
+
+    fn lease(&self) -> Option<Duration> {
+        self.lease
+    }
+}
+
+/// [`ConsistencyMode::Causal`]: replica reads guarded by a per-object
+/// Lamport frontier. The session tracks the highest stamp it has observed
+/// per object (`deps`) and overall (`clock`); writes piggyback the clock
+/// as their dependency, so their server-side stamps land strictly above
+/// everything the session has seen, and reads are admitted only when the
+/// serving replica's stamp has caught up with the frontier — which yields
+/// monotonic reads *and* read-your-writes per session (the two guarantees
+/// [`crate::verify::check_causal`] checks).
+#[derive(Debug)]
+pub struct CausalPolicy {
+    rr: u64,
+    /// Highest Lamport stamp observed anywhere in this session.
+    clock: u64,
+    /// Per-object Lamport frontier: the minimum stamp a read may return.
+    deps: HashMap<ObjectRef, u64>,
+    lease: Option<Duration>,
+}
+
+impl ReadPolicy for CausalPolicy {
+    fn name(&self) -> &'static str {
+        "causal"
+    }
+
+    fn route_read(&mut self, ring: &Ring, obj: &ObjectRef, rf: u8) -> Option<NodeId> {
+        round_robin(&mut self.rr, ring, obj, rf)
+    }
+
+    fn dep(&self, _obj: &ObjectRef) -> u64 {
+        self.clock
+    }
+
+    fn admit(
+        &mut self,
+        monotonic: &mut MonotonicReads,
+        obj: &ObjectRef,
+        version: u64,
+        lamport: u64,
+    ) -> bool {
+        let need = self.deps.get(obj).copied().unwrap_or(0);
+        if lamport < need {
+            return false;
+        }
+        if !monotonic.admit(obj, version) {
+            return false;
+        }
+        self.clock = self.clock.max(lamport);
+        self.deps.insert(obj.clone(), lamport);
+        true
+    }
+
+    fn observe_write(
+        &mut self,
+        monotonic: &mut MonotonicReads,
+        obj: &ObjectRef,
+        version: u64,
+        lamport: u64,
+    ) {
+        monotonic.observe(obj, version);
+        self.clock = self.clock.max(lamport);
+        let e = self.deps.entry(obj.clone()).or_insert(0);
+        *e = (*e).max(lamport);
+    }
+
+    fn lease(&self) -> Option<Duration> {
+        self.lease
+    }
+}
+
+/// [`ConsistencyMode::BoundedStaleness`]: reads go to the *primary* and
+/// cache entries are served without revalidation for `staleness_bound`.
+/// Because an entry is installed or revalidated from the primary — which
+/// is globally current at that instant — a lease-served read is stale by
+/// at most the bound, by construction. This is the PR-1 `cache_lease`
+/// promoted to a first-class, verified mode
+/// ([`crate::verify::check_staleness_bound`]).
+#[derive(Debug)]
+pub struct BoundedStalenessPolicy {
+    lease: Option<Duration>,
+}
+
+impl ReadPolicy for BoundedStalenessPolicy {
+    fn name(&self) -> &'static str {
+        "bounded-staleness"
+    }
+
+    fn route_read(&mut self, ring: &Ring, obj: &ObjectRef, _rf: u8) -> Option<NodeId> {
+        ring.primary(obj)
+    }
+
+    fn admit(
+        &mut self,
+        monotonic: &mut MonotonicReads,
+        obj: &ObjectRef,
+        version: u64,
+        _lamport: u64,
+    ) -> bool {
+        monotonic.admit(obj, version)
+    }
+
+    fn lease(&self) -> Option<Duration> {
+        self.lease
+    }
+}
+
+/// [`ConsistencyMode::CrdtMerge`]: both reads and writes round-robin over
+/// the replica group and every reply is admitted. Replica versions diverge
+/// under merge (each replica counts its own mutations), so version-based
+/// monotonicity is meaningless here; what the mode guarantees instead is
+/// *convergence* — replicas reconcile by commutative merge on the
+/// anti-entropy cadence — which `tests/mergeable_props.rs` verifies across
+/// schedules.
+#[derive(Debug)]
+pub struct CrdtMergePolicy {
+    rr: u64,
+    lease: Option<Duration>,
+}
+
+impl ReadPolicy for CrdtMergePolicy {
+    fn name(&self) -> &'static str {
+        "crdt-merge"
+    }
+
+    fn route_read(&mut self, ring: &Ring, obj: &ObjectRef, rf: u8) -> Option<NodeId> {
+        round_robin(&mut self.rr, ring, obj, rf)
+    }
+
+    fn route_write(&mut self, ring: &Ring, obj: &ObjectRef, rf: u8) -> Option<NodeId> {
+        round_robin(&mut self.rr, ring, obj, rf)
+    }
+
+    fn admit(
+        &mut self,
+        monotonic: &mut MonotonicReads,
+        obj: &ObjectRef,
+        version: u64,
+        _lamport: u64,
+    ) -> bool {
+        monotonic.observe(obj, version);
+        true
+    }
+
+    fn lease(&self) -> Option<Duration> {
+        self.lease
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> Ring {
+        Ring::new(&[NodeId(0), NodeId(1), NodeId(2)])
+    }
+
+    fn obj(k: &str) -> ObjectRef {
+        ObjectRef::new("T", k)
+    }
+
+    #[test]
+    fn policy_for_matches_mode() {
+        let lin = DsoConfig::default();
+        assert_eq!(policy_for(&lin).name(), "linearizable");
+        let rr =
+            DsoConfig::builder().consistency(ConsistencyMode::ReplicaReads).build().expect("valid");
+        assert_eq!(policy_for(&rr).name(), "replica-reads");
+        let causal =
+            DsoConfig::builder().consistency(ConsistencyMode::Causal).build().expect("valid");
+        assert_eq!(policy_for(&causal).name(), "causal");
+        let bounded = DsoConfig::builder()
+            .consistency(ConsistencyMode::BoundedStaleness)
+            .read_cache(true)
+            .staleness_bound(Duration::from_millis(5))
+            .build()
+            .expect("valid");
+        let bounded = policy_for(&bounded);
+        assert_eq!(bounded.name(), "bounded-staleness");
+        assert_eq!(bounded.lease(), Some(Duration::from_millis(5)));
+        let crdt =
+            DsoConfig::builder().consistency(ConsistencyMode::CrdtMerge).build().expect("valid");
+        assert_eq!(policy_for(&crdt).name(), "crdt-merge");
+    }
+
+    #[test]
+    fn linearizable_always_routes_to_the_primary() {
+        let r = ring();
+        let mut p = LinearizablePolicy { lease: None };
+        let o = obj("a");
+        let primary = r.primary(&o);
+        for _ in 0..5 {
+            assert_eq!(p.route_read(&r, &o, 3), primary);
+            assert_eq!(p.route_write(&r, &o, 3), primary);
+        }
+    }
+
+    #[test]
+    fn replica_reads_round_robin_only_when_replicated() {
+        let r = ring();
+        let mut p = ReplicaReadsPolicy { rr: 0, lease: None };
+        let o = obj("a");
+        let placement = r.placement(&o, 3);
+        let picks: Vec<_> = (0..6).map(|_| p.route_read(&r, &o, 3).expect("routed")).collect();
+        assert_eq!(picks[0..3], placement[..], "cycles the placement set in order");
+        assert_eq!(picks[3..6], placement[..]);
+        // Unreplicated reads go to the primary and do not advance the
+        // round-robin counter.
+        assert_eq!(p.rr, 6);
+        assert_eq!(p.route_read(&r, &o, 1), r.primary(&o));
+        assert_eq!(p.rr, 6);
+    }
+
+    #[test]
+    fn causal_frontier_gates_reads_and_feeds_deps() {
+        let r = ring();
+        let mut p = CausalPolicy { rr: 0, clock: 0, deps: HashMap::new(), lease: None };
+        let mut m = MonotonicReads::new();
+        let o = obj("a");
+        assert_eq!(p.dep(&o), 0, "fresh session has no dependencies");
+        // A write stamped 7 raises the session clock and the object's
+        // frontier.
+        p.observe_write(&mut m, &o, 1, 7);
+        assert_eq!(p.dep(&o), 7);
+        // A replica still at stamp 6 is behind the frontier: rejected
+        // (read-your-writes); a caught-up one is admitted.
+        assert!(!p.admit(&mut m, &o, 1, 6));
+        assert!(p.admit(&mut m, &o, 1, 7));
+        // Reads ratchet the frontier too (monotonic reads).
+        assert!(p.admit(&mut m, &o, 2, 9));
+        assert!(!p.admit(&mut m, &o, 2, 8));
+        // The clock is global across objects; per-object frontiers are not.
+        let b = obj("b");
+        assert_eq!(p.dep(&b), 9);
+        assert!(p.admit(&mut m, &b, 1, 0), "object b has no frontier yet");
+        let _ = r;
+    }
+
+    #[test]
+    fn crdt_merge_spreads_writes_and_admits_everything() {
+        let r = ring();
+        let mut p = CrdtMergePolicy { rr: 0, lease: None };
+        let mut m = MonotonicReads::new();
+        let o = obj("a");
+        let placement = r.placement(&o, 3);
+        let w: Vec<_> = (0..3).map(|_| p.route_write(&r, &o, 3).expect("routed")).collect();
+        assert_eq!(w, placement, "writes cycle the replica group");
+        // Divergent replica versions are all admissible: convergence, not
+        // monotonicity, is the contract.
+        assert!(p.admit(&mut m, &o, 5, 0));
+        assert!(p.admit(&mut m, &o, 2, 0));
+    }
+}

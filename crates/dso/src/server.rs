@@ -19,7 +19,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use simcore::{Addr, Ctx, LatencyModel, Msg, Pid, Request, Sim, SimTime, SpanId, Ticker};
 
-use crate::config::{AdmissionConfig, DsoConfig};
+use crate::config::{AdmissionConfig, ConsistencyMode, DsoConfig};
 use crate::object::{CallCtx, ObjectRef, ObjectRegistry, Reply, SharedObject, Ticket};
 use crate::protocol::{
     BatchItemResp, BatchReq, DrainNode, InvokeReq, InvokeResp, MemberMsg, NodeId, PeerMsg, SmrOp,
@@ -75,6 +75,11 @@ struct Stored {
     obj: Box<dyn SharedObject>,
     rf: u8,
     version: u64,
+    /// Lamport stamp of the last applied mutation. Stamped as
+    /// `max(stored, req.dep) + 1`, which is deterministic per applied
+    /// write, so SMR replicas assign identical stamps without exchanging
+    /// clocks.
+    lamport: u64,
 }
 
 struct NodeShared {
@@ -223,17 +228,31 @@ fn server_main(
     let mut ring = Ring::new(&[]);
     let mut skeen: Skeen<SmrOp> = Skeen::new(node);
     let mut hb = Ticker::new(ctx.now(), cfg.heartbeat_interval);
+    // The anti-entropy ticker exists only under `CrdtMerge`; every other
+    // mode runs the exact pre-existing recv/heartbeat cadence, which keeps
+    // default-config schedules (and their golden hashes) byte-identical.
+    let mut anti_entropy = (cfg.consistency == ConsistencyMode::CrdtMerge)
+        .then(|| Ticker::new(ctx.now(), cfg.anti_entropy_interval));
     let mut shedder = cfg.admission.map(|a| Shedder::new(a, ctx.now()));
     let mut draining = false;
 
     loop {
-        let msg = ctx.recv_timeout(inbox, hb.remaining(ctx.now()));
+        let timeout = match &anti_entropy {
+            Some(ae) => hb.remaining(ctx.now()).min(ae.remaining(ctx.now())),
+            None => hb.remaining(ctx.now()),
+        };
+        let msg = ctx.recv_timeout(inbox, timeout);
         if hb.poll(ctx.now()) {
             let lat = cfg.peer_net.sample(ctx.rng());
             ctx.send(coordinator, Msg::new(MemberMsg::Heartbeat { node }), lat);
             // Queue-depth gauge, stamped on the heartbeat cadence so the
             // control plane (and operators) can see dispatcher pressure.
             ctx.metric_push("dso.queue_depth", shared.inflight.load(Ordering::SeqCst) as f64);
+        }
+        if let Some(ae) = anti_entropy.as_mut() {
+            if ae.poll(ctx.now()) {
+                anti_entropy_round(ctx, &shared, &view, &ring);
+            }
         }
         let Some(msg) = msg else { continue };
 
@@ -309,8 +328,12 @@ fn server_main(
                 process_skeen_actions(ctx, &shared, &view, &workers, &mut skeen, actions);
                 continue;
             }
-            Ok(PeerMsg::Transfer { obj, rf, state, version }) => {
-                install_transfer(&shared, obj, rf, state, version);
+            Ok(PeerMsg::Transfer { obj, rf, state, version, lamport }) => {
+                install_transfer(&shared, obj, rf, state, version, lamport);
+                continue;
+            }
+            Ok(PeerMsg::Merge { obj, rf, state }) => {
+                apply_merge(ctx, &shared, obj, rf, state);
                 continue;
             }
             Err(other) => other,
@@ -402,7 +425,13 @@ fn handle_client_invoke(
     // local copy (the read fast path). Under the default primary-only
     // routing this stays linearizable; under replica reads the client
     // enforces monotonicity via the returned version.
-    if req.rf > 1 && placement.len() > 1 && !req.readonly {
+    //
+    // Under `CrdtMerge`, *writes* to mergeable objects also skip SMR: the
+    // contacted replica applies locally and the replica group reconciles
+    // by merge on the anti-entropy cadence — convergence without ordering.
+    let crdt = cfg.consistency == ConsistencyMode::CrdtMerge
+        && shared.registry.is_mergeable(req.obj.type_name());
+    if req.rf > 1 && placement.len() > 1 && !req.readonly && !crdt {
         // SMR path: totally-order the operation among the replica group.
         // The round span covers multicast through total-order delivery at
         // the initiating node; every replica's apply span nests under it.
@@ -509,6 +538,7 @@ fn install_transfer(
     rf: u8,
     state: Vec<u8>,
     version: u64,
+    lamport: u64,
 ) {
     let mut objects = shared.objects.lock();
     let newer = objects.get(&obj).is_none_or(|s| s.version < version);
@@ -520,7 +550,73 @@ fn install_transfer(
         Err(_) => return, // unknown type on this node: drop the transfer
     };
     if instance.restore(&state).is_ok() {
-        objects.insert(obj, Stored { obj: instance, rf, version });
+        objects.insert(obj, Stored { obj: instance, rf, version, lamport });
+    }
+}
+
+/// One anti-entropy round under [`ConsistencyMode::CrdtMerge`]: push the
+/// full saved state of every locally-stored mergeable replicated object to
+/// its peer replicas. Receivers reconcile through [`apply_merge`]; the
+/// exchange is convergent because merges are commutative, associative and
+/// idempotent.
+fn anti_entropy_round(ctx: &mut Ctx, shared: &Arc<NodeShared>, view: &View, ring: &Ring) {
+    let node = shared.node;
+    // Snapshot under the lock, then sort: HashMap iteration order is not
+    // deterministic across runs and sends must be.
+    let mut batch: Vec<(ObjectRef, u8, Vec<u8>)> = {
+        let objects = shared.objects.lock();
+        objects
+            .iter()
+            .filter(|(obj_ref, stored)| {
+                stored.rf > 1 && shared.registry.is_mergeable(obj_ref.type_name())
+            })
+            .map(|(obj_ref, stored)| (obj_ref.clone(), stored.rf, stored.obj.save()))
+            .collect()
+    };
+    batch.sort_by(|a, b| a.0.cmp(&b.0));
+    for (obj, rf, state) in batch {
+        for peer in ring.placement(&obj, rf.max(1)) {
+            if peer == node {
+                continue;
+            }
+            if let Some(addr) = view.addr_of(peer) {
+                let lat = shared.cfg.peer_net.sample(ctx.rng());
+                let msg = PeerMsg::Merge { obj: obj.clone(), rf, state: state.clone() };
+                ctx.send(addr, Msg::new(msg), lat);
+            }
+        }
+    }
+}
+
+/// Applies an incoming [`PeerMsg::Merge`]: reconcile through the object's
+/// [`Mergeable`](crate::object::Mergeable) hook, bumping the version only
+/// when the merge actually changed state (so caches and monotonic reads
+/// see merges as mutations, and idempotent re-merges cost nothing). An
+/// absent object installs from the pushed state, like a transfer.
+fn apply_merge(ctx: &mut Ctx, shared: &Arc<NodeShared>, obj: ObjectRef, rf: u8, state: Vec<u8>) {
+    let mut objects = shared.objects.lock();
+    match objects.get_mut(&obj) {
+        Some(stored) => {
+            let before = stored.obj.save();
+            let merged = match stored.obj.as_mergeable() {
+                Some(m) => m.merge(&state).is_ok(),
+                None => false, // registered mergeable but instance is not: drop
+            };
+            if merged && stored.obj.save() != before {
+                stored.version += 1;
+                stored.lamport += 1;
+                ctx.metric_incr("dso.merges");
+            }
+        }
+        None => {
+            let Ok(mut instance) = shared.registry.create(obj.type_name(), &[]) else {
+                return;
+            };
+            if instance.restore(&state).is_ok() {
+                objects.insert(obj, Stored { obj: instance, rf, version: 1, lamport: 1 });
+                ctx.metric_incr("dso.merges");
+            }
+        }
     }
 }
 
@@ -537,7 +633,7 @@ fn rebalance(
 ) {
     let node = shared.node;
     let mut to_remove: Vec<ObjectRef> = Vec::new();
-    let mut to_send: Vec<(Addr, ObjectRef, u8, Vec<u8>, u64)> = Vec::new();
+    let mut to_send: Vec<(Addr, ObjectRef, u8, Vec<u8>, u64, u64)> = Vec::new();
     {
         let objects = shared.objects.lock();
         for (obj_ref, stored) in objects.iter() {
@@ -555,16 +651,23 @@ fn rebalance(
                 let state = stored.obj.save();
                 for t in targets {
                     if let Some(addr) = new_view.addr_of(t) {
-                        to_send.push((addr, obj_ref.clone(), rf, state.clone(), stored.version));
+                        to_send.push((
+                            addr,
+                            obj_ref.clone(),
+                            rf,
+                            state.clone(),
+                            stored.version,
+                            stored.lamport,
+                        ));
                     }
                 }
             }
         }
     }
-    for (addr, obj, rf, state, version) in to_send {
+    for (addr, obj, rf, state, version, lamport) in to_send {
         let lat = shared.cfg.peer_net.sample(ctx.rng())
             + Duration::from_secs_f64(state.len() as f64 / shared.cfg.transfer_bandwidth);
-        ctx.send(addr, Msg::new(PeerMsg::Transfer { obj, rf, state, version }), lat);
+        ctx.send(addr, Msg::new(PeerMsg::Transfer { obj, rf, state, version, lamport }), lat);
     }
     if !to_remove.is_empty() {
         let mut objects = shared.objects.lock();
@@ -678,7 +781,11 @@ fn execute(
             // Idempotent explicit creation: materialization above (or a
             // pre-existing object) is all that is needed.
             CallOutcome::Reply(
-                InvokeResp::Value { bytes: unit_bytes(), version: stored.version },
+                InvokeResp::Value {
+                    bytes: unit_bytes(),
+                    version: stored.version,
+                    lamport: stored.lamport,
+                },
                 crate::object::costs::SIMPLE_OP,
             )
         } else if req.readonly && !stored.obj.is_readonly(&req.method) {
@@ -709,7 +816,7 @@ fn execute(
             } else {
                 None
             };
-            let call = CallCtx { ticket, replicated };
+            let call = CallCtx { ticket, replicated, node: shared.node.0 };
             match stored.obj.invoke(&call, &req.method, &req.args) {
                 Ok(effects) if snapshot.as_ref().is_some_and(|s| *s != stored.obj.save()) => {
                     // invariant: snapshot is Some in this arm, per the guard.
@@ -728,15 +835,19 @@ fn execute(
                 Ok(effects) => {
                     // The version counts *mutations*, so read-only calls
                     // leave it unchanged — that is what lets replicas and
-                    // caches compare versions meaningfully.
+                    // caches compare versions meaningfully. The Lamport
+                    // stamp advances past the caller's piggybacked
+                    // dependency, deterministically per applied write.
                     if mutating {
                         stored.version += 1;
+                        stored.lamport = stored.lamport.max(req.dep) + 1;
                     }
                     let version = stored.version;
+                    let lamport = stored.lamport;
                     wakes = effects.wakes;
                     match effects.reply {
                         Reply::Value(v) => CallOutcome::Reply(
-                            InvokeResp::Value { bytes: v.into(), version },
+                            InvokeResp::Value { bytes: v.into(), version, lamport },
                             effects.cost,
                         ),
                         Reply::Park if replicated => CallOutcome::Reply(
@@ -791,14 +902,17 @@ fn restore_object(shared: &Arc<NodeShared>, req: &InvokeReq) -> CallOutcome {
             .and_then(|mut o| o.restore(&state).map(|()| o));
         match instance {
             Ok(obj) => {
-                objects.insert(req.obj.clone(), Stored { obj, rf: req.rf.max(1), version });
+                // Passivation records carry no Lamport stamp; the version
+                // is a sound floor (stamps advance at least as fast).
+                let stored = Stored { obj, rf: req.rf.max(1), version, lamport: version };
+                objects.insert(req.obj.clone(), stored);
             }
             Err(e) => return CallOutcome::Reply(InvokeResp::Error(e), Duration::ZERO),
         }
     }
     let cost =
         crate::object::costs::SIMPLE_OP + crate::object::costs::PER_BYTE * state.len() as u32;
-    CallOutcome::Reply(InvokeResp::Value { bytes: unit_bytes(), version }, cost)
+    CallOutcome::Reply(InvokeResp::Value { bytes: unit_bytes(), version, lamport: version }, cost)
 }
 
 /// Creates the object for `req` if possible: from the request's creation
@@ -815,7 +929,7 @@ fn materialize(
         None => return Ok(None),
     };
     let obj = shared.registry.create(req.obj.type_name(), args)?;
-    Ok(Some(Stored { obj, rf: req.rf.max(1), version: 0 }))
+    Ok(Some(Stored { obj, rf: req.rf.max(1), version: 0, lamport: 0 }))
 }
 
 /// Charges the CPU cost, wakes deferred callers, replies, and closes the
@@ -843,8 +957,10 @@ fn finish(
         if let Some(addr) = target {
             let lat = shared.cfg.client_net.sample(ctx.rng());
             // Deferred wakes complete blocking calls; those never come
-            // from batches, and version 0 marks "no version observed".
-            ctx.reply(addr, InvokeResp::Value { bytes: bytes.clone().into(), version: 0 }, lat);
+            // from batches, and version 0 marks "no version observed"
+            // (lamport likewise).
+            let resp = InvokeResp::Value { bytes: bytes.clone().into(), version: 0, lamport: 0 };
+            ctx.reply(addr, resp, lat);
         }
     }
     match outcome {

@@ -14,6 +14,14 @@
 //!
 //! The same reasoning verifies compare-and-set-based claims (each value
 //! claimed exactly once).
+//!
+//! The weaker modes of the consistency spectrum get their own checkers:
+//! [`check_causal`] validates the *session guarantees* (monotonic reads,
+//! read-your-writes) that [`crate::ConsistencyMode::Causal`] promises,
+//! and [`check_staleness_bound`] validates the virtual-time staleness
+//! bound of [`crate::ConsistencyMode::BoundedStaleness`].
+
+use std::time::Duration;
 
 use simcore::SimTime;
 
@@ -223,6 +231,270 @@ pub fn check_counter_with_reads(incs: &[Op], reads: &[Op]) -> Result<(), Violati
     Ok(())
 }
 
+/// Whether a [`SessionOp`] was a mutation or a read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionKind {
+    /// A mutating operation; `value` is the counter value it produced.
+    Write,
+    /// A read; `value` is the counter value it observed.
+    Read,
+}
+
+/// One completed operation in a *session* history: an [`Op`] attributed
+/// to the client (session) that issued it, with its read/write kind.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SessionOp {
+    /// The issuing client (session) id.
+    pub client: u32,
+    /// Invocation time.
+    pub start: SimTime,
+    /// Response time.
+    pub end: SimTime,
+    /// Read or write.
+    pub kind: SessionKind,
+    /// The counter value produced (write) or observed (read).
+    pub value: i64,
+}
+
+/// Why a session history violates the causal session guarantees.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionViolation {
+    /// An operation responded before it was invoked (malformed record).
+    Malformed,
+    /// A session read a value, then later read an older one.
+    MonotonicReads {
+        /// The violating session.
+        client: u32,
+        /// The earlier read (higher value).
+        earlier: SessionOp,
+        /// The later read that travelled back in time.
+        later: SessionOp,
+    },
+    /// A session failed to observe its own earlier write.
+    ReadYourWrites {
+        /// The violating session.
+        client: u32,
+        /// The session's write.
+        write: SessionOp,
+        /// The later read that missed it.
+        read: SessionOp,
+    },
+}
+
+impl std::fmt::Display for SessionViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionViolation::Malformed => {
+                write!(f, "operation responded before it was invoked")
+            }
+            SessionViolation::MonotonicReads { client, earlier, later } => write!(
+                f,
+                "monotonic reads violated: client {client} read {} then later read {}",
+                earlier.value, later.value
+            ),
+            SessionViolation::ReadYourWrites { client, write, read } => write!(
+                f,
+                "read-your-writes violated: client {client} wrote {} then read {}",
+                write.value, read.value
+            ),
+        }
+    }
+}
+
+/// Checks the two *session guarantees* that
+/// [`crate::ConsistencyMode::Causal`] promises, over a counter history
+/// where values grow monotonically with real time (unit increments):
+///
+/// * **monotonic reads** — within one session, read values never
+///   decrease, and
+/// * **read-your-writes** — a session's read never returns a value below
+///   its own latest write.
+///
+/// Operations within a session are sequential (a client issues one call
+/// at a time), so ordering each session by invocation time recovers its
+/// program order.
+///
+/// # Errors
+///
+/// Returns the first [`SessionViolation`] found, scanning sessions in
+/// client-id order.
+///
+/// # Examples
+///
+/// ```
+/// use dso::verify::{check_causal, SessionKind, SessionOp};
+/// use simcore::SimTime;
+///
+/// let t = SimTime::from_millis;
+/// let h = vec![
+///     SessionOp { client: 0, start: t(0), end: t(1), kind: SessionKind::Write, value: 1 },
+///     SessionOp { client: 0, start: t(2), end: t(3), kind: SessionKind::Read, value: 1 },
+/// ];
+/// assert!(check_causal(&h).is_ok());
+///
+/// // The same session reading 0 after writing 1 misses its own write.
+/// let h = vec![
+///     SessionOp { client: 0, start: t(0), end: t(1), kind: SessionKind::Write, value: 1 },
+///     SessionOp { client: 0, start: t(2), end: t(3), kind: SessionKind::Read, value: 0 },
+/// ];
+/// assert!(check_causal(&h).is_err());
+/// ```
+pub fn check_causal(history: &[SessionOp]) -> Result<(), SessionViolation> {
+    let mut sessions: std::collections::BTreeMap<u32, Vec<&SessionOp>> =
+        std::collections::BTreeMap::new();
+    for op in history {
+        if op.end < op.start {
+            return Err(SessionViolation::Malformed);
+        }
+        sessions.entry(op.client).or_default().push(op);
+    }
+    for (client, mut ops) in sessions {
+        ops.sort_by_key(|o| o.start);
+        // Highest-valued read/write seen so far in this session; counter
+        // values grow with time, so any dip below either is a violation.
+        let mut max_read: Option<&SessionOp> = None;
+        let mut max_write: Option<&SessionOp> = None;
+        for op in ops {
+            match op.kind {
+                SessionKind::Read => {
+                    if let Some(w) = max_write {
+                        if op.value < w.value {
+                            return Err(SessionViolation::ReadYourWrites {
+                                client,
+                                write: *w,
+                                read: *op,
+                            });
+                        }
+                    }
+                    if let Some(r) = max_read {
+                        if op.value < r.value {
+                            return Err(SessionViolation::MonotonicReads {
+                                client,
+                                earlier: *r,
+                                later: *op,
+                            });
+                        }
+                    }
+                    if max_read.is_none_or(|r| op.value > r.value) {
+                        max_read = Some(op);
+                    }
+                }
+                SessionKind::Write => {
+                    if max_write.is_none_or(|w| op.value > w.value) {
+                        max_write = Some(op);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Why a history violates a staleness bound.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StalenessViolation {
+    /// An operation responded before it was invoked (malformed record).
+    Malformed,
+    /// A read returned a counter value outside `0..=n`.
+    ReadOutOfRange(Op),
+    /// A read completed before the increment producing its value started.
+    FutureRead {
+        /// The increment that produced the read's value.
+        inc: Op,
+        /// The impossible read.
+        read: Op,
+    },
+    /// A read returned a value the counter had moved past more than
+    /// `bound` before the read started.
+    StaleBeyondBound {
+        /// The increment that superseded the read's value.
+        superseded_by: Op,
+        /// The too-stale read.
+        read: Op,
+        /// The configured bound.
+        bound: Duration,
+    },
+}
+
+impl std::fmt::Display for StalenessViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StalenessViolation::Malformed => {
+                write!(f, "operation responded before it was invoked")
+            }
+            StalenessViolation::ReadOutOfRange(op) => {
+                write!(f, "read returned {} — a value the counter never held", op.value)
+            }
+            StalenessViolation::FutureRead { read, .. } => {
+                write!(f, "read returned {} before the producing increment started", read.value)
+            }
+            StalenessViolation::StaleBeyondBound { read, bound, .. } => write!(
+                f,
+                "read of {} started more than {bound:?} after the value was superseded",
+                read.value
+            ),
+        }
+    }
+}
+
+/// Checks the contract of [`crate::ConsistencyMode::BoundedStaleness`]:
+/// every read returns a value the counter held *within the last `bound`*
+/// of virtual time.
+///
+/// The increments must themselves be linearizable
+/// ([`check_unit_counter`] — writes still go through the primary). The
+/// staleness rule is conservative (it only reports certain violations): a
+/// read of value `v` is flagged iff the increment producing `v + 1`
+/// *completed* more than `bound` before the read *started* — by then even
+/// a lease granted at the last possible validation has expired. Reads are
+/// also checked against the future: a read cannot return a value whose
+/// producing increment had not started when the read completed.
+///
+/// # Errors
+///
+/// Returns the first violation found, reads scanned in input order;
+/// failures of the increments-only check are reported through
+/// [`StalenessViolation::Malformed`]/[`ReadOutOfRange`](StalenessViolation::ReadOutOfRange)
+/// equivalents of the underlying [`Violation`].
+pub fn check_staleness_bound(
+    incs: &[Op],
+    reads: &[Op],
+    bound: Duration,
+) -> Result<(), StalenessViolation> {
+    if check_unit_counter(incs).is_err() {
+        return Err(StalenessViolation::Malformed);
+    }
+    let n = incs.len() as i64;
+    // Bijection holds, so value v (1-based) indexes its increment.
+    let mut by_value: Vec<&Op> = incs.iter().collect();
+    by_value.sort_by_key(|o| o.value);
+    for r in reads {
+        if r.end < r.start {
+            return Err(StalenessViolation::Malformed);
+        }
+        if r.value < 0 || r.value > n {
+            return Err(StalenessViolation::ReadOutOfRange(*r));
+        }
+        if r.value > 0 {
+            let inc = by_value[(r.value - 1) as usize];
+            if r.end < inc.start {
+                return Err(StalenessViolation::FutureRead { inc: *inc, read: *r });
+            }
+        }
+        if r.value < n {
+            let next = by_value[r.value as usize];
+            if next.end + bound < r.start {
+                return Err(StalenessViolation::StaleBeyondBound {
+                    superseded_by: *next,
+                    read: *r,
+                    bound,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +633,103 @@ mod tests {
         let incs = vec![op(0, 1, 1), op(2, 3, 1)];
         assert_eq!(check_counter_with_reads(&incs, &[]).unwrap_err(), Violation::NotABijection);
     }
+
+    fn sop(client: u32, start_ms: u64, kind: SessionKind, value: i64) -> SessionOp {
+        SessionOp {
+            client,
+            start: SimTime::from_millis(start_ms),
+            end: SimTime::from_millis(start_ms + 1),
+            kind,
+            value,
+        }
+    }
+
+    #[test]
+    fn causal_sessions_are_independent() {
+        use SessionKind::{Read, Write};
+        // Client 0 advances; client 1 reads older values — fine, the
+        // guarantees are per-session.
+        let h = vec![
+            sop(0, 0, Write, 1),
+            sop(0, 10, Write, 2),
+            sop(0, 20, Read, 2),
+            sop(1, 25, Read, 1),
+            sop(1, 30, Read, 1),
+            sop(1, 40, Read, 2),
+        ];
+        assert!(check_causal(&h).is_ok());
+        assert!(check_causal(&[]).is_ok());
+    }
+
+    #[test]
+    fn causal_catches_non_monotonic_reads() {
+        use SessionKind::Read;
+        let h = vec![sop(3, 0, Read, 5), sop(3, 10, Read, 4)];
+        let err = check_causal(&h).unwrap_err();
+        assert!(matches!(err, SessionViolation::MonotonicReads { client: 3, .. }), "{err}");
+        assert!(err.to_string().contains("monotonic reads"));
+        // Record order must not matter: sessions are re-sorted by start.
+        let h = vec![sop(3, 10, Read, 4), sop(3, 0, Read, 5)];
+        assert!(check_causal(&h).is_err());
+    }
+
+    #[test]
+    fn causal_catches_missed_own_write() {
+        use SessionKind::{Read, Write};
+        let h = vec![sop(7, 0, Write, 3), sop(7, 10, Read, 2)];
+        let err = check_causal(&h).unwrap_err();
+        assert!(matches!(err, SessionViolation::ReadYourWrites { client: 7, .. }), "{err}");
+        assert!(err.to_string().contains("read-your-writes"));
+    }
+
+    #[test]
+    fn causal_catches_malformed_records() {
+        let bad = SessionOp {
+            client: 0,
+            start: SimTime::from_millis(5),
+            end: SimTime::from_millis(1),
+            kind: SessionKind::Read,
+            value: 0,
+        };
+        assert_eq!(check_causal(&[bad]).unwrap_err(), SessionViolation::Malformed);
+    }
+
+    #[test]
+    fn staleness_bound_accepts_reads_within_the_lease() {
+        let bound = Duration::from_millis(10);
+        let incs = vec![op(0, 1, 1), op(100, 101, 2)];
+        // Reading 1 up to 101ms + 10ms after it was superseded is fine...
+        assert!(check_staleness_bound(&incs, &[op(105, 106, 1)], bound).is_ok());
+        // ...but starting a read of 1 well past the bound is not.
+        let err = check_staleness_bound(&incs, &[op(150, 151, 1)], bound).unwrap_err();
+        assert!(matches!(err, StalenessViolation::StaleBeyondBound { .. }), "{err}");
+        assert!(err.to_string().contains("superseded"));
+        // The newest value is never stale.
+        assert!(check_staleness_bound(&incs, &[op(10_000, 10_001, 2)], bound).is_ok());
+    }
+
+    #[test]
+    fn staleness_bound_still_rejects_impossible_reads() {
+        let bound = Duration::from_millis(10);
+        let incs = vec![op(100, 101, 1)];
+        // Value from the future: inc(1) had not started when the read
+        // completed.
+        let err = check_staleness_bound(&incs, &[op(0, 1, 1)], bound).unwrap_err();
+        assert!(matches!(err, StalenessViolation::FutureRead { .. }), "{err}");
+        assert_eq!(
+            check_staleness_bound(&incs, &[op(0, 1, 9)], bound).unwrap_err(),
+            StalenessViolation::ReadOutOfRange(op(0, 1, 9))
+        );
+        assert_eq!(
+            check_staleness_bound(&incs, &[op(5, 1, 0)], bound).unwrap_err(),
+            StalenessViolation::Malformed
+        );
+        // Broken increments surface as malformed regardless of reads.
+        assert_eq!(
+            check_staleness_bound(&[op(0, 1, 1), op(2, 3, 1)], &[], bound).unwrap_err(),
+            StalenessViolation::Malformed
+        );
+    }
 }
 
 #[cfg(test)]
@@ -443,6 +812,80 @@ mod proptests {
                 value: wrong_v as i64,
             };
             prop_assert!(check_counter_with_reads(&incs, &[read]).is_err());
+        }
+
+        #[test]
+        fn lagged_session_reads_satisfy_causal_when_frontiers_are_respected(
+            // Each event: (client, is_write, lag) over a global counter.
+            events in proptest::collection::vec((0u32..4, any::<bool>(), 0i64..5), 1..120),
+        ) {
+            // Model of the causal policy: a session may read any lagged
+            // value of the global counter, clamped to its own frontier
+            // (max of everything it has read or written) — which is
+            // exactly what the Lamport-frontier admission enforces.
+            let mut global = 0i64;
+            let mut frontier = [0i64; 4];
+            let mut t = 0u64;
+            let mut h = Vec::new();
+            for (client, is_write, lag) in events {
+                t += 10;
+                let c = client as usize;
+                if is_write {
+                    global += 1;
+                    frontier[c] = frontier[c].max(global);
+                    h.push(SessionOp {
+                        client,
+                        start: SimTime::from_millis(t),
+                        end: SimTime::from_millis(t + 1),
+                        kind: SessionKind::Write,
+                        value: global,
+                    });
+                } else {
+                    let v = (global - lag).max(frontier[c]);
+                    frontier[c] = frontier[c].max(v);
+                    h.push(SessionOp {
+                        client,
+                        start: SimTime::from_millis(t),
+                        end: SimTime::from_millis(t + 1),
+                        kind: SessionKind::Read,
+                        value: v,
+                    });
+                }
+            }
+            prop_assert!(check_causal(&h).is_ok());
+        }
+
+        #[test]
+        fn bounded_lag_reads_satisfy_the_matching_staleness_bound(
+            n in 1usize..30,
+            read_slots in proptest::collection::vec((1usize..30, 0u64..2000), 0..40),
+        ) {
+            // Increments at 1000ns, 2000ns, ...; a read at time T of the
+            // value current at T - lag (lag ≤ bound) must pass the check
+            // with that bound.
+            let bound_ns = 1500u64;
+            let incs = linearizable_history(n, &[]);
+            let reads: Vec<Op> = read_slots
+                .iter()
+                .map(|&(slot, jitter)| {
+                    let at = (slot % n + 1) as u64 * 1000 + 500;
+                    let lag = jitter.min(bound_ns);
+                    let effective = at.saturating_sub(lag);
+                    // Value current at `effective`: increments linearize at
+                    // multiples of 1000.
+                    let v = (effective / 1000).min(n as u64) as i64;
+                    Op {
+                        start: SimTime::from_nanos(at),
+                        end: SimTime::from_nanos(at + 10),
+                        value: v,
+                    }
+                })
+                .collect();
+            prop_assert!(check_staleness_bound(
+                &incs,
+                &reads,
+                Duration::from_nanos(bound_ns)
+            ).is_ok());
         }
 
         #[test]

@@ -455,6 +455,52 @@ fn read_cache_validation_catches_other_clients_writes() {
     assert!(*checked.lock());
 }
 
+/// The two cache tiers report under distinct counter families:
+/// `dso.read_cache.*` for the per-client cache and `dso.node_cache.*` for
+/// the host-shared tier — so a dashboard can tell client-local warmth from
+/// co-location wins. Exact counts are pinned; the retired pre-refactor
+/// name (`dso.cache_hits`) must stay dead.
+#[test]
+fn cache_tiers_report_under_distinct_counters() {
+    let mut sim = Sim::new(75);
+    let metrics = simcore::MetricsRegistry::new();
+    sim.set_metrics(&metrics);
+    let cfg = DsoConfig::builder()
+        .read_cache(true)
+        .cache_lease(Duration::from_millis(5))
+        .node_cache(true)
+        .build()
+        .expect("valid two-tier cache config");
+    let cluster = DsoCluster::start(&sim, 2, cfg, ObjectRegistry::with_builtins());
+    let handle = cluster.client_handle();
+    sim.spawn("host", move |ctx| {
+        // Two clients on one host share one node cache — the co-located
+        // container pair of the deployment layer, inlined.
+        let host_cache = std::sync::Arc::new(dso::NodeCache::new());
+        let mut a = handle.connect_with_node_cache(host_cache.clone());
+        let mut b = handle.connect_with_node_cache(host_cache);
+        let c = api::AtomicLong::new("tiers");
+        c.set(ctx, &mut a, 5).expect("write");
+        // a: both tiers cold — one miss each, then the fetch warms both.
+        assert_eq!(c.get(ctx, &mut a).expect("read"), 5);
+        // a again: leased hit in a's own client cache.
+        assert_eq!(c.get(ctx, &mut a).expect("read"), 5);
+        // b: client cache cold, but the shared node cache is warm.
+        assert_eq!(c.get(ctx, &mut b).expect("read"), 5);
+        // a writes: the shared entry is torn down…
+        c.set(ctx, &mut a, 6).expect("write");
+        // …so b refetches and sees the new value (miss on both tiers).
+        assert_eq!(c.get(ctx, &mut b).expect("read"), 6);
+    });
+    sim.run_until_idle().expect_quiescent();
+    assert_eq!(metrics.counter_value("dso.read_cache.hit"), 1, "a's leased re-read");
+    assert_eq!(metrics.counter_value("dso.read_cache.miss"), 3, "first reads + post-write");
+    assert_eq!(metrics.counter_value("dso.node_cache.hit"), 1, "b rides a's warmth");
+    assert_eq!(metrics.counter_value("dso.node_cache.miss"), 2, "cold start + post-write");
+    assert_eq!(metrics.counter_value("dso.node_cache.invalidate"), 1, "a's second write");
+    assert_eq!(metrics.counter_value("dso.cache_hits"), 0, "pre-refactor name retired");
+}
+
 #[test]
 fn batched_invocation_matches_singles_and_is_faster() {
     let mut sim = Sim::new(74);

@@ -23,12 +23,28 @@ pub struct FnCtx<'a> {
     pub ctx: &'a mut Ctx,
     cpu_share: f64,
     memory_mb: u32,
+    host: u64,
 }
 
 impl<'a> FnCtx<'a> {
-    /// Creates a context for a container with the given memory.
+    /// Creates a context for a container with the given memory (on the
+    /// default host `0`; see [`FnCtx::with_host`]).
     pub fn new(ctx: &'a mut Ctx, memory_mb: u32) -> FnCtx<'a> {
-        FnCtx { ctx, cpu_share: cpu_share_for(memory_mb), memory_mb }
+        FnCtx::with_host(ctx, memory_mb, 0)
+    }
+
+    /// Creates a context for a container placed on physical host `host`.
+    /// The platform packs [`crate::FaasConfig::containers_per_host`]
+    /// containers per host; deployment layers use the host id to share
+    /// per-host resources (e.g. a co-located read cache) between
+    /// containers.
+    pub fn with_host(ctx: &'a mut Ctx, memory_mb: u32, host: u64) -> FnCtx<'a> {
+        FnCtx { ctx, cpu_share: cpu_share_for(memory_mb), memory_mb, host }
+    }
+
+    /// The physical host this container runs on.
+    pub fn host(&self) -> u64 {
+        self.host
     }
 
     /// Performs `work` of single-vCPU CPU time, stretched by this

@@ -30,6 +30,12 @@ pub struct FaasConfig {
     pub max_duration: Duration,
     /// Probability that an invocation crashes mid-run (failure injection).
     pub failure_rate: f64,
+    /// How many containers share one physical host. Container `id` runs
+    /// on host `id / containers_per_host` — a deterministic bin-packing
+    /// stand-in for the provider's placement. Deployment layers use the
+    /// host id ([`FnCtx::host`]) to share per-host resources (e.g. the
+    /// DSO node cache) between co-located containers.
+    pub containers_per_host: u32,
     /// Billing prices.
     pub pricing: Pricing,
 }
@@ -44,6 +50,7 @@ impl Default for FaasConfig {
             concurrency_limit: 3000,
             max_duration: Duration::from_secs(900),
             failure_rate: 0.0,
+            containers_per_host: 8,
             pricing: Pricing::default(),
         }
     }
@@ -329,6 +336,9 @@ impl Platform {
     fn spawn_container(&mut self, ctx: &mut Ctx, function: &str, prewarm: bool) -> Addr {
         let id = self.next_container;
         self.next_container += 1;
+        // Deterministic bin-packing: no RNG draw, so placement never
+        // perturbs golden schedules.
+        let host = id / u64::from(self.cfg.containers_per_host.max(1));
         let mailbox = ctx.mailbox(&format!("ctr-{function}-{id}"));
         let platform_inbox = self.inbox;
         let cfg2 = self.cfg.clone();
@@ -336,7 +346,17 @@ impl Platform {
         let billing2 = self.billing.clone();
         let fname = function.to_string();
         let pid = ctx.spawn_daemon(&format!("ctr-{function}-{id}"), move |cc| {
-            container_loop(cc, mailbox, platform_inbox, fname, cfg2, registry2, billing2, prewarm);
+            container_loop(
+                cc,
+                mailbox,
+                platform_inbox,
+                fname,
+                cfg2,
+                registry2,
+                billing2,
+                prewarm,
+                host,
+            );
         });
         self.pids.insert(mailbox, pid);
         mailbox
@@ -410,6 +430,7 @@ fn container_loop(
     registry: FunctionRegistry,
     billing: Billing,
     prewarm: bool,
+    host: u64,
 ) {
     let mut first = true;
     if prewarm {
@@ -457,7 +478,7 @@ fn container_loop(
             ctx.sleep(Duration::from_secs_f64(partial));
             Err("container crashed (injected)".to_string())
         } else {
-            let mut env = FnCtx::new(ctx, spec.memory_mb);
+            let mut env = FnCtx::with_host(ctx, spec.memory_mb, host);
             spec.handler.invoke(&mut env, job.payload)
         };
         let elapsed = ctx.now().saturating_duration_since(t0);

@@ -544,7 +544,7 @@ mod tests {
         method: &str,
         args: &impl Serialize,
     ) -> R {
-        let cc = CallCtx { ticket: Ticket(0), replicated: false };
+        let cc = CallCtx { ticket: Ticket(0), replicated: false, node: 0 };
         let bytes = crucial::codec::to_bytes(args).expect("encode");
         match obj.invoke(&cc, method, &bytes).expect("invoke").reply {
             crucial::Reply::Value(v) => crucial::codec::from_bytes(&v).expect("decode"),
@@ -585,7 +585,7 @@ mod tests {
     #[test]
     fn centroids_shape_mismatch_rejected() {
         let mut o = centroids(2, 2, 1);
-        let cc = CallCtx { ticket: Ticket(0), replicated: false };
+        let cc = CallCtx { ticket: Ticket(0), replicated: false, node: 0 };
         let bad = crucial::codec::to_bytes(&(vec![1.0], vec![1u64])).expect("encode");
         assert!(o.invoke(&cc, "update", &bad).is_err());
     }

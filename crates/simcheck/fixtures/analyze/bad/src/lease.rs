@@ -1,0 +1,16 @@
+// Fixture: wall clock laundered into a *lease* field of a wire struct.
+// The tempting bug in a cache lease: "how long is the entry still good"
+// computed from the host clock, then shipped inside `ReadStamp` where it
+// would steer every peer's revalidation decisions. The deadline read sits
+// one helper below the sink and no line in `stamp_read` names a clock
+// API. Expected finding: determinism-taint at the `ReadStamp` literal.
+
+fn lease_deadline_ms() -> u64 {
+    let now = std::time::SystemTime::now();
+    let epoch_ms = now.duration_since(std::time::UNIX_EPOCH).unwrap().as_millis() as u64;
+    epoch_ms + 5
+}
+
+pub fn stamp_read(lamport: u64) -> ReadStamp {
+    ReadStamp { lamport, lease_ms: lease_deadline_ms() }
+}

@@ -5,3 +5,8 @@ pub struct Announce {
     pub seq: u32,
     pub sent_ms: u64,
 }
+
+pub struct ReadStamp {
+    pub lamport: u64,
+    pub lease_ms: u64,
+}

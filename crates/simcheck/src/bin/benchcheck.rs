@@ -1,19 +1,23 @@
-//! CI gate: validates `BENCH_kernel.json` written by `experiments
-//! kernel-bench`.
+//! CI gate: validates the `BENCH_*.json` reports written by the
+//! `experiments` bin, dispatching on the top-level `bench` field.
 //!
-//! Usage: `cargo run -p simcheck --bin benchcheck -- [--json] BENCH_kernel.json`
+//! Usage: `cargo run -p simcheck --bin benchcheck -- [--json] <BENCH_*.json>`
 //!
 //! Checks, with the shared parser in [`simcheck::json`]:
 //!
-//! * the file is well-formed JSON with `"bench": "kernel"` and a
-//!   `sections` array,
-//! * every expected section is present, with positive `work`, `events`,
-//!   `elapsed_s`, and `events_per_s` fields,
-//! * each section's `events_per_s` clears a hard sanity floor, set at
-//!   roughly 1/10 of a typical release-build run so host noise cannot
-//!   flake the gate but an order-of-magnitude kernel regression (a
-//!   reintroduced hot-path allocation, an accidental O(n) queue scan)
-//!   fails CI.
+//! * `"bench": "kernel"` (`experiments kernel-bench`) — every expected
+//!   section is present with positive `work`, `events`, `elapsed_s`, and
+//!   `events_per_s`, and each section's `events_per_s` clears a hard
+//!   sanity floor, set at roughly 1/10 of a typical release-build run so
+//!   host noise cannot flake the gate but an order-of-magnitude kernel
+//!   regression (a reintroduced hot-path allocation, an accidental O(n)
+//!   queue scan) fails CI.
+//! * `"bench": "consistency"` (`experiments consistency-ablate`) — every
+//!   cell of the mode × cache matrix is present with a positive
+//!   `reads_per_s`, and the relational claims of the ablation hold:
+//!   replica reads beat primary-only reads, and the host-shared node
+//!   cache beats the per-client cache under client churn. These are
+//!   *claims the docs make*; the gate keeps them true.
 //!
 //! Exits non-zero listing each violation — as human-readable lines, or
 //! with `--json` as a JSON array of `{section, observed, floor, msg}`
@@ -82,12 +86,35 @@ impl Violation {
     }
 }
 
-/// Validates the document; returns violations (empty = clean).
+/// The cells `consistency-ablate` must report, and the relational claims
+/// over them: `(faster, slower, margin)` — `faster`'s `reads_per_s` must
+/// exceed `slower`'s by at least `margin`×.
+const CONSISTENCY_ROWS: [&str; 6] = [
+    "linearizable/none",
+    "replica-reads/none",
+    "causal/none",
+    "replica-reads/client_cache",
+    "bounded-staleness/client_cache",
+    "replica-reads/node_cache",
+];
+const CONSISTENCY_CLAIMS: [(&str, &str, f64); 2] = [
+    ("replica-reads/none", "linearizable/none", 1.1),
+    ("replica-reads/node_cache", "replica-reads/client_cache", 1.2),
+];
+
+/// Validates the document, dispatching on the `bench` field; returns
+/// violations (empty = clean).
 fn validate(doc: &Json) -> Vec<Violation> {
-    let mut errs = Vec::new();
-    if doc.get("bench").and_then(Json::as_str) != Some("kernel") {
-        errs.push(Violation::doc("top-level `bench` is not \"kernel\""));
+    match doc.get("bench").and_then(Json::as_str) {
+        Some("kernel") => validate_kernel(doc),
+        Some("consistency") => validate_consistency(doc),
+        Some(other) => vec![Violation::doc(format!("unknown bench kind \"{other}\""))],
+        None => vec![Violation::doc("top-level object lacks a `bench` string")],
     }
+}
+
+fn validate_kernel(doc: &Json) -> Vec<Violation> {
+    let mut errs = Vec::new();
     let Some(Json::Arr(sections)) = doc.get("sections") else {
         errs.push(Violation::doc("top-level object lacks a `sections` array"));
         return errs;
@@ -128,6 +155,50 @@ fn validate(doc: &Json) -> Vec<Violation> {
     errs
 }
 
+fn validate_consistency(doc: &Json) -> Vec<Violation> {
+    let mut errs = Vec::new();
+    let Some(Json::Arr(rows)) = doc.get("rows") else {
+        errs.push(Violation::doc("top-level object lacks a `rows` array"));
+        return errs;
+    };
+    let rate = |name: &str| -> Option<f64> {
+        rows.iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+            .and_then(|r| r.get("reads_per_s").and_then(Json::as_num))
+    };
+    for name in CONSISTENCY_ROWS {
+        match rate(name) {
+            Some(v) if v > 0.0 => {}
+            Some(v) => errs.push(Violation {
+                observed: Some(v),
+                ..Violation::section(name, format!("`reads_per_s` must be positive, got {v}"))
+            }),
+            None => {
+                errs.push(Violation::section(name, "row missing (or lacks numeric `reads_per_s`)"))
+            }
+        }
+    }
+    for (faster, slower, margin) in CONSISTENCY_CLAIMS {
+        let (Some(f), Some(s)) = (rate(faster), rate(slower)) else {
+            continue; // already reported as missing above
+        };
+        if f < s * margin {
+            errs.push(Violation {
+                observed: Some(f),
+                floor: Some(s * margin),
+                ..Violation::section(
+                    faster,
+                    format!(
+                        "reads_per_s {f:.0} does not beat {slower} ({s:.0}) by the \
+                         documented {margin}x margin — the ablation's claim regressed"
+                    ),
+                )
+            });
+        }
+    }
+    errs
+}
+
 /// Prints the violations in the selected format and returns the exit
 /// code. With `--json` even read/parse failures come out as a one-element
 /// violation array, so a consumer can always parse stdout.
@@ -144,7 +215,7 @@ fn report(path: &str, errs: &[Violation], json: bool) -> ExitCode {
             println!("{path}: {}", e.human());
         }
         if errs.is_empty() {
-            println!("benchcheck: {path}: clean ({} sections)", FLOORS.len());
+            println!("benchcheck: {path}: clean");
         } else {
             println!("benchcheck: {path}: {} violation(s)", errs.len());
         }
@@ -227,10 +298,72 @@ mod tests {
         let src = "{\"bench\": \"elastic\", \"sections\": [{\"name\": \"wheel_raw\", \
                     \"events_per_s\": 1e9}]}";
         let errs = validate(&parse(src).unwrap());
-        assert!(errs.iter().any(|e| e.msg.contains("not \"kernel\"")), "{:?}", humans(&errs));
+        assert!(
+            errs.iter().any(|e| e.msg.contains("unknown bench kind \"elastic\"")),
+            "{:?}",
+            humans(&errs)
+        );
+        let src = "{\"bench\": \"kernel\", \"sections\": [{\"name\": \"wheel_raw\", \
+                    \"events_per_s\": 1e9}]}";
+        let errs = validate(&parse(src).unwrap());
         assert!(
             errs.iter()
                 .any(|e| e.section == "wheel_raw" && e.msg.contains("missing numeric `work`")),
+            "{:?}",
+            humans(&errs)
+        );
+    }
+
+    /// A consistency report with every required row, `node` and `client`
+    /// setting the two cache-tier rates (the rest fixed and healthy).
+    fn consistency_doc(node: f64, client: f64) -> String {
+        let rate = |name: &str| match name {
+            "replica-reads/node_cache" => node,
+            "replica-reads/client_cache" => client,
+            "linearizable/none" => 30_000.0,
+            _ => 40_000.0,
+        };
+        let rows = CONSISTENCY_ROWS
+            .iter()
+            .map(|name| {
+                format!(
+                    "{{\"name\": \"{name}\", \"mode\": \"x\", \"cache\": \"x\", \
+                     \"reads_per_s\": {}, \"mean_read_latency_s\": 0.0001}}",
+                    rate(name)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"bench\": \"consistency\", \"scale\": \"quick\", \"rows\": [{rows}]}}")
+    }
+
+    #[test]
+    fn accepts_a_healthy_consistency_report() {
+        let errs = validate(&parse(&consistency_doc(700_000.0, 120_000.0)).unwrap());
+        assert!(errs.is_empty(), "{:?}", humans(&errs));
+    }
+
+    #[test]
+    fn rejects_a_node_cache_that_stopped_beating_the_client_cache() {
+        let errs = validate(&parse(&consistency_doc(120_000.0, 120_000.0)).unwrap());
+        assert_eq!(errs.len(), 1, "{:?}", humans(&errs));
+        assert_eq!(errs[0].section, "replica-reads/node_cache");
+        assert!(errs[0].msg.contains("does not beat replica-reads/client_cache"));
+        assert_eq!(errs[0].observed, Some(120_000.0));
+        assert_eq!(errs[0].floor, Some(120_000.0 * 1.2));
+    }
+
+    #[test]
+    fn rejects_missing_or_stalled_consistency_rows() {
+        let errs = validate(&parse("{\"bench\": \"consistency\", \"rows\": []}").unwrap());
+        assert_eq!(errs.len(), CONSISTENCY_ROWS.len(), "{:?}", humans(&errs));
+        assert!(errs[0].msg.contains("row missing"));
+        let doc = consistency_doc(700_000.0, 0.0);
+        let errs = validate(&parse(&doc).unwrap());
+        assert!(
+            errs.iter()
+                .any(|e| e.section == "replica-reads/client_cache"
+                    && e.msg.contains("must be positive")),
             "{:?}",
             humans(&errs)
         );

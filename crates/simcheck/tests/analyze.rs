@@ -24,6 +24,7 @@ fn bad_tree_yields_exactly_the_planted_findings() {
     got.sort();
     let mut want = vec![
         ("impure.rs".to_string(), Rule::ReadonlyImpure),
+        ("lease.rs".to_string(), Rule::DeterminismTaint),
         ("nondet.rs".to_string(), Rule::DeterminismTaint),
         ("taint_chain.rs".to_string(), Rule::DeterminismTaint),
         ("waits.rs".to_string(), Rule::WaitAnnotation),
@@ -49,6 +50,22 @@ fn interprocedural_taint_is_beyond_any_line_regex() {
     assert!(f.msg.contains("Announce"), "{}", f.msg);
     assert!(f.msg.contains("stamp_ms"), "{}", f.msg);
     assert!(f.msg.contains("raw_clock_ms"), "{}", f.msg);
+    assert!(f.msg.contains("SystemTime::now"), "{}", f.msg);
+}
+
+#[test]
+fn wall_clock_laundered_into_a_lease_field_is_caught() {
+    let analysis = analyze_tree(&fixture("bad")).expect("walk fixtures");
+    let f = analysis
+        .findings
+        .iter()
+        .find(|f| f.file.ends_with("lease.rs"))
+        .expect("planted lease finding");
+    assert_eq!(f.rule, Rule::DeterminismTaint);
+    // The finding sits at the `ReadStamp` wire literal, and the trace
+    // names the laundering helper and the true clock source.
+    assert!(f.msg.contains("ReadStamp"), "{}", f.msg);
+    assert!(f.msg.contains("lease_deadline_ms"), "{}", f.msg);
     assert!(f.msg.contains("SystemTime::now"), "{}", f.msg);
 }
 
