@@ -43,6 +43,17 @@ cargo run --release -q -p simcheck --bin benchcheck -- BENCH_kernel.json \
     || { cargo run --release -q -p simcheck --bin benchcheck -- --json BENCH_kernel.json \
            > results/benchcheck_violations.json || true; exit 1; }
 
+# Cold-start tier smoke: classic vs snapshot-restore elastic runs plus the
+# fork fan-out microbench. The run self-asserts the tier mechanics (the
+# snapshot run restores and buys no provisioned floors, the classic run
+# does the opposite) and writes BENCH_coldstart.json; benchcheck holds the
+# documented latency claims — a restore collapses the classic cold start
+# >= 4x, a warm-parent fork undercuts the restore >= 2x.
+cargo run --release -q -p bench --bin experiments coldstart
+cargo run --release -q -p simcheck --bin benchcheck -- BENCH_coldstart.json \
+    || { cargo run --release -q -p simcheck --bin benchcheck -- --json BENCH_coldstart.json \
+           > results/benchcheck_violations.json || true; exit 1; }
+
 # Consistency-spectrum ablation: the mode x cache matrix on the hot rf=3
 # read workload under client churn, reported in BENCH_consistency.json.
 # benchcheck holds the relational claims the docs make — replica reads

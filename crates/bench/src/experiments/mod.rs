@@ -5,6 +5,7 @@
 //! (plus structured data where tests need it).
 
 pub mod ablate;
+pub mod coldstart;
 pub mod consistency;
 pub mod elastic;
 pub mod kernelbench;

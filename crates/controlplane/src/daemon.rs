@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dso::DsoCluster;
-use faas::FaasHandle;
+use faas::{FaasHandle, InvokeOpts};
 use parking_lot::Mutex;
 use simcore::{MetricsRegistry, Sim, SimTime, Ticker};
 
@@ -55,12 +55,20 @@ impl Default for CtlConfig {
 }
 
 /// The FaaS pre-warming lever: keep a floor of warm containers for one
-/// function, sized from observed cold starts.
+/// function, sized from observed cold starts — but only while a cold
+/// start is actually expensive.
 ///
 /// Each tick that cold starts occurred, the floor rises by the number
 /// observed (capped at `max_provisioned`); after `decay_ticks` quiet
 /// ticks it decays by one, releasing warm capacity the workload no
-/// longer needs.
+/// longer needs. The rise is gated on the cost model: floors trade idle
+/// GB-seconds against start latency, a trade that only pays while the
+/// start `penalty` is at least `floor_threshold`. Under the snapshot
+/// tier (restore ≈ 150–250 ms instead of 1.5 s) the gate closes and the
+/// daemon stops buying floors — [`PrewarmConfig::for_platform`] wires
+/// the platform's [`FaasConfig::expected_start_penalty`] in.
+///
+/// [`FaasConfig::expected_start_penalty`]: faas::FaasConfig::expected_start_penalty
 #[derive(Clone, Debug)]
 pub struct PrewarmConfig {
     /// Function whose pool the daemon manages.
@@ -69,12 +77,68 @@ pub struct PrewarmConfig {
     pub max_provisioned: u32,
     /// Cold-start-free ticks before the floor decays by one (default 5).
     pub decay_ticks: u32,
+    /// What one cold start of this function costs its invoker (classic
+    /// provision, snapshot restore, or fork, per the platform's policy).
+    pub penalty: Duration,
+    /// Floors only rise while `penalty >= floor_threshold`; below it,
+    /// paying the start at the door is cheaper than idling containers
+    /// (default 500 ms).
+    pub floor_threshold: Duration,
 }
 
 impl PrewarmConfig {
-    /// A pre-warm lever for `function` capped at `max_provisioned`.
+    /// A pre-warm lever for `function` capped at `max_provisioned`,
+    /// assuming classic 1.5 s cold starts (the pre-snapshot-tier
+    /// behavior).
     pub fn new(function: &str, max_provisioned: u32) -> PrewarmConfig {
-        PrewarmConfig { function: function.to_string(), max_provisioned, decay_ticks: 5 }
+        PrewarmConfig {
+            function: function.to_string(),
+            max_provisioned,
+            decay_ticks: 5,
+            penalty: Duration::from_millis(1500),
+            floor_threshold: Duration::from_millis(500),
+        }
+    }
+
+    /// A pre-warm lever sized from `cfg`'s actual cold-start tier: the
+    /// penalty is [`FaasConfig::expected_start_penalty`] at `memory_mb`,
+    /// so a platform on snapshot restores (≈ 210 ms < the 500 ms
+    /// threshold) disables floor raises entirely.
+    ///
+    /// [`FaasConfig::expected_start_penalty`]: faas::FaasConfig::expected_start_penalty
+    pub fn for_platform(
+        cfg: &faas::FaasConfig,
+        memory_mb: u32,
+        function: &str,
+        max_provisioned: u32,
+    ) -> PrewarmConfig {
+        PrewarmConfig {
+            penalty: cfg.expected_start_penalty(memory_mb),
+            ..PrewarmConfig::new(function, max_provisioned)
+        }
+    }
+}
+
+/// One tick of the floor controller, as a pure function (unit-testable
+/// without a simulation): given the current floor, quiet-tick count, and
+/// the tick's observed cold starts, returns the next `(floor, calm_ticks)`.
+///
+/// Raising is gated on the cost model ([`PrewarmConfig::penalty`] vs
+/// [`PrewarmConfig::floor_threshold`]); when starts are cheap, observed
+/// cold starts no longer buy floors and an existing floor decays away.
+pub fn next_floor(cfg: &PrewarmConfig, floor: u32, calm_ticks: u32, cold_delta: u32) -> (u32, u32) {
+    let worth_prewarming = cfg.penalty >= cfg.floor_threshold;
+    if cold_delta > 0 && worth_prewarming {
+        ((floor + cold_delta).min(cfg.max_provisioned), 0)
+    } else if floor > 0 {
+        let calm = calm_ticks + 1;
+        if calm >= cfg.decay_ticks {
+            (floor - 1, 0)
+        } else {
+            (floor, calm)
+        }
+    } else {
+        (0, 0)
     }
 }
 
@@ -266,20 +330,11 @@ pub fn spawn_controlplane(
             }
             if let (Some(f), Some(pw)) = (&faas, prewarm.as_mut()) {
                 let cold_delta = (snap.cold_starts - prev.cold_starts) as u32;
-                let mut target = pw.floor;
-                if cold_delta > 0 {
-                    pw.calm_ticks = 0;
-                    target = (pw.floor + cold_delta).min(pw.cfg.max_provisioned);
-                } else if pw.floor > 0 {
-                    pw.calm_ticks += 1;
-                    if pw.calm_ticks >= pw.cfg.decay_ticks {
-                        pw.calm_ticks = 0;
-                        target = pw.floor - 1;
-                    }
-                }
+                let (target, calm) = next_floor(&pw.cfg, pw.floor, pw.calm_ticks, cold_delta);
+                pw.calm_ticks = calm;
                 if target != pw.floor {
                     pw.floor = target;
-                    f.set_provisioned(ctx, &pw.cfg.function, target);
+                    f.invoke_with(ctx, &pw.cfg.function, Vec::new(), InvokeOpts::provision(target));
                     ctx.metric_push("ctl.provisioned", f64::from(target));
                     events.lock().push(CtlEvent::Prewarm {
                         at: now,
@@ -295,4 +350,58 @@ pub fn spawn_controlplane(
         }
     });
     handle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas::{ColdStartPolicy, FaasConfig, SnapshotConfig, FULL_VCPU_MB};
+
+    #[test]
+    fn floor_rises_with_cold_starts_and_decays_when_calm() {
+        let cfg = PrewarmConfig::new("f", 4);
+        assert_eq!(next_floor(&cfg, 0, 0, 3), (3, 0), "raise by the delta");
+        assert_eq!(next_floor(&cfg, 3, 0, 5), (4, 0), "capped at max_provisioned");
+        // Four calm ticks hold, the fifth decays by one and resets calm.
+        let (mut floor, mut calm) = (4, 0);
+        for _ in 0..4 {
+            let next = next_floor(&cfg, floor, calm, 0);
+            floor = next.0;
+            calm = next.1;
+        }
+        assert_eq!((floor, calm), (4, 4));
+        assert_eq!(next_floor(&cfg, floor, calm, 0), (3, 0));
+        assert_eq!(next_floor(&cfg, 0, 0, 0), (0, 0), "no floor, nothing to decay");
+    }
+
+    #[test]
+    fn cheap_starts_close_the_floor_gate() {
+        let cfg =
+            PrewarmConfig { penalty: Duration::from_millis(210), ..PrewarmConfig::new("f", 4) };
+        // Cold starts no longer buy floors; they count as calm ticks, so
+        // an existing floor drifts down even under sustained cold starts.
+        assert_eq!(next_floor(&cfg, 0, 0, 3), (0, 0));
+        assert_eq!(next_floor(&cfg, 2, 3, 1), (2, 4));
+        assert_eq!(next_floor(&cfg, 2, 4, 1), (1, 0));
+    }
+
+    #[test]
+    fn for_platform_sizes_the_penalty_from_the_tier() {
+        let classic = FaasConfig::default();
+        let pw = PrewarmConfig::for_platform(&classic, FULL_VCPU_MB, "f", 8);
+        assert_eq!(pw.penalty, classic.cold_start.base);
+        assert!(pw.penalty >= pw.floor_threshold, "classic starts are worth prewarming");
+
+        let snap = FaasConfig::builder()
+            .cold_start_policy(ColdStartPolicy::SnapshotRestore)
+            .snapshot(SnapshotConfig::default())
+            .build()
+            .expect("valid config");
+        let pw = PrewarmConfig::for_platform(&snap, FULL_VCPU_MB, "f", 8);
+        assert!(
+            pw.penalty < pw.floor_threshold,
+            "a ~210 ms restore is cheaper than idling a floor: {:?}",
+            pw.penalty
+        );
+    }
 }

@@ -67,5 +67,5 @@
 mod daemon;
 mod policy;
 
-pub use daemon::{spawn_controlplane, CtlConfig, CtlEvent, CtlHandle, PrewarmConfig};
+pub use daemon::{next_floor, spawn_controlplane, CtlConfig, CtlEvent, CtlHandle, PrewarmConfig};
 pub use policy::{Observed, ScaleDecision, ScalingPolicy, StepScaling, TargetTracking};

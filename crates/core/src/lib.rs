@@ -95,8 +95,8 @@ pub use cloudstore::{
     ScriptRegistry, SqsHandle,
 };
 pub use controlplane::{
-    spawn_controlplane, CtlConfig, CtlEvent, CtlHandle, Observed, PrewarmConfig, ScaleDecision,
-    ScalingPolicy, StepScaling, TargetTracking,
+    next_floor, spawn_controlplane, CtlConfig, CtlEvent, CtlHandle, Observed, PrewarmConfig,
+    ScaleDecision, ScalingPolicy, StepScaling, TargetTracking,
 };
 pub use dso::{
     costs, AdmissionConfig, BatchOp, CallCtx, ConsistencyMode, DsoClient, DsoClientHandle,
@@ -104,8 +104,10 @@ pub use dso::{
     ObjectRef, ObjectRegistry, Reply, SharedObject, Ticket,
 };
 pub use faas::{
-    spawn_platform, Billing, FaasConfig, FaasError, FaasHandle, FnCtx, FunctionRegistry, Pricing,
-    RetirementRecord, SetProvisioned, FULL_VCPU_MB,
+    spawn_platform, Billing, ColdStartPolicy, FaasConfig, FaasConfigBuilder, FaasConfigError,
+    FaasError, FaasHandle, FnCtx, FunctionRegistry, InvokeForked, InvokeOpts, Pricing,
+    RetirementRecord, SetProvisioned, SnapshotConfig, SnapshotRecord, StartKind, FULL_VCPU_MB,
+    SNAPSHOT_PAGE_BYTES,
 };
 pub use simcore::{codec, explore, sync};
 pub use simcore::{Ctx, LatencyModel, MetricsRegistry, Sim, SimTime, SpanId, TraceCtx, Tracer};

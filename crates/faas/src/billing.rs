@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use simcore::SimTime;
 
 /// Prices used by the cost experiments (us-east-1, 2019).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -14,12 +15,33 @@ pub struct Pricing {
     pub per_gb_second: f64,
     /// Dollars per invocation request.
     pub per_request: f64,
+    /// Dollars per GB-second of *stored* function snapshot (S3-like
+    /// storage: ~$0.08/GB-month).
+    pub per_snapshot_gb_second: f64,
 }
 
 impl Default for Pricing {
     fn default() -> Self {
-        Pricing { per_gb_second: 0.000_016_666_7, per_request: 0.000_000_2 }
+        Pricing {
+            per_gb_second: 0.000_016_666_7,
+            per_request: 0.000_000_2,
+            per_snapshot_gb_second: 0.08 / (30.0 * 24.0 * 3600.0),
+        }
     }
+}
+
+/// How an invocation's container came to be running.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum StartKind {
+    /// Served by a container already in the warm pool — no start paid.
+    #[default]
+    Warm,
+    /// Full classic provisioning (§6.3.3's 1–2 s cold start).
+    Classic,
+    /// Restored from a cached memory snapshot (base + dirtied pages).
+    Restore,
+    /// A copy-on-write branch forked off a warm parent container.
+    Fork,
 }
 
 /// One billed invocation.
@@ -33,8 +55,29 @@ pub struct InvocationRecord {
     pub memory_mb: u32,
     /// Whether this invocation paid a cold start.
     pub cold_start: bool,
+    /// How the serving container started ([`StartKind::Warm`] when it was
+    /// already in the pool). `cold_start` stays the classic-only flag for
+    /// back-compat: `kind == Classic` implies `cold_start` on the
+    /// invocation that paid it.
+    pub kind: StartKind,
     /// Whether the invocation failed.
     pub failed: bool,
+}
+
+/// One stored function snapshot: created when a snapshot-tier function
+/// first boots classically, open-ended until the cache evicts or
+/// replaces it. Storage is billed by GB-seconds held
+/// ([`Billing::snapshot_gb_seconds`]).
+#[derive(Clone, Debug)]
+pub struct SnapshotRecord {
+    /// Function the snapshot belongs to.
+    pub function: String,
+    /// Snapshot size: the function's configured memory, in GB.
+    pub size_gb: f64,
+    /// When the snapshot was captured.
+    pub created: SimTime,
+    /// When the cache evicted (or replaced) it; `None` while stored.
+    pub evicted: Option<SimTime>,
 }
 
 /// One reclaimed warm container: the pool held it idle for `idle` before
@@ -56,6 +99,7 @@ pub struct RetirementRecord {
 pub struct Billing {
     records: Arc<Mutex<Vec<InvocationRecord>>>,
     retired: Arc<Mutex<Vec<RetirementRecord>>>,
+    snapshots: Arc<Mutex<Vec<SnapshotRecord>>>,
 }
 
 impl Billing {
@@ -77,6 +121,16 @@ impl Billing {
     /// Number of cold starts.
     pub fn cold_starts(&self) -> usize {
         self.records.lock().iter().filter(|r| r.cold_start).count()
+    }
+
+    /// Number of invocations served after a snapshot restore.
+    pub fn restores(&self) -> usize {
+        self.records.lock().iter().filter(|r| r.kind == StartKind::Restore).count()
+    }
+
+    /// Number of invocations served by forked CoW branches.
+    pub fn forks(&self) -> usize {
+        self.records.lock().iter().filter(|r| r.kind == StartKind::Fork).count()
     }
 
     /// Total GB-seconds across all invocations.
@@ -118,10 +172,53 @@ impl Billing {
             .sum()
     }
 
+    /// Opens a snapshot-storage record for `function` (the cache just
+    /// captured or replaced its snapshot).
+    pub fn record_snapshot_created(&self, function: &str, memory_mb: u32, at: SimTime) {
+        self.snapshots.lock().push(SnapshotRecord {
+            function: function.to_string(),
+            size_gb: f64::from(memory_mb) / 1024.0,
+            created: at,
+            evicted: None,
+        });
+    }
+
+    /// Closes the open snapshot-storage record for `function` (the cache
+    /// evicted or replaced it). No-op if none is open.
+    pub fn mark_snapshot_evicted(&self, function: &str, at: SimTime) {
+        let mut g = self.snapshots.lock();
+        if let Some(r) = g.iter_mut().rev().find(|r| r.function == function && r.evicted.is_none())
+        {
+            r.evicted = Some(at);
+        }
+    }
+
+    /// Number of snapshots ever captured.
+    pub fn snapshots_taken(&self) -> usize {
+        self.snapshots.lock().len()
+    }
+
+    /// GB-seconds of snapshot storage held, counting open records up to
+    /// `until` (typically the end of the run).
+    pub fn snapshot_gb_seconds(&self, until: SimTime) -> f64 {
+        // fold, not sum: an empty ledger must report +0.0 (f64's empty
+        // sum is -0.0, which leaks a "-0.00" into rendered cost tables).
+        self.snapshots.lock().iter().fold(0.0, |acc, r| {
+            let end = r.evicted.unwrap_or(until);
+            acc + r.size_gb * end.saturating_duration_since(r.created).as_secs_f64()
+        })
+    }
+
+    /// Dollar cost of snapshot storage held up to `until`.
+    pub fn snapshot_cost(&self, pricing: Pricing, until: SimTime) -> f64 {
+        self.snapshot_gb_seconds(until) * pricing.per_snapshot_gb_second
+    }
+
     /// Forgets all records (e.g. to exclude a warm-up phase from Table 3).
     pub fn reset(&self) {
         self.records.lock().clear();
         self.retired.lock().clear();
+        self.snapshots.lock().clear();
     }
 }
 
@@ -144,6 +241,7 @@ mod tests {
             duration: Duration::from_millis(ms),
             memory_mb: mem,
             cold_start: false,
+            kind: StartKind::Warm,
             failed: false,
         }
     }
@@ -168,6 +266,36 @@ mod tests {
         b.reset();
         assert_eq!(b.invocations(), 0);
         assert_eq!(b.gb_seconds(), 0.0);
+    }
+
+    #[test]
+    fn start_kinds_are_counted() {
+        let b = Billing::new();
+        b.record(InvocationRecord { kind: StartKind::Restore, ..rec(10, 1792) });
+        b.record(InvocationRecord { kind: StartKind::Fork, ..rec(10, 1792) });
+        b.record(InvocationRecord { kind: StartKind::Fork, ..rec(10, 1792) });
+        b.record(rec(10, 1792));
+        assert_eq!(b.restores(), 1);
+        assert_eq!(b.forks(), 2);
+        assert_eq!(b.cold_starts(), 0);
+    }
+
+    #[test]
+    fn snapshot_storage_is_billed_by_gb_seconds_held() {
+        let b = Billing::new();
+        // 1024 MB = 1 GB, held from t=10s to t=40s → 30 GB-s.
+        b.record_snapshot_created("f", 1024, SimTime::from_secs(10));
+        b.mark_snapshot_evicted("f", SimTime::from_secs(40));
+        // 2048 MB = 2 GB, open from t=50s; counted up to `until`.
+        b.record_snapshot_created("g", 2048, SimTime::from_secs(50));
+        let gbs = b.snapshot_gb_seconds(SimTime::from_secs(60));
+        assert!((gbs - (30.0 + 20.0)).abs() < 1e-9, "{gbs}");
+        assert_eq!(b.snapshots_taken(), 2);
+        let cost = b.snapshot_cost(Pricing::default(), SimTime::from_secs(60));
+        assert!((cost - gbs * Pricing::default().per_snapshot_gb_second).abs() < 1e-15);
+        // Evicting a function with no open record is a no-op.
+        b.mark_snapshot_evicted("f", SimTime::from_secs(99));
+        assert!((b.snapshot_gb_seconds(SimTime::from_secs(60)) - gbs).abs() < 1e-9);
     }
 
     #[test]

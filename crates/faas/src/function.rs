@@ -9,6 +9,8 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use simcore::Ctx;
 
+use crate::config::ColdStartPolicy;
+
 /// Memory that gives exactly one full vCPU on AWS Lambda (footnote 7 of
 /// the paper).
 pub const FULL_VCPU_MB: u32 = 1792;
@@ -109,11 +111,17 @@ pub struct FunctionSpec {
     pub handler: Arc<dyn CloudFunction>,
     /// Configured memory (drives CPU share and billing).
     pub memory_mb: u32,
+    /// Per-function cold-start policy override; `None` uses the
+    /// platform-wide [`crate::FaasConfig::cold_start_policy`].
+    pub cold_start: Option<ColdStartPolicy>,
 }
 
 impl fmt::Debug for FunctionSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FunctionSpec").field("memory_mb", &self.memory_mb).finish()
+        f.debug_struct("FunctionSpec")
+            .field("memory_mb", &self.memory_mb)
+            .field("cold_start", &self.cold_start)
+            .finish()
     }
 }
 
@@ -132,11 +140,31 @@ impl FunctionRegistry {
         FunctionRegistry::default()
     }
 
-    /// Deploys (or replaces) a function.
+    /// Deploys (or replaces) a function under the platform-wide
+    /// cold-start policy.
     pub fn register<F: CloudFunction>(&self, name: &str, memory_mb: u32, handler: F) {
-        self.inner
-            .lock()
-            .insert(name.to_string(), FunctionSpec { handler: Arc::new(handler), memory_mb });
+        self.inner.lock().insert(
+            name.to_string(),
+            FunctionSpec { handler: Arc::new(handler), memory_mb, cold_start: None },
+        );
+    }
+
+    /// Deploys (or replaces) a function with an explicit per-function
+    /// cold-start policy, overriding the platform-wide default. A
+    /// non-classic policy is clamped back to classic if the platform has
+    /// no snapshot cost model configured
+    /// ([`crate::FaasConfig::effective_policy`]).
+    pub fn register_with_policy<F: CloudFunction>(
+        &self,
+        name: &str,
+        memory_mb: u32,
+        policy: ColdStartPolicy,
+        handler: F,
+    ) {
+        self.inner.lock().insert(
+            name.to_string(),
+            FunctionSpec { handler: Arc::new(handler), memory_mb, cold_start: Some(policy) },
+        );
     }
 
     /// Resolves a function by name.
@@ -196,5 +224,19 @@ mod tests {
         let reg2 = reg.clone();
         reg2.register("g", 512, |_env: &mut FnCtx<'_>, _p: Vec<u8>| Ok(Vec::new()));
         assert!(reg.get("g").is_some());
+    }
+
+    #[test]
+    fn register_with_policy_sets_the_override() {
+        let reg = FunctionRegistry::new();
+        reg.register("plain", 1792, |_env: &mut FnCtx<'_>, p: Vec<u8>| Ok(p));
+        reg.register_with_policy(
+            "forky",
+            1792,
+            ColdStartPolicy::Fork,
+            |_env: &mut FnCtx<'_>, p: Vec<u8>| Ok(p),
+        );
+        assert_eq!(reg.get("plain").unwrap().cold_start, None);
+        assert_eq!(reg.get("forky").unwrap().cold_start, Some(ColdStartPolicy::Fork));
     }
 }

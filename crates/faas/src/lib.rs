@@ -34,15 +34,23 @@
 #![warn(rust_2018_idioms)]
 
 mod billing;
+mod config;
 mod function;
 mod platform;
 
-pub use billing::{Billing, InvocationRecord, Pricing, RetirementRecord};
+pub use billing::{
+    Billing, InvocationRecord, Pricing, RetirementRecord, SnapshotRecord, StartKind,
+};
+pub use config::{
+    ColdStartPolicy, FaasConfig, FaasConfigBuilder, FaasConfigError, SnapshotConfig,
+    SNAPSHOT_PAGE_BYTES,
+};
 pub use function::{
     cpu_share_for, CloudFunction, FnCtx, FunctionRegistry, FunctionSpec, FULL_VCPU_MB,
 };
 pub use platform::{
-    spawn_platform, FaasConfig, FaasError, FaasHandle, InvokeFn, InvokeResult, SetProvisioned,
+    spawn_platform, FaasError, FaasHandle, InvokeFn, InvokeForked, InvokeOpts, InvokeResult,
+    SetProvisioned,
 };
 
 #[cfg(test)]
@@ -120,7 +128,7 @@ mod tests {
     #[test]
     fn concurrency_limit_queues_invocations() {
         let mut sim = Sim::new(4);
-        let cfg = FaasConfig { concurrency_limit: 1, ..FaasConfig::default() };
+        let cfg = FaasConfig::builder().concurrency_limit(1).build().expect("valid");
         let faas = spawn_platform(&sim, cfg, echo_registry());
         let latest = Arc::new(Mutex::new(SimTime::ZERO));
         for i in 0..4 {
@@ -187,7 +195,8 @@ mod tests {
         let faas = spawn_platform(&sim, FaasConfig::default(), echo_registry());
         let f2 = faas.clone();
         sim.spawn("client", move |ctx| {
-            f2.set_provisioned(ctx, "echo", 3);
+            let none = f2.invoke_with(ctx, "echo", Vec::new(), InvokeOpts::provision(3));
+            assert!(none.is_empty(), "a pure control action returns no results");
             // Give the pre-warms time to boot (cold start ≈ 1–2 s).
             ctx.sleep(Duration::from_secs(3));
             for i in 0..3 {
@@ -214,16 +223,18 @@ mod tests {
         let mut sim = Sim::new(22);
         let registry = simcore::MetricsRegistry::new();
         sim.set_metrics(&registry);
-        let cfg =
-            FaasConfig { container_idle_timeout: Duration::from_secs(5), ..FaasConfig::default() };
+        let cfg = FaasConfig::builder()
+            .container_idle_timeout(Duration::from_secs(5))
+            .build()
+            .expect("valid");
         let faas = spawn_platform(&sim, cfg, echo_registry());
         let f2 = faas.clone();
         sim.spawn("client", move |ctx| {
             // Build a pool of 4 via the provisioning path.
-            f2.set_provisioned(ctx, "echo", 4);
+            let _ = f2.invoke_with(ctx, "echo", Vec::new(), InvokeOpts::provision(4));
             ctx.sleep(Duration::from_secs(3));
             // Drop the floor to 1 and let the pool sit past the timeout.
-            f2.set_provisioned(ctx, "echo", 1);
+            let _ = f2.invoke_with(ctx, "echo", Vec::new(), InvokeOpts::provision(1));
             ctx.sleep(Duration::from_secs(10));
             // Next dispatch reaps lazily: 3 expire, the floor keeps 1.
             let _ = f2.invoke(ctx, "echo", vec![1]).expect("ok");
@@ -234,10 +245,154 @@ mod tests {
         assert_eq!(registry.counter_value("faas.retirements"), 3);
     }
 
+    fn snapshot_cfg(policy: ColdStartPolicy) -> FaasConfig {
+        FaasConfig::builder()
+            .cold_start_policy(policy)
+            .snapshot(SnapshotConfig::default())
+            .container_idle_timeout(Duration::from_secs(5))
+            .build()
+            .expect("valid snapshot-tier config")
+    }
+
+    #[test]
+    fn snapshot_restore_collapses_the_second_cold_start() {
+        let mut sim = Sim::new(31);
+        let faas =
+            spawn_platform(&sim, snapshot_cfg(ColdStartPolicy::SnapshotRestore), echo_registry());
+        let f2 = faas.clone();
+        sim.spawn("client", move |ctx| {
+            // First cold start provisions classically and snapshots.
+            let t0 = ctx.now();
+            let _ = f2.invoke(ctx, "echo", vec![1]).expect("ok");
+            assert!(ctx.now() - t0 > Duration::from_millis(1000), "first start is classic");
+            // Let the container idle out, then cold-start again: the
+            // snapshot restore replaces the 1.5 s provision.
+            ctx.sleep(Duration::from_secs(10));
+            let t0 = ctx.now();
+            let _ = f2.invoke(ctx, "echo", vec![2]).expect("ok");
+            let restored = ctx.now() - t0;
+            assert!(
+                restored > Duration::from_millis(120) && restored < Duration::from_millis(400),
+                "restore should cost ~150–250 ms plus dispatch, took {restored:?}"
+            );
+        });
+        sim.run_until_idle().expect_quiescent();
+        assert_eq!(faas.billing().restores(), 1);
+        assert_eq!(faas.billing().cold_starts(), 1, "only the first start was classic");
+        assert_eq!(faas.billing().snapshots_taken(), 1);
+    }
+
+    #[test]
+    fn fork_fans_out_in_order_at_fork_latencies() {
+        let mut sim = Sim::new(32);
+        let faas = spawn_platform(&sim, snapshot_cfg(ColdStartPolicy::Fork), echo_registry());
+        let f2 = faas.clone();
+        sim.spawn("client", move |ctx| {
+            // Warm a parent (classic boot + snapshot capture).
+            let _ = f2.invoke(ctx, "echo", vec![0]).expect("ok");
+            let t0 = ctx.now();
+            let results = f2.invoke_forked(ctx, "echo", vec![vec![1], vec![2], vec![3]]);
+            let took = ctx.now() - t0;
+            assert_eq!(results.len(), 3);
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(r.as_deref().expect("branch ok"), &[i as u8 + 1], "payload order");
+            }
+            assert!(
+                took < Duration::from_millis(120),
+                "3 CoW branches off a warm parent cost ~10–50 ms each in \
+                 parallel, not a provision: {took:?}"
+            );
+        });
+        sim.run_until_idle().expect_quiescent();
+        assert_eq!(faas.billing().forks(), 3);
+        assert_eq!(faas.billing().invocations(), 4);
+    }
+
+    #[test]
+    fn fork_with_no_warm_parent_provisions_one_first() {
+        let mut sim = Sim::new(33);
+        let faas = spawn_platform(&sim, snapshot_cfg(ColdStartPolicy::Fork), echo_registry());
+        let f2 = faas.clone();
+        sim.spawn("client", move |ctx| {
+            let t0 = ctx.now();
+            let results = f2.invoke_forked(ctx, "echo", vec![vec![1], vec![2]]);
+            let took = ctx.now() - t0;
+            assert!(results.iter().all(Result::is_ok));
+            assert!(
+                took > Duration::from_millis(1000),
+                "no snapshot yet: the parent pays a classic provision first, {took:?}"
+            );
+            // The parent joined the pool and its boot captured a
+            // snapshot; a second fan-out is pure fork latency.
+            let t0 = ctx.now();
+            let results = f2.invoke_forked(ctx, "echo", vec![vec![3], vec![4]]);
+            let took = ctx.now() - t0;
+            assert!(results.iter().all(Result::is_ok));
+            assert!(took < Duration::from_millis(120), "warm parent: {took:?}");
+        });
+        sim.run_until_idle().expect_quiescent();
+        assert_eq!(faas.billing().forks(), 4);
+        assert_eq!(faas.billing().snapshots_taken(), 1);
+    }
+
+    #[test]
+    fn fork_on_a_non_fork_function_is_a_typed_error() {
+        let mut sim = Sim::new(34);
+        // Classic platform: every policy clamps to Classic.
+        let faas = spawn_platform(&sim, FaasConfig::default(), echo_registry());
+        let f2 = faas.clone();
+        sim.spawn("client", move |ctx| {
+            let results = f2.invoke_forked(ctx, "echo", vec![vec![1], vec![2]]);
+            assert_eq!(results.len(), 2);
+            for r in results {
+                assert!(
+                    matches!(r, Err(FaasError::ForkUnsupported(ref f)) if f == "echo"),
+                    "{r:?}"
+                );
+            }
+            let results = f2.invoke_forked(ctx, "nope", vec![vec![1]]);
+            assert!(matches!(results[0], Err(FaasError::UnknownFunction(_))));
+        });
+        sim.run_until_idle().expect_quiescent();
+    }
+
+    #[test]
+    fn invoke_with_runs_a_batch_in_payload_order() {
+        let mut sim = Sim::new(35);
+        let faas = spawn_platform(&sim, FaasConfig::default(), echo_registry());
+        let f2 = faas.clone();
+        sim.spawn("client", move |ctx| {
+            let results =
+                f2.invoke_with(ctx, "echo", vec![vec![9], vec![8]], InvokeOpts::default());
+            assert_eq!(results.len(), 2);
+            assert_eq!(results[0].as_deref().unwrap(), &[9]);
+            assert_eq!(results[1].as_deref().unwrap(), &[8]);
+        });
+        sim.run_until_idle().expect_quiescent();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_set_provisioned_still_prewarms() {
+        let mut sim = Sim::new(36);
+        let registry = simcore::MetricsRegistry::new();
+        sim.set_metrics(&registry);
+        let faas = spawn_platform(&sim, FaasConfig::default(), echo_registry());
+        let f2 = faas.clone();
+        sim.spawn("client", move |ctx| {
+            f2.set_provisioned(ctx, "echo", 2);
+            ctx.sleep(Duration::from_secs(3));
+            let _ = f2.invoke(ctx, "echo", vec![1]).expect("ok");
+        });
+        sim.run_until_idle().expect_quiescent();
+        assert_eq!(registry.counter_value("faas.prewarms"), 2);
+        assert_eq!(faas.billing().cold_starts(), 0);
+    }
+
     #[test]
     fn failure_injection_fails_some_invocations() {
         let mut sim = Sim::new(6);
-        let cfg = FaasConfig { failure_rate: 0.5, ..FaasConfig::default() };
+        let cfg = FaasConfig::builder().failure_rate(0.5).build().expect("valid");
         let faas = spawn_platform(&sim, cfg, echo_registry());
         let failures = Arc::new(Mutex::new(0usize));
         let f2 = failures.clone();
@@ -275,7 +430,8 @@ mod tests {
     #[test]
     fn timeout_cap_enforced() {
         let mut sim = Sim::new(8);
-        let cfg = FaasConfig { max_duration: Duration::from_millis(50), ..FaasConfig::default() };
+        let cfg =
+            FaasConfig::builder().max_duration(Duration::from_millis(50)).build().expect("valid");
         let reg = FunctionRegistry::new();
         reg.register("forever", 1792, |env: &mut FnCtx<'_>, _| {
             env.compute(Duration::from_secs(10));

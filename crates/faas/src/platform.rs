@@ -1,60 +1,17 @@
 //! The invocation service: synchronous (`RequestResponse`) calls, a warm
-//! container pool per function, cold starts, a account-wide concurrency
-//! limit, failure injection, and billing.
+//! container pool per function, a tiered cold-start model (classic
+//! provisioning, snapshot restore, CoW forking), an account-wide
+//! concurrency limit, failure injection, and billing.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::Duration;
 
 use rand::RngExt;
-use simcore::{Addr, Ctx, LatencyModel, Msg, Pid, Request, Sim, SimTime, SpanId, TraceCtx};
+use simcore::{Addr, Ctx, Msg, Pid, Request, Sim, SimTime, SpanId, TraceCtx};
 
-use crate::billing::{Billing, InvocationRecord, Pricing, RetirementRecord};
-use crate::function::{FnCtx, FunctionRegistry};
-
-/// Platform configuration, calibrated to AWS Lambda in 2019.
-#[derive(Clone, Debug)]
-pub struct FaasConfig {
-    /// One-way latency of the invoke control path when a warm container is
-    /// available (the "Invocation" segment of Fig. 7b).
-    pub warm_dispatch: LatencyModel,
-    /// Container provisioning delay (§6.3.3: "cold starts … add 1 to 2
-    /// seconds of invocation delay").
-    pub cold_start: LatencyModel,
-    /// One-way latency of the response path.
-    pub response: LatencyModel,
-    /// Idle time after which a warm container is reclaimed.
-    pub container_idle_timeout: Duration,
-    /// Account-wide concurrent-execution limit.
-    pub concurrency_limit: u32,
-    /// Hard cap on function duration (15 min on Lambda).
-    pub max_duration: Duration,
-    /// Probability that an invocation crashes mid-run (failure injection).
-    pub failure_rate: f64,
-    /// How many containers share one physical host. Container `id` runs
-    /// on host `id / containers_per_host` — a deterministic bin-packing
-    /// stand-in for the provider's placement. Deployment layers use the
-    /// host id ([`FnCtx::host`]) to share per-host resources (e.g. the
-    /// DSO node cache) between co-located containers.
-    pub containers_per_host: u32,
-    /// Billing prices.
-    pub pricing: Pricing,
-}
-
-impl Default for FaasConfig {
-    fn default() -> Self {
-        FaasConfig {
-            warm_dispatch: LatencyModel::uniform(Duration::from_millis(13), 0.3),
-            cold_start: LatencyModel::uniform(Duration::from_millis(1500), 0.33),
-            response: LatencyModel::uniform(Duration::from_millis(8), 0.3),
-            container_idle_timeout: Duration::from_secs(600),
-            concurrency_limit: 3000,
-            max_duration: Duration::from_secs(900),
-            failure_rate: 0.0,
-            containers_per_host: 8,
-            pricing: Pricing::default(),
-        }
-    }
-}
+use crate::billing::{Billing, InvocationRecord, RetirementRecord, StartKind};
+use crate::config::{ColdStartPolicy, FaasConfig};
+use crate::function::{FnCtx, FunctionRegistry, FunctionSpec};
 
 /// Client request: invoke `function` with `payload` synchronously.
 #[derive(Debug)]
@@ -65,6 +22,21 @@ pub struct InvokeFn {
     pub payload: Vec<u8>,
     /// Caller's trace span; the container parents its execution spans under
     /// it ([`SpanId::NONE`] when untraced).
+    pub span: SpanId,
+}
+
+/// Client request: fan `payloads` out as copy-on-write branches of one
+/// warm container of `function` (see
+/// [`FaasHandle::invoke_forked`]). Replied with a
+/// `Vec<`[`InvokeResult`]`>` in payload order.
+#[derive(Debug)]
+pub struct InvokeForked {
+    /// Deployed function name (its effective policy must be
+    /// [`ColdStartPolicy::Fork`]).
+    pub function: String,
+    /// One opaque payload per branch.
+    pub payloads: Vec<Vec<u8>>,
+    /// Caller's trace span.
     pub span: SpanId,
 }
 
@@ -82,6 +54,9 @@ pub enum FaasError {
     TimedOut,
     /// The account's concurrency limit rejected the invocation.
     Throttled,
+    /// `invoke_forked` was used on a function whose effective cold-start
+    /// policy is not [`ColdStartPolicy::Fork`].
+    ForkUnsupported(String),
 }
 
 impl std::fmt::Display for FaasError {
@@ -91,6 +66,9 @@ impl std::fmt::Display for FaasError {
             FaasError::Failed(e) => write!(f, "function failed: {e}"),
             FaasError::TimedOut => write!(f, "function timed out"),
             FaasError::Throttled => write!(f, "throttled by concurrency limit"),
+            FaasError::ForkUnsupported(n) => {
+                write!(f, "function not fork-enabled: {n}")
+            }
         }
     }
 }
@@ -102,7 +80,13 @@ impl std::error::Error for FaasError {}
 struct Job {
     payload: Vec<u8>,
     reply_to: Addr,
-    cold: bool,
+    /// How the serving container starts for this job (`Warm` when it is
+    /// already booted; the cold kinds make the container pay the
+    /// corresponding boot before executing).
+    start: StartKind,
+    /// Platform-planned restore latency when `start == Restore` (base
+    /// sample + dirtied-page faults).
+    restore_cost: Duration,
     span: SpanId,
 }
 
@@ -121,6 +105,32 @@ struct WarmReady {
     container: Addr,
 }
 
+/// A snapshot-tier container finished a classic boot and captured a
+/// memory snapshot; the platform caches it for later restores.
+#[derive(Debug)]
+struct SnapshotTaken {
+    function: String,
+    memory_mb: u32,
+}
+
+/// One branch of a forked invocation finished.
+#[derive(Debug)]
+struct BranchDone {
+    index: usize,
+    result: InvokeResult,
+}
+
+/// How a pre-warm-style container boots (floors and fork parents).
+#[derive(Clone, Copy, Debug)]
+enum BootPlan {
+    /// Sample a classic provision inside the container (the provisioned
+    /// -concurrency floor path).
+    ClassicSampled,
+    /// Boot with a platform-planned kind and cost (a snapshot restore,
+    /// or the classic boot of a fork parent whose branches wait on it).
+    Planned { kind: StartKind, cost: Duration },
+}
+
 /// Control-plane request: keep (at least) `n` warm containers provisioned
 /// for `function`. The platform boots the shortfall immediately (off the
 /// request path, so nobody waits on these cold starts) and exempts the
@@ -134,6 +144,33 @@ pub struct SetProvisioned {
     pub n: u32,
 }
 
+/// Options for [`FaasHandle::invoke_with`] — the single entrypoint that
+/// plain, provisioned, and forked invocation share.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InvokeOpts {
+    /// Fan the payloads out as CoW branches of one warm container
+    /// ([`InvokeForked`]) instead of invoking them independently.
+    /// Requires the function's effective policy to be
+    /// [`ColdStartPolicy::Fork`].
+    pub forked: bool,
+    /// Set the provisioned-concurrency floor for the function before
+    /// invoking (the [`SetProvisioned`] control message; fire-and-forget).
+    pub provision: Option<u32>,
+}
+
+impl InvokeOpts {
+    /// Options for a forked fan-out invocation.
+    pub fn forked() -> InvokeOpts {
+        InvokeOpts { forked: true, ..InvokeOpts::default() }
+    }
+
+    /// Options that only adjust the provisioned-concurrency floor
+    /// (combine with empty payloads for a pure control action).
+    pub fn provision(n: u32) -> InvokeOpts {
+        InvokeOpts { provision: Some(n), ..InvokeOpts::default() }
+    }
+}
+
 /// Handle to a running platform.
 #[derive(Clone, Debug)]
 pub struct FaasHandle {
@@ -143,19 +180,92 @@ pub struct FaasHandle {
 }
 
 impl FaasHandle {
+    /// The unified invocation entrypoint: invokes `function` once per
+    /// payload, after applying `opts` (floor adjustment, fork fan-out).
+    /// Results come back in payload order. With empty `payloads` only the
+    /// control action runs and the call does not block.
+    ///
+    /// [`invoke`](Self::invoke) and [`invoke_forked`](Self::invoke_forked)
+    /// are thin sugar over this.
+    pub fn invoke_with(
+        &self,
+        ctx: &mut Ctx,
+        function: &str,
+        payloads: Vec<Vec<u8>>,
+        opts: InvokeOpts,
+    ) -> Vec<InvokeResult> {
+        if let Some(n) = opts.provision {
+            let lat = self.cfg.warm_dispatch.sample(ctx.rng());
+            ctx.send(
+                self.addr,
+                Msg::new(SetProvisioned { function: function.to_string(), n }),
+                lat,
+            );
+        }
+        if payloads.is_empty() {
+            return Vec::new();
+        }
+        if opts.forked {
+            let lat = self.cfg.warm_dispatch.sample(ctx.rng());
+            ctx.annotate_wait(
+                wait_resource(function),
+                simcore::WaitKind::Call,
+                function,
+                format!("FaasHandle::invoke_forked {function}"),
+            );
+            let span = ctx.span_begin("faas.invoke_forked", "faas");
+            ctx.span_annotate(span, "function", function);
+            ctx.span_annotate(span, "fanout", payloads.len().to_string());
+            let results: Vec<InvokeResult> = ctx.call(
+                self.addr,
+                InvokeForked { function: function.to_string(), payloads, span },
+                lat,
+            );
+            ctx.span_end(span);
+            results
+        } else {
+            payloads.into_iter().map(|p| self.invoke_one(ctx, function, p)).collect()
+        }
+    }
+
     /// Synchronously invokes a function (AWS `RequestResponse` mode); blocks
     /// until the function returns. Retries are the *caller's* decision,
-    /// exactly as the paper argues (§4.4).
+    /// exactly as the paper argues (§4.4). Sugar for
+    /// [`invoke_with`](Self::invoke_with) with one payload and default
+    /// options.
     pub fn invoke(&self, ctx: &mut Ctx, function: &str, payload: Vec<u8>) -> InvokeResult {
+        self.invoke_with(ctx, function, vec![payload], InvokeOpts::default())
+            .pop()
+            .expect("one payload yields one result")
+    }
+
+    /// Fans `payloads` out as copy-on-write branches of one warm
+    /// container of `function` — the snapshot tier's burst primitive
+    /// (~10–50 ms per branch instead of a provision each). The parent is
+    /// restored (or classically provisioned) first if no warm container
+    /// exists; branches bypass the account concurrency limit. Sugar for
+    /// [`invoke_with`](Self::invoke_with) with [`InvokeOpts::forked`].
+    ///
+    /// Functions whose effective policy is not [`ColdStartPolicy::Fork`]
+    /// answer every branch with [`FaasError::ForkUnsupported`].
+    pub fn invoke_forked(
+        &self,
+        ctx: &mut Ctx,
+        function: &str,
+        payloads: Vec<Vec<u8>>,
+    ) -> Vec<InvokeResult> {
+        self.invoke_with(ctx, function, payloads, InvokeOpts::forked())
+    }
+
+    /// The plain invocation path shared by [`invoke_with`](Self::invoke_with):
+    /// one payload, one synchronous call.
+    fn invoke_one(&self, ctx: &mut Ctx, function: &str, payload: Vec<u8>) -> InvokeResult {
         let lat = self.cfg.warm_dispatch.sample(ctx.rng());
         // A synchronous invoke can park indefinitely (the function may
         // itself block on shared objects); tell the deadlock detector
         // which function this caller is waiting on.
-        let resource = function.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
-        });
         ctx.annotate_wait(
-            resource,
+            wait_resource(function),
             simcore::WaitKind::Call,
             function,
             format!("FaasHandle::invoke {function}"),
@@ -176,9 +286,9 @@ impl FaasHandle {
     /// the request path) and exempting the floor from idle reclamation.
     /// Fire-and-forget — the pre-warms complete asynchronously; watch the
     /// `faas.pool_size` series for the effect.
+    #[deprecated(note = "use invoke_with with InvokeOpts::provision(n) and empty payloads")]
     pub fn set_provisioned(&self, ctx: &mut Ctx, function: &str, n: u32) {
-        let lat = self.cfg.warm_dispatch.sample(ctx.rng());
-        ctx.send(self.addr, Msg::new(SetProvisioned { function: function.to_string(), n }), lat);
+        let _ = self.invoke_with(ctx, function, Vec::new(), InvokeOpts::provision(n));
     }
 
     /// The shared billing ledger.
@@ -190,6 +300,13 @@ impl FaasHandle {
     pub fn config(&self) -> &FaasConfig {
         &self.cfg
     }
+}
+
+/// Deadlock-detector resource id for a function name (FNV-1a).
+fn wait_resource(function: &str) -> u64 {
+    function.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
 }
 
 /// Spawns the platform service.
@@ -208,6 +325,13 @@ struct WarmContainer {
     last_used: SimTime,
 }
 
+/// A cached function snapshot (the bytes are notional; the cost model
+/// only needs the captured memory size and recency).
+struct Snapshot {
+    memory_mb: u32,
+    last_used: SimTime,
+}
+
 /// Mutable state of the platform daemon.
 struct Platform {
     inbox: Addr,
@@ -218,6 +342,7 @@ struct Platform {
     pending: VecDeque<(String, Job)>,
     running: u32,
     next_container: u64,
+    next_fork: u64,
     /// Provisioned-concurrency floor per function ([`SetProvisioned`]).
     provisioned: HashMap<String, u32>,
     /// Pre-warms in flight per function (booting, not yet in the pool) —
@@ -225,6 +350,11 @@ struct Platform {
     prewarming: HashMap<String, u32>,
     /// Process of each container, so retirement can actually reclaim it.
     pids: HashMap<Addr, Pid>,
+    /// Snapshot cache, bounded by
+    /// [`crate::SnapshotConfig::snapshot_cache_capacity`]; LRU by virtual
+    /// time (name as the deterministic tie-break). `BTreeMap` so victim
+    /// selection never depends on hash order.
+    snapshots: BTreeMap<String, Snapshot>,
 }
 
 fn platform_loop(
@@ -243,9 +373,11 @@ fn platform_loop(
         pending: VecDeque::new(),
         running: 0,
         next_container: 0,
+        next_fork: 0,
         provisioned: HashMap::new(),
         prewarming: HashMap::new(),
         pids: HashMap::new(),
+        snapshots: BTreeMap::new(),
     };
     loop {
         let msg = ctx.recv(inbox);
@@ -281,6 +413,13 @@ fn platform_loop(
             }
             Err(m) => m,
         };
+        let msg = match msg.try_take::<SnapshotTaken>() {
+            Ok(snap) => {
+                p.insert_snapshot(ctx, &snap.function, snap.memory_mb);
+                continue;
+            }
+            Err(m) => m,
+        };
         let msg = match msg.try_take::<SetProvisioned>() {
             Ok(SetProvisioned { function, n }) => {
                 if p.registry.get(&function).is_some() {
@@ -291,7 +430,13 @@ fn platform_loop(
             }
             Err(m) => m,
         };
-        let (reply_to, invoke) = msg.take::<Request>().take::<InvokeFn>();
+        let req = msg.take::<Request>();
+        if req.body.is::<InvokeForked>() {
+            let (reply_to, fork) = req.take::<InvokeForked>();
+            p.handle_fork(ctx, reply_to, fork);
+            continue;
+        }
+        let (reply_to, invoke) = req.take::<InvokeFn>();
         if p.registry.get(&invoke.function).is_none() {
             let lat = p.cfg.response.sample(ctx.rng());
             ctx.reply::<InvokeResult>(
@@ -301,7 +446,13 @@ fn platform_loop(
             );
             continue;
         }
-        let job = Job { payload: invoke.payload, reply_to, cold: false, span: invoke.span };
+        let job = Job {
+            payload: invoke.payload,
+            reply_to,
+            start: StartKind::Warm,
+            restore_cost: Duration::ZERO,
+            span: invoke.span,
+        };
         if p.running >= p.cfg.concurrency_limit {
             // The account limit throttles the invocation into the queue;
             // the counter is what the control plane watches for pressure.
@@ -314,7 +465,8 @@ fn platform_loop(
 }
 
 impl Platform {
-    /// Routes one job to a warm container, or provisions a cold one.
+    /// Routes one job to a warm container, or provisions a cold one
+    /// (classically, or from a cached snapshot under the snapshot tier).
     fn dispatch(&mut self, ctx: &mut Ctx, function: String, mut job: Job) {
         self.running += 1;
         self.reap_expired(ctx, &function);
@@ -322,18 +474,161 @@ impl Platform {
         let target = if let Some(c) = pool.pop() {
             c.addr
         } else {
-            job.cold = true;
-            self.spawn_container(ctx, &function, false)
+            let (kind, cost) = self.plan_cold_start(ctx, &function);
+            job.start = kind;
+            job.restore_cost = cost;
+            self.spawn_container(ctx, &function, None)
         };
         self.push_pool_size(ctx);
         // Intra-service handoff; the client already paid the dispatch latency.
         ctx.send(target, Msg::new(job), Duration::ZERO);
     }
 
-    /// Spawns a fresh container process for `function`. With `prewarm` it
-    /// boots immediately and reports [`WarmReady`]; otherwise it boots on
-    /// its first job (the invoker pays the cold start).
-    fn spawn_container(&mut self, ctx: &mut Ctx, function: &str, prewarm: bool) -> Addr {
+    /// Decides how the next container of `function` starts when the pool
+    /// is empty: classic under [`ColdStartPolicy::Classic`]; under the
+    /// snapshot policies, a restore when the cache holds the function's
+    /// snapshot (`faas.snapshot_cache.hit`) and a classic fallback that
+    /// will repopulate it otherwise (`faas.snapshot_cache.miss`).
+    fn plan_cold_start(&mut self, ctx: &mut Ctx, function: &str) -> (StartKind, Duration) {
+        let policy =
+            self.cfg.effective_policy(self.registry.get(function).and_then(|s| s.cold_start));
+        if !policy.uses_snapshots() {
+            return (StartKind::Classic, Duration::ZERO);
+        }
+        let scfg = self.cfg.snapshot.clone().expect("snapshot policy implies a model");
+        if let Some(s) = self.snapshots.get_mut(function) {
+            s.last_used = ctx.now();
+            ctx.metric_incr("faas.snapshot_cache.hit");
+            let cost = scfg.restore_base.sample(ctx.rng()) + scfg.page_restore_cost(s.memory_mb);
+            (StartKind::Restore, cost)
+        } else {
+            ctx.metric_incr("faas.snapshot_cache.miss");
+            (StartKind::Classic, Duration::ZERO)
+        }
+    }
+
+    /// Caches a freshly captured snapshot, evicting the least recently
+    /// used one (virtual-time LRU, name as the deterministic tie-break)
+    /// when the cache is full. Storage is billed from capture to
+    /// eviction ([`crate::SnapshotRecord`]).
+    fn insert_snapshot(&mut self, ctx: &mut Ctx, function: &str, memory_mb: u32) {
+        let Some(scfg) = self.cfg.snapshot.as_ref() else { return };
+        if let Some(s) = self.snapshots.get_mut(function) {
+            // Already cached (another container of the same function
+            // also booted classically); just refresh recency.
+            s.last_used = ctx.now();
+            return;
+        }
+        if self.snapshots.len() >= scfg.snapshot_cache_capacity {
+            let victim = self
+                .snapshots
+                .iter()
+                .min_by(|a, b| (a.1.last_used, a.0).cmp(&(b.1.last_used, b.0)))
+                .map(|(name, _)| name.clone());
+            if let Some(name) = victim {
+                self.snapshots.remove(&name);
+                ctx.metric_incr("faas.snapshot_cache.evict");
+                self.billing.mark_snapshot_evicted(&name, ctx.now());
+            }
+        }
+        self.snapshots.insert(function.to_string(), Snapshot { memory_mb, last_used: ctx.now() });
+        self.billing.record_snapshot_created(function, memory_mb, ctx.now());
+    }
+
+    /// Fans one [`InvokeForked`] request out into per-payload CoW branch
+    /// processes. If no warm parent container exists, one is provisioned
+    /// first (restore or classic, planned here so the branches know how
+    /// long to wait) and joins the pool. Branches run outside the
+    /// account concurrency limit — a fork is a burst primitive sharing
+    /// one container's resources, not N new containers.
+    fn handle_fork(&mut self, ctx: &mut Ctx, reply_to: Addr, fork: InvokeForked) {
+        let n = fork.payloads.len();
+        let Some(spec) = self.registry.get(&fork.function) else {
+            let lat = self.cfg.response.sample(ctx.rng());
+            let res: Vec<InvokeResult> =
+                (0..n).map(|_| Err(FaasError::UnknownFunction(fork.function.clone()))).collect();
+            ctx.reply(reply_to, res, lat);
+            return;
+        };
+        let policy = self.cfg.effective_policy(spec.cold_start);
+        if policy != ColdStartPolicy::Fork {
+            let lat = self.cfg.response.sample(ctx.rng());
+            let res: Vec<InvokeResult> =
+                (0..n).map(|_| Err(FaasError::ForkUnsupported(fork.function.clone()))).collect();
+            ctx.reply(reply_to, res, lat);
+            return;
+        }
+        if n == 0 {
+            let lat = self.cfg.response.sample(ctx.rng());
+            ctx.reply::<Vec<InvokeResult>>(reply_to, Vec::new(), lat);
+            return;
+        }
+        let scfg = self.cfg.snapshot.clone().expect("Fork policy implies a snapshot model");
+        self.reap_expired(ctx, &fork.function);
+        // The CoW parent: a warm container if one exists (forking leaves
+        // it reusable, so it stays pooled), else provision one now —
+        // restore on a snapshot hit, classic on a miss — and make the
+        // branches wait out its boot.
+        let parent_delay = match self.warm.get_mut(&fork.function).and_then(|pool| pool.last_mut())
+        {
+            Some(c) => {
+                c.last_used = ctx.now();
+                Duration::ZERO
+            }
+            None => {
+                let (kind, planned) = self.plan_cold_start(ctx, &fork.function);
+                let cost = match kind {
+                    StartKind::Restore => planned,
+                    _ => self.cfg.cold_start.sample(ctx.rng()),
+                };
+                let plan = BootPlan::Planned { kind, cost };
+                self.spawn_container(ctx, &fork.function, Some(plan));
+                cost
+            }
+        };
+        self.push_pool_size(ctx);
+        let collector = ctx.mailbox(&format!("fork-{}-{}", fork.function, self.next_fork));
+        self.next_fork += 1;
+        for (index, payload) in fork.payloads.into_iter().enumerate() {
+            let id = self.next_container;
+            self.next_container += 1;
+            let host = id / u64::from(self.cfg.containers_per_host.max(1));
+            // Branch latencies are planned by the platform (its RNG), so
+            // branch processes stay schedule-independent.
+            let delay = parent_delay + scfg.fork.sample(ctx.rng());
+            let spec2 = spec.clone();
+            let cfg2 = self.cfg.clone();
+            let billing2 = self.billing.clone();
+            let fname = fork.function.clone();
+            let span = fork.span;
+            ctx.spawn(&format!("fork-{fname}-{id}"), move |bc| {
+                branch_run(
+                    bc, collector, index, fname, spec2, cfg2, billing2, payload, delay, span, host,
+                );
+            });
+        }
+        let response = self.cfg.response;
+        ctx.spawn(&format!("fork-collect-{}", self.next_fork - 1), move |cc| {
+            let mut results: Vec<InvokeResult> =
+                (0..n).map(|_| Err(FaasError::Failed("fork branch lost".into()))).collect();
+            for _ in 0..n {
+                let done = cc.recv(collector).take::<BranchDone>();
+                results[done.index] = done.result;
+            }
+            let lat = response.sample(cc.rng());
+            cc.reply(reply_to, results, lat);
+        });
+    }
+
+    /// Spawns a fresh container process for `function`. With a `prewarm`
+    /// boot plan it boots immediately and reports [`WarmReady`];
+    /// otherwise it boots on its first job (the invoker pays the start).
+    fn spawn_container(
+        &mut self,
+        ctx: &mut Ctx,
+        function: &str,
+        prewarm: Option<BootPlan>,
+    ) -> Addr {
         let id = self.next_container;
         self.next_container += 1;
         // Deterministic bin-packing: no RNG draw, so placement never
@@ -370,14 +665,16 @@ impl Platform {
             + self.prewarming.get(function).copied().unwrap_or(0) as usize;
         for _ in have..floor {
             *self.prewarming.entry(function.to_string()).or_insert(0) += 1;
-            self.spawn_container(ctx, function, true);
+            self.spawn_container(ctx, function, Some(BootPlan::ClassicSampled));
         }
     }
 
     /// Retires idle-expired containers of `function`, keeping at least the
     /// provisioned floor warm. Retirements are traced (`faas.retire`) and
     /// billed ([`RetirementRecord`]) — a reclaimed container is a real
-    /// platform event, not a silent `Vec::retain`.
+    /// platform event, not a silent `Vec::retain`. The function's cached
+    /// snapshot (if any) survives its containers — that is the tier's
+    /// point.
     fn reap_expired(&mut self, ctx: &mut Ctx, function: &str) {
         let Some(pool) = self.warm.get_mut(function) else { return };
         let now = ctx.now();
@@ -418,8 +715,8 @@ impl Platform {
 }
 
 /// One container: runs jobs for a single function, sequentially, reporting
-/// back to the platform between jobs. With `prewarm` it boots up front
-/// (off anyone's request path) and announces [`WarmReady`].
+/// back to the platform between jobs. With a `prewarm` boot plan it boots
+/// up front (off anyone's request path) and announces [`WarmReady`].
 #[allow(clippy::too_many_arguments)]
 fn container_loop(
     ctx: &mut Ctx,
@@ -429,17 +726,27 @@ fn container_loop(
     cfg: FaasConfig,
     registry: FunctionRegistry,
     billing: Billing,
-    prewarm: bool,
+    prewarm: Option<BootPlan>,
     host: u64,
 ) {
     let mut first = true;
-    if prewarm {
-        let boot = cfg.cold_start.sample(ctx.rng());
+    if let Some(plan) = prewarm {
+        let (kind, boot) = match plan {
+            BootPlan::ClassicSampled => (StartKind::Classic, cfg.cold_start.sample(ctx.rng())),
+            BootPlan::Planned { kind, cost } => (kind, cost),
+        };
         let boot_span = ctx.span_begin("faas.prewarm", "faas");
         ctx.span_annotate(boot_span, "function", &function);
+        if kind == StartKind::Restore {
+            ctx.span_annotate(boot_span, "start", "restore");
+        }
         ctx.sleep(boot);
         ctx.span_end(boot_span);
-        ctx.metric_incr("faas.prewarms");
+        record_start(ctx, kind, boot);
+        announce_snapshot(ctx, platform, &function, &cfg, &registry, kind);
+        if matches!(plan, BootPlan::ClassicSampled) {
+            ctx.metric_incr("faas.prewarms");
+        }
         first = false;
         ctx.send(
             platform,
@@ -451,15 +758,24 @@ fn container_loop(
         let job = ctx.recv(inbox).take::<Job>();
         // Adopt the invoker's trace context for the whole job.
         ctx.set_trace_ctx(TraceCtx::under(job.span));
-        if job.cold || first {
+        if job.start == StartKind::Restore {
+            let boot_span = ctx.span_begin("faas.restore", "faas");
+            ctx.span_annotate(boot_span, "function", &function);
+            ctx.sleep(job.restore_cost);
+            ctx.span_end(boot_span);
+            record_start(ctx, StartKind::Restore, job.restore_cost);
+            first = false;
+        } else if job.start == StartKind::Classic || first {
             let boot = cfg.cold_start.sample(ctx.rng());
             let boot_span = ctx.span_begin("faas.coldstart", "faas");
             ctx.sleep(boot);
             ctx.span_end(boot_span);
+            record_start(ctx, StartKind::Classic, boot);
+            announce_snapshot(ctx, platform, &function, &cfg, &registry, StartKind::Classic);
             first = false;
         }
         ctx.metric_incr("faas.invocations");
-        if job.cold {
+        if job.start == StartKind::Classic {
             ctx.metric_incr("faas.cold_starts");
         }
         let spec = registry.get(&function).expect("function deployed");
@@ -488,7 +804,8 @@ fn container_loop(
             function: function.clone(),
             duration: elapsed.min(cfg.max_duration),
             memory_mb: spec.memory_mb,
-            cold_start: job.cold,
+            cold_start: job.start == StartKind::Classic,
+            kind: job.start,
             failed: result.is_err() || timed_out,
         });
         let reply: InvokeResult =
@@ -501,4 +818,99 @@ fn container_loop(
             Duration::ZERO,
         );
     }
+}
+
+/// Counts a container start in the `faas.start.{classic,restore,fork}`
+/// counter and latency histogram of its kind. Host-side only — never a
+/// simulation event, so classic schedules are untouched.
+fn record_start(ctx: &mut Ctx, kind: StartKind, latency: Duration) {
+    let name = match kind {
+        StartKind::Classic => "faas.start.classic",
+        StartKind::Restore => "faas.start.restore",
+        StartKind::Fork => "faas.start.fork",
+        StartKind::Warm => return,
+    };
+    ctx.metric_incr(name);
+    ctx.metric_record(name, latency);
+}
+
+/// After a classic boot of a snapshot-tier function, report the captured
+/// snapshot to the platform so later cold starts restore instead.
+fn announce_snapshot(
+    ctx: &mut Ctx,
+    platform: Addr,
+    function: &str,
+    cfg: &FaasConfig,
+    registry: &FunctionRegistry,
+    kind: StartKind,
+) {
+    if kind != StartKind::Classic {
+        return;
+    }
+    let Some(spec) = registry.get(function) else { return };
+    if cfg.effective_policy(spec.cold_start).uses_snapshots() {
+        ctx.send(
+            platform,
+            Msg::new(SnapshotTaken { function: function.to_string(), memory_mb: spec.memory_mb }),
+            Duration::ZERO,
+        );
+    }
+}
+
+/// One forked CoW branch: waits for the parent (if it is still booting)
+/// plus its own fork latency, runs the handler once, reports to the
+/// fork's collector. Branches are one-shot processes, not pooled
+/// containers — the pooled parent is what serves later plain invokes.
+#[allow(clippy::too_many_arguments)]
+fn branch_run(
+    ctx: &mut Ctx,
+    collector: Addr,
+    index: usize,
+    function: String,
+    spec: FunctionSpec,
+    cfg: FaasConfig,
+    billing: Billing,
+    payload: Vec<u8>,
+    delay: Duration,
+    span: SpanId,
+    host: u64,
+) {
+    ctx.set_trace_ctx(TraceCtx::under(span));
+    let fork_span = ctx.span_begin("faas.fork", "faas");
+    ctx.span_annotate(fork_span, "function", &function);
+    ctx.span_annotate(fork_span, "branch", index.to_string());
+    ctx.sleep(delay);
+    ctx.span_end(fork_span);
+    record_start(ctx, StartKind::Fork, delay);
+    ctx.metric_incr("faas.invocations");
+    let exec_span = ctx.span_begin("faas.exec", "faas");
+    ctx.span_annotate(exec_span, "function", &function);
+    let t0 = ctx.now();
+    let injected_failure = cfg.failure_rate > 0.0 && {
+        let p: f64 = ctx.rng().random_range(0.0..1.0);
+        p < cfg.failure_rate
+    };
+    ctx.set_trace_ctx(TraceCtx::under(exec_span));
+    let result: Result<Vec<u8>, String> = if injected_failure {
+        let partial: f64 = ctx.rng().random_range(0.0..1.0);
+        ctx.sleep(Duration::from_secs_f64(partial));
+        Err("container crashed (injected)".to_string())
+    } else {
+        let mut env = FnCtx::with_host(ctx, spec.memory_mb, host);
+        spec.handler.invoke(&mut env, payload)
+    };
+    let elapsed = ctx.now().saturating_duration_since(t0);
+    ctx.span_end(exec_span);
+    let timed_out = elapsed > cfg.max_duration;
+    billing.record(InvocationRecord {
+        function: function.clone(),
+        duration: elapsed.min(cfg.max_duration),
+        memory_mb: spec.memory_mb,
+        cold_start: false,
+        kind: StartKind::Fork,
+        failed: result.is_err() || timed_out,
+    });
+    let reply: InvokeResult =
+        if timed_out { Err(FaasError::TimedOut) } else { result.map_err(FaasError::Failed) };
+    ctx.send(collector, Msg::new(BranchDone { index, result: reply }), Duration::ZERO);
 }

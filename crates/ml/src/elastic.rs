@@ -24,8 +24,8 @@ use serde::{Deserialize, Serialize};
 
 use crucial::{
     function_name, join_all, spawn_controlplane, AdmissionConfig, Arithmetic, CrucialConfig,
-    CtlConfig, CtlEvent, CtlHandle, Deployment, FnEnv, MetricsRegistry, PrewarmConfig, Pricing,
-    RunResult, Runnable, Sim, SimTime, TargetTracking,
+    CtlConfig, CtlEvent, CtlHandle, Deployment, FaasConfig, FnEnv, MetricsRegistry, PrewarmConfig,
+    RunResult, Runnable, Sim, SimTime, TargetTracking, FULL_VCPU_MB,
 };
 
 /// Dollars per DSO-node-second, from the paper's server tier (r5.2xlarge,
@@ -68,6 +68,9 @@ pub struct ElasticConfig {
     pub ctl: CtlConfig,
     /// Target-tracking setpoint: requests/s one node serves comfortably.
     pub target_per_node: f64,
+    /// FaaS platform configuration — the cold-start tier under test
+    /// (classic vs snapshot restore) and the pricing the cost columns use.
+    pub faas: FaasConfig,
 }
 
 impl Default for ElasticConfig {
@@ -99,6 +102,7 @@ impl Default for ElasticConfig {
                 prewarm: None, // filled per-run with the worker's function name
             },
             target_per_node: 500.0,
+            faas: FaasConfig::default(),
         }
     }
 }
@@ -126,6 +130,8 @@ pub struct ElasticReport {
     pub gb_seconds: f64,
     /// FaaS idle-pool GB-seconds (retired warm containers).
     pub idle_gb_seconds: f64,
+    /// Snapshot-storage GB-seconds held over the run (zero under classic).
+    pub snapshot_gb_seconds: f64,
     /// Dollar cost: FaaS (execution + idle + requests) and DSO nodes.
     pub faas_cost_usd: f64,
     /// Dollar cost of the DSO fleet at [`NODE_SECOND_USD`].
@@ -253,6 +259,7 @@ pub fn run_elastic_with(cfg: &ElasticConfig, setup: impl FnOnce(&Sim)) -> Elasti
     let mut ccfg = CrucialConfig { dso_nodes: cfg.initial_nodes, ..CrucialConfig::default() };
     ccfg.dso.workers_per_node = cfg.dso_workers_per_node;
     ccfg.dso.admission = cfg.admission;
+    ccfg.faas = cfg.faas.clone();
     let dep = Deployment::start(&sim, ccfg);
     dep.register::<ElasticWorker>();
     let threads = dep.threads();
@@ -263,7 +270,15 @@ pub fn run_elastic_with(cfg: &ElasticConfig, setup: impl FnOnce(&Sim)) -> Elasti
     let ctl = if cfg.autoscale {
         let mut ctl_cfg = cfg.ctl.clone();
         if ctl_cfg.prewarm.is_none() {
-            ctl_cfg.prewarm = Some(PrewarmConfig::new(&function_name::<ElasticWorker>(), 8));
+            // Sized from the platform's cold-start tier: under snapshot
+            // restores the penalty drops below the threshold and the
+            // daemon stops buying provisioned floors.
+            ctl_cfg.prewarm = Some(PrewarmConfig::for_platform(
+                &cfg.faas,
+                FULL_VCPU_MB,
+                &function_name::<ElasticWorker>(),
+                8,
+            ));
         }
         spawn_controlplane(
             &sim,
@@ -325,7 +340,8 @@ pub fn run_elastic_with(cfg: &ElasticConfig, setup: impl FnOnce(&Sim)) -> Elasti
     let billing = faas.billing();
     let gb_seconds = billing.gb_seconds();
     let idle_gb_seconds = billing.idle_gb_seconds().max(0.0);
-    let pricing = Pricing::default();
+    let snapshot_gb_seconds = billing.snapshot_gb_seconds(t_end);
+    let pricing = cfg.faas.pricing;
     ElasticReport {
         per_second: buckets.into_iter().collect(),
         total: points.len() as u64,
@@ -341,7 +357,10 @@ pub fn run_elastic_with(cfg: &ElasticConfig, setup: impl FnOnce(&Sim)) -> Elasti
         node_seconds: node_s,
         gb_seconds,
         idle_gb_seconds,
-        faas_cost_usd: billing.cost(pricing) + idle_gb_seconds * pricing.per_gb_second,
+        snapshot_gb_seconds,
+        faas_cost_usd: billing.cost(pricing)
+            + idle_gb_seconds * pricing.per_gb_second
+            + billing.snapshot_cost(pricing, t_end),
         node_cost_usd: node_s * NODE_SECOND_USD,
         metrics: registry,
     }

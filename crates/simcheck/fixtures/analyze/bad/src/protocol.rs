@@ -10,3 +10,8 @@ pub struct ReadStamp {
     pub lamport: u64,
     pub lease_ms: u64,
 }
+
+pub struct RestoreBill {
+    pub base_ms: u64,
+    pub cost_ms: u64,
+}

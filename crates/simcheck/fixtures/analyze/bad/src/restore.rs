@@ -1,0 +1,21 @@
+// Fixture: wall clock laundered into a snapshot *restore-cost* bill.
+// The tempting bug in a cold-start tier: "how many pages went dirty since
+// the snapshot" estimated from elapsed host time, folded into the restore
+// cost, and shipped inside `RestoreBill` — where it would steer every
+// peer's floor-vs-restore trade off the host clock. The clock read sits
+// two helpers below the sink and no line in `bill_restore` names a clock
+// API. Expected finding: determinism-taint at the `RestoreBill` literal.
+
+fn pages_since_snapshot() -> u64 {
+    let now = std::time::SystemTime::now();
+    let secs = now.duration_since(std::time::UNIX_EPOCH).unwrap().as_secs();
+    secs % 9175
+}
+
+fn restore_cost_ms(base_ms: u64) -> u64 {
+    base_ms + pages_since_snapshot() / 100
+}
+
+pub fn bill_restore(base_ms: u64) -> RestoreBill {
+    RestoreBill { base_ms, cost_ms: restore_cost_ms(base_ms) }
+}

@@ -18,6 +18,11 @@
 //!   replica reads beat primary-only reads, and the host-shared node
 //!   cache beats the per-client cache under client churn. These are
 //!   *claims the docs make*; the gate keeps them true.
+//! * `"bench": "coldstart"` (`experiments coldstart`) — the three start
+//!   tiers (`classic`, `snapshot`, `fork`) are present with positive
+//!   `starts` and `mean_start_ms`, and the tier claims hold: a snapshot
+//!   restore collapses the classic cold start by at least 4×, and a fork
+//!   undercuts the snapshot restore by at least 2×.
 //!
 //! Exits non-zero listing each violation — as human-readable lines, or
 //! with `--json` as a JSON array of `{section, observed, floor, msg}`
@@ -102,12 +107,20 @@ const CONSISTENCY_CLAIMS: [(&str, &str, f64); 2] = [
     ("replica-reads/node_cache", "replica-reads/client_cache", 1.2),
 ];
 
+/// The start tiers `coldstart` must report, and the latency claims over
+/// them: `(slower, faster, margin)` — `slower`'s `mean_start_ms` must be
+/// at least `margin`× `faster`'s.
+const COLDSTART_MODES: [&str; 3] = ["classic", "snapshot", "fork"];
+const COLDSTART_CLAIMS: [(&str, &str, f64); 2] =
+    [("classic", "snapshot", 4.0), ("snapshot", "fork", 2.0)];
+
 /// Validates the document, dispatching on the `bench` field; returns
 /// violations (empty = clean).
 fn validate(doc: &Json) -> Vec<Violation> {
     match doc.get("bench").and_then(Json::as_str) {
         Some("kernel") => validate_kernel(doc),
         Some("consistency") => validate_consistency(doc),
+        Some("coldstart") => validate_coldstart(doc),
         Some(other) => vec![Violation::doc(format!("unknown bench kind \"{other}\""))],
         None => vec![Violation::doc("top-level object lacks a `bench` string")],
     }
@@ -191,6 +204,59 @@ fn validate_consistency(doc: &Json) -> Vec<Violation> {
                     format!(
                         "reads_per_s {f:.0} does not beat {slower} ({s:.0}) by the \
                          documented {margin}x margin — the ablation's claim regressed"
+                    ),
+                )
+            });
+        }
+    }
+    errs
+}
+
+fn validate_coldstart(doc: &Json) -> Vec<Violation> {
+    let mut errs = Vec::new();
+    let Some(Json::Arr(modes)) = doc.get("modes") else {
+        errs.push(Violation::doc("top-level object lacks a `modes` array"));
+        return errs;
+    };
+    let field = |mode: &str, key: &str| -> Option<f64> {
+        modes
+            .iter()
+            .find(|m| m.get("name").and_then(Json::as_str) == Some(mode))
+            .and_then(|m| m.get(key).and_then(Json::as_num))
+    };
+    for name in COLDSTART_MODES {
+        match field(name, "mean_start_ms") {
+            Some(v) if v > 0.0 => {}
+            Some(v) => errs.push(Violation {
+                observed: Some(v),
+                ..Violation::section(name, format!("`mean_start_ms` must be positive, got {v}"))
+            }),
+            None => errs
+                .push(Violation::section(name, "mode missing (or lacks numeric `mean_start_ms`)")),
+        }
+        match field(name, "starts") {
+            Some(v) if v > 0.0 => {}
+            Some(v) => errs.push(Violation {
+                observed: Some(v),
+                ..Violation::section(name, format!("`starts` must be positive, got {v}"))
+            }),
+            None => errs.push(Violation::section(name, "missing numeric `starts`")),
+        }
+    }
+    for (slower, faster, margin) in COLDSTART_CLAIMS {
+        let (Some(s), Some(f)) = (field(slower, "mean_start_ms"), field(faster, "mean_start_ms"))
+        else {
+            continue; // already reported as missing above
+        };
+        if f * margin > s {
+            errs.push(Violation {
+                observed: Some(f),
+                floor: Some(s / margin),
+                ..Violation::section(
+                    faster,
+                    format!(
+                        "mean_start_ms {f:.1} does not undercut {slower} ({s:.1}) by the \
+                         documented {margin}x margin — the cold-start tier's claim regressed"
                     ),
                 )
             });
@@ -371,6 +437,66 @@ mod tests {
 
     fn humans(errs: &[Violation]) -> Vec<String> {
         errs.iter().map(Violation::human).collect()
+    }
+
+    /// A coldstart report with all three tiers at the given means.
+    fn coldstart_doc(classic: f64, snapshot: f64, fork: f64) -> String {
+        let mean = |name: &str| match name {
+            "classic" => classic,
+            "snapshot" => snapshot,
+            _ => fork,
+        };
+        let modes = COLDSTART_MODES
+            .iter()
+            .map(|name| {
+                format!(
+                    "{{\"name\": \"{name}\", \"starts\": 48, \"mean_start_ms\": {}, \
+                     \"p50_ms\": 1.0, \"p90_ms\": 2.0, \"p99_ms\": 3.0, \"cdf_ms\": [1.0], \
+                     \"gb_seconds\": 10.0, \"idle_gb_seconds\": 0.0, \
+                     \"snapshot_gb_seconds\": 0.0, \"faas_cost_usd\": 0.01}}",
+                    mean(name)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"bench\": \"coldstart\", \"phase_secs\": 15, \"modes\": [{modes}]}}")
+    }
+
+    #[test]
+    fn accepts_a_healthy_coldstart_report() {
+        let errs = validate(&parse(&coldstart_doc(1500.0, 210.0, 25.0)).unwrap());
+        assert!(errs.is_empty(), "{:?}", humans(&errs));
+    }
+
+    #[test]
+    fn rejects_a_restore_that_stopped_collapsing_the_cold_start() {
+        let errs = validate(&parse(&coldstart_doc(1500.0, 600.0, 25.0)).unwrap());
+        assert_eq!(errs.len(), 1, "{:?}", humans(&errs));
+        assert_eq!(errs[0].section, "snapshot");
+        assert!(errs[0].msg.contains("does not undercut classic"));
+        assert_eq!(errs[0].observed, Some(600.0));
+        assert_eq!(errs[0].floor, Some(1500.0 / 4.0));
+    }
+
+    #[test]
+    fn rejects_a_fork_that_stopped_undercutting_the_restore() {
+        let errs = validate(&parse(&coldstart_doc(1500.0, 210.0, 150.0)).unwrap());
+        assert_eq!(errs.len(), 1, "{:?}", humans(&errs));
+        assert_eq!(errs[0].section, "fork");
+        assert!(errs[0].msg.contains("does not undercut snapshot"));
+    }
+
+    #[test]
+    fn rejects_missing_or_stalled_coldstart_modes() {
+        let errs = validate(&parse("{\"bench\": \"coldstart\", \"modes\": []}").unwrap());
+        assert_eq!(errs.len(), COLDSTART_MODES.len() * 2, "{:?}", humans(&errs));
+        assert!(errs[0].msg.contains("mode missing"));
+        let errs = validate(&parse(&coldstart_doc(1500.0, 0.0, 25.0)).unwrap());
+        assert!(
+            errs.iter().any(|e| e.section == "snapshot" && e.msg.contains("must be positive")),
+            "{:?}",
+            humans(&errs)
+        );
     }
 
     #[test]

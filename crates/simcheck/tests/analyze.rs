@@ -26,6 +26,7 @@ fn bad_tree_yields_exactly_the_planted_findings() {
         ("impure.rs".to_string(), Rule::ReadonlyImpure),
         ("lease.rs".to_string(), Rule::DeterminismTaint),
         ("nondet.rs".to_string(), Rule::DeterminismTaint),
+        ("restore.rs".to_string(), Rule::DeterminismTaint),
         ("taint_chain.rs".to_string(), Rule::DeterminismTaint),
         ("waits.rs".to_string(), Rule::WaitAnnotation),
     ];
@@ -66,6 +67,24 @@ fn wall_clock_laundered_into_a_lease_field_is_caught() {
     // names the laundering helper and the true clock source.
     assert!(f.msg.contains("ReadStamp"), "{}", f.msg);
     assert!(f.msg.contains("lease_deadline_ms"), "{}", f.msg);
+    assert!(f.msg.contains("SystemTime::now"), "{}", f.msg);
+}
+
+#[test]
+fn wall_clock_laundered_into_a_restore_cost_is_caught() {
+    let analysis = analyze_tree(&fixture("bad")).expect("walk fixtures");
+    let f = analysis
+        .findings
+        .iter()
+        .find(|f| f.file.ends_with("restore.rs"))
+        .expect("planted restore finding");
+    assert_eq!(f.rule, Rule::DeterminismTaint);
+    // The finding sits at the `RestoreBill` wire literal; the trace walks
+    // through the cost helper and the dirty-page estimator back to the
+    // true clock source.
+    assert!(f.msg.contains("RestoreBill"), "{}", f.msg);
+    assert!(f.msg.contains("restore_cost_ms"), "{}", f.msg);
+    assert!(f.msg.contains("pages_since_snapshot"), "{}", f.msg);
     assert!(f.msg.contains("SystemTime::now"), "{}", f.msg);
 }
 
