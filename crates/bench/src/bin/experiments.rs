@@ -7,14 +7,14 @@
 //! targets: table2 fig2a fig2b fig3 fig4 fig5 table3 fig6 fig7a fig7b
 //!          fig7c fig8 table4 ablate-rf ablate-workers ablate-barrier
 //!          ablate-read-path consistency-ablate trace-pi trace-kmeans
-//!          elastic coldstart kernel-bench all
+//!          elastic coldstart recovery kernel-bench all
 //! ```
 //!
 //! `--paper` switches to the paper's full parameters (much slower).
 
 use bench::experiments::{
-    ablate, coldstart, consistency, elastic, kernelbench, micro, ml, readpath, state, sync, traced,
-    Scale,
+    ablate, coldstart, consistency, elastic, kernelbench, micro, ml, readpath, recovery, state,
+    sync, traced, Scale,
 };
 
 fn main() {
@@ -26,7 +26,7 @@ fn main() {
             "targets: table2 fig2a fig2b fig3 fig4 fig5 table3 fig6 fig7a \
                  fig7b fig7c fig8 table4 ablate-rf ablate-workers ablate-barrier \
                  ablate-read-path consistency-ablate trace-pi trace-kmeans \
-                 elastic coldstart kernel-bench all"
+                 elastic coldstart recovery kernel-bench all"
         );
         std::process::exit(2);
     });
@@ -70,6 +70,7 @@ fn run(target: &str, scale: Scale) {
         "trace-kmeans" => traced::trace_kmeans(scale),
         "kernel-bench" => kernelbench::kernel_bench(scale).0.print(),
         "coldstart" => coldstart::coldstart(scale).0.print(),
+        "recovery" => recovery::recovery(scale).0.print(),
         "elastic" => {
             let (t, auto, _) = elastic::elastic(scale);
             t.print();

@@ -12,6 +12,7 @@ pub mod kernelbench;
 pub mod micro;
 pub mod ml;
 pub mod readpath;
+pub mod recovery;
 pub mod state;
 pub mod sync;
 pub mod traced;

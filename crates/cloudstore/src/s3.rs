@@ -47,6 +47,7 @@ enum S3Req {
     Put { key: String, value: Vec<u8> },
     Get { key: String },
     Delete { key: String },
+    DeleteMany { keys: Vec<String> },
     List { prefix: String },
 }
 
@@ -113,6 +114,22 @@ impl S3Handle {
         };
     }
 
+    /// Deletes a batch of objects in one request (the `DeleteObjects`
+    /// API): one round trip regardless of the batch size, which is what
+    /// keeps log garbage collection from scaling per-key. Idempotent;
+    /// no-op on an empty batch.
+    pub fn delete_many(&self, ctx: &mut Ctx, keys: Vec<String>) {
+        if keys.is_empty() {
+            return;
+        }
+        let lat = self.cfg.half_put.sample(ctx.rng());
+        self.annotate(ctx, "delete_many");
+        let S3Resp::Ok = ctx.call::<S3Req, S3Resp>(self.addr, S3Req::DeleteMany { keys }, lat)
+        else {
+            panic!("protocol: DELETE must return Ok");
+        };
+    }
+
     /// Lists visible keys with the given prefix, sorted.
     pub fn list(&self, ctx: &mut Ctx, prefix: &str) -> Vec<String> {
         let lat = self.cfg.half_list.sample(ctx.rng());
@@ -142,6 +159,12 @@ fn s3_loop(ctx: &mut Ctx, inbox: Addr, cfg: S3Config) {
             }
             S3Req::Delete { key } => {
                 store.remove(&key);
+                (S3Resp::Ok, &cfg.half_put)
+            }
+            S3Req::DeleteMany { keys } => {
+                for key in keys {
+                    store.remove(&key);
+                }
                 (S3Resp::Ok, &cfg.half_put)
             }
             S3Req::List { prefix } => {
@@ -183,6 +206,12 @@ mod tests {
             s3.delete(ctx, "a/1");
             assert_eq!(s3.get(ctx, "a/1"), None);
             assert_eq!(s3.list(ctx, "a/"), vec!["a/2".to_string()]);
+            // Batched delete: one round trip clears the rest.
+            let t0 = ctx.now();
+            s3.delete_many(ctx, vec!["a/2".to_string(), "b/1".to_string()]);
+            assert!(ctx.now() - t0 < Duration::from_millis(100), "one request, not per-key");
+            assert!(s3.list(ctx, "").is_empty());
+            s3.delete_many(ctx, Vec::new()); // empty batch is a free no-op
         });
         sim.run_until_idle().expect_quiescent();
     }

@@ -14,7 +14,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use dso::DsoCluster;
+use dso::{Checkpointer, DsoClient, DsoCluster};
 use faas::{FaasHandle, InvokeOpts};
 use parking_lot::Mutex;
 use simcore::{MetricsRegistry, Sim, SimTime, Ticker};
@@ -39,6 +39,14 @@ pub struct CtlConfig {
     /// The FaaS pre-warming lever; `None` leaves provisioned concurrency
     /// alone.
     pub prewarm: Option<PrewarmConfig>,
+    /// The durability lever: run a cluster checkpoint
+    /// ([`dso::Checkpointer::run_once`]) whenever at least this much time
+    /// has passed since the previous one, bounding both crash-recovery
+    /// replay and WAL storage growth. `None` disables scheduling; it is
+    /// also ignored when the cluster has no
+    /// [`dso::DsoConfig::durability`] configured (there is no store to
+    /// checkpoint to).
+    pub checkpoint_interval: Option<Duration>,
 }
 
 impl Default for CtlConfig {
@@ -50,6 +58,7 @@ impl Default for CtlConfig {
             scale_out_cooldown: Duration::from_secs(3),
             drain_cooldown: Duration::from_secs(10),
             prewarm: None,
+            checkpoint_interval: None,
         }
     }
 }
@@ -161,6 +170,15 @@ pub enum CtlEvent {
         /// Live nodes after the drain.
         nodes: u32,
     },
+    /// A scheduled cluster checkpoint completed.
+    Checkpoint {
+        /// Tick time of the decision.
+        at: SimTime,
+        /// Objects captured in the checkpoint blob.
+        objects: usize,
+        /// Marshalled bytes written to the store.
+        bytes: usize,
+    },
     /// The provisioned-concurrency floor changed.
     Prewarm {
         /// Tick time of the decision.
@@ -211,6 +229,9 @@ impl CtlHandle {
                 CtlEvent::Drain { at, node, nodes } => {
                     out.push_str(&format!("t={at} drain node={node} nodes={nodes}\n"));
                 }
+                CtlEvent::Checkpoint { at, objects, bytes } => {
+                    out.push_str(&format!("t={at} checkpoint objects={objects} bytes={bytes}\n"));
+                }
                 CtlEvent::Prewarm { at, function, provisioned } => {
                     out.push_str(&format!("t={at} prewarm fn={function} n={provisioned}\n"));
                 }
@@ -244,6 +265,17 @@ struct PrewarmState {
     calm_ticks: u32,
 }
 
+/// Scheduling state of the checkpoint lever. Owns its own [`DsoClient`]
+/// so checkpoint rounds never hold the cluster lock across blocking
+/// calls, and the [`Checkpointer`] so sequence numbers stay monotonic
+/// across rounds.
+struct CkptState {
+    interval: Duration,
+    last: SimTime,
+    cp: Checkpointer,
+    cli: DsoClient,
+}
+
 /// Spawns the reconcile daemon.
 ///
 /// The daemon owns no state of its own beyond the policy: it reads
@@ -269,6 +301,16 @@ pub fn spawn_controlplane(
         let mut last_drain: Option<SimTime> = None;
         let mut prewarm =
             cfg.prewarm.clone().map(|cfg| PrewarmState { cfg, floor: 0, calm_ticks: 0 });
+        let mut ckpt = cfg.checkpoint_interval.and_then(|interval| {
+            let cl = cluster.lock();
+            let d = cl.config().durability.clone()?;
+            Some(CkptState {
+                interval,
+                last: ctx.now(),
+                cp: Checkpointer::new(d),
+                cli: cl.client_handle().connect(),
+            })
+        });
         loop {
             let now = tick.wait(ctx);
             let dt = now.saturating_duration_since(prev_t).as_secs_f64().max(1e-9);
@@ -343,6 +385,28 @@ pub fn spawn_controlplane(
                     });
                 }
             }
+            if let Some(ck) = ckpt.as_mut() {
+                if now.saturating_duration_since(ck.last) >= ck.interval {
+                    ck.last = now;
+                    let s = ctx.span_begin_under(span, "ctl.checkpoint", "ctl");
+                    match ck.cp.run_once(ctx, &mut ck.cli) {
+                        Ok(report) => {
+                            ctx.span_annotate(s, "objects", report.objects.to_string());
+                            ctx.span_annotate(s, "bytes", report.bytes.to_string());
+                            events.lock().push(CtlEvent::Checkpoint {
+                                at: now,
+                                objects: report.objects,
+                                bytes: report.bytes,
+                            });
+                        }
+                        Err(e) => {
+                            ctx.metric_incr("ctl.checkpoint_failures");
+                            ctx.span_annotate(s, "outcome", format!("{e:?}"));
+                        }
+                    }
+                    ctx.span_end(s);
+                }
+            }
             ctx.metric_push("ctl.nodes", cluster.lock().live_nodes() as f64);
             ctx.span_end(span);
             prev = snap;
@@ -356,6 +420,53 @@ pub fn spawn_controlplane(
 mod tests {
     use super::*;
     use faas::{ColdStartPolicy, FaasConfig, SnapshotConfig, FULL_VCPU_MB};
+
+    #[test]
+    fn checkpoint_lever_runs_on_its_own_cadence() {
+        use cloudstore::{spawn_s3, S3Config};
+        use dso::{api, DsoConfig, DurabilityConfig, DurabilityStore, ObjectRegistry};
+
+        let mut sim = Sim::new(7);
+        let registry = MetricsRegistry::new();
+        sim.set_metrics(&registry);
+        let s3 = spawn_s3(&sim, S3Config::default());
+        let d = DurabilityConfig::new(DurabilityStore::new(s3, "ctl"));
+        let cfg = DsoConfig { durability: Some(d), ..DsoConfig::default() };
+        let cluster =
+            Arc::new(Mutex::new(DsoCluster::start(&sim, 2, cfg, ObjectRegistry::with_builtins())));
+        let handle = cluster.lock().client_handle();
+        let ctl = spawn_controlplane(
+            &sim,
+            cluster,
+            None,
+            registry,
+            Box::new(crate::policy::TargetTracking::new(1e6)),
+            CtlConfig {
+                reconcile_interval: Duration::from_millis(100),
+                checkpoint_interval: Some(Duration::from_millis(400)),
+                ..CtlConfig::default()
+            },
+        );
+        sim.spawn("app", move |ctx| {
+            let mut cli = handle.connect();
+            for i in 0..8 {
+                api::AtomicLong::new(&format!("c{i}")).set(ctx, &mut cli, i).expect("dso");
+            }
+        });
+        sim.run_until(SimTime::from_secs(2));
+        let ckpts: Vec<_> = ctl
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                CtlEvent::Checkpoint { objects, .. } => Some(objects),
+                _ => None,
+            })
+            .collect();
+        // 2 s of run at one checkpoint per 400 ms, minus start-up slack.
+        assert!(ckpts.len() >= 3, "expected several scheduled checkpoints, got {ckpts:?}");
+        assert!(ckpts.contains(&8), "a checkpoint captured the full dataset");
+        assert!(ctl.decision_log().contains(" checkpoint objects="), "log renders the lever");
+    }
 
     #[test]
     fn floor_rises_with_cold_starts_and_decays_when_calm() {

@@ -16,6 +16,11 @@
 //! 3. **Admission control** — the token-bucket load-shedder lives in the
 //!    DSO servers (`dso::AdmissionConfig`); the daemon observes its shed
 //!    rate as an overload signal, closing the feedback loop.
+//! 4. **Durability checkpoints** — when the cluster persists a WAL
+//!    (`dso::DurabilityConfig`), the daemon can run
+//!    `dso::Checkpointer::run_once` on its own cadence
+//!    ([`CtlConfig::checkpoint_interval`]), bounding crash-recovery replay
+//!    and garbage-collecting subsumed log segments.
 //!
 //! Policies are pluggable ([`ScalingPolicy`]): [`TargetTracking`] sizes
 //! the fleet to a per-node request rate, [`StepScaling`] reacts to queue

@@ -7,7 +7,9 @@ use simcore::{Addr, Ctx, Sim};
 
 use crate::client::DsoClientHandle;
 use crate::config::DsoConfig;
-use crate::membership::spawn_coordinator;
+use crate::durability::RecoveryReport;
+use crate::error::DsoError;
+use crate::membership::{spawn_coordinator, spawn_coordinator_from};
 use crate::object::ObjectRegistry;
 use crate::protocol::NodeId;
 use crate::server::{spawn_server, spawn_server_from, ServerHandle};
@@ -59,6 +61,89 @@ impl DsoCluster {
             cluster.add_node(sim);
         }
         cluster
+    }
+
+    /// Rebuilds a deployment from its durability store after a
+    /// full-cluster crash: scan the store (with read repair against LIST
+    /// visibility lag), start a fresh coordinator plus `n` nodes writing
+    /// under a bumped generation — so the new WAL never collides with the
+    /// dead cluster's keys — wait for the `n`-member view, then replay
+    /// the newest checkpoint overlaid with every newer WAL record.
+    ///
+    /// The recovered cluster may be any size; placement follows its own
+    /// ring. `cfg.durability` must be set (it carries the store); the
+    /// durability *level* may differ from the dead cluster's.
+    ///
+    /// # Errors
+    ///
+    /// [`DsoError::Timeout`] when the store listing does not settle or
+    /// the view does not form; propagates replay errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.durability` is `None`.
+    pub fn recover_from(
+        ctx: &mut Ctx,
+        n: u32,
+        mut cfg: DsoConfig,
+        registry: ObjectRegistry,
+    ) -> Result<(DsoCluster, RecoveryReport), DsoError> {
+        // invariant: the documented API contract (see # Panics) — callers
+        // must configure durability, there is nothing to recover without a
+        // store to recover from.
+        let d = cfg.durability.clone().expect("recover_from requires DsoConfig.durability");
+        let span = ctx.span_begin("dso.recover", "dso");
+        let scan = match crate::durability::scan(ctx, &d) {
+            Ok(s) => s,
+            Err(e) => {
+                ctx.span_annotate(span, "outcome", "scan-timeout");
+                ctx.span_end(span);
+                return Err(e);
+            }
+        };
+        // invariant: checked Some at the top of the function.
+        cfg.durability.as_mut().expect("durability checked").store =
+            d.store.with_generation(scan.next_gen);
+        let coordinator = spawn_coordinator_from(ctx, cfg.clone());
+        let mut cluster = DsoCluster {
+            coordinator,
+            cfg,
+            registry,
+            servers: Vec::new(),
+            alive: Vec::new(),
+            next_node: 0,
+        };
+        for _ in 0..n {
+            cluster.add_node_from(ctx);
+        }
+        // Wait for every node to join before replaying, so placement is
+        // computed against the full ring and nothing rebalances mid-way.
+        let mut cli = cluster.client_handle().connect();
+        let mut formed = false;
+        for _ in 0..200 {
+            if cli.refresh_view(ctx).members.len() == n as usize {
+                formed = true;
+                break;
+            }
+            ctx.sleep(cluster.cfg.heartbeat_interval);
+        }
+        if !formed {
+            ctx.span_annotate(span, "outcome", "view-timeout");
+            ctx.span_end(span);
+            return Err(DsoError::Timeout);
+        }
+        let result = crate::durability::replay(ctx, &mut cli, scan, &d);
+        match &result {
+            Ok(report) => {
+                ctx.span_annotate(span, "generation", report.generation.to_string());
+                ctx.span_annotate(span, "objects", report.objects.to_string());
+                ctx.span_annotate(span, "wal_segments", report.wal_segments.to_string());
+                ctx.span_annotate(span, "relist_rounds", report.relist_rounds.to_string());
+            }
+            Err(e) => ctx.span_annotate(span, "outcome", format!("{e:?}")),
+        }
+        ctx.span_end(span);
+        result.map(|report| (cluster, report))
     }
 
     /// The coordinator's address.

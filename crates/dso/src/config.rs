@@ -49,6 +49,75 @@ pub enum ConsistencyMode {
     CrdtMerge,
 }
 
+/// How (and whether) applied mutations are persisted to the durability
+/// store (see `dso::durability` and DESIGN.md "Durability & recovery").
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DurabilityLevel {
+    /// No WAL, no checkpoints — the pre-existing RAM-only behavior. The
+    /// default; schedules (and golden determinism hashes) are
+    /// byte-identical to a build without the durability subsystem.
+    #[default]
+    None,
+    /// Mutations are acknowledged immediately and the per-node WAL daemon
+    /// group-commits them to the store in the background. Write latency is
+    /// unchanged; a crash loses at most one group-commit window of
+    /// acknowledged writes (the loss window).
+    Async,
+    /// A mutation is acknowledged only after the group-commit batch
+    /// containing it has been PUT to the store. Zero loss window for
+    /// acknowledged writes, at the cost of up to one group-commit interval
+    /// plus one store PUT (~35 ms) of added write latency.
+    Sync,
+}
+
+/// Configuration of the durability subsystem: where WAL segments and
+/// checkpoints go, how writes are acknowledged, and how recovery copes
+/// with the store's eventual consistency.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// The cloud object store (plus key prefix and generation) that holds
+    /// WAL segments and checkpoints.
+    pub store: crate::durability::DurabilityStore,
+    /// Write-acknowledgement contract. [`DurabilityLevel::None`] disables
+    /// the subsystem entirely even when a store is configured.
+    pub level: DurabilityLevel,
+    /// Group-commit interval: how often each node's WAL daemon flushes its
+    /// buffered records as one segment PUT (amortizing the ~35 ms PUT).
+    pub group_commit: Duration,
+    /// Maximum records per flushed segment; a larger backlog drains over
+    /// several consecutive segments within the same flush.
+    pub segment_max_records: usize,
+    /// Checkpoints retained before garbage collection deletes older
+    /// checkpoints and the WAL segments they subsume. At least 2, so the
+    /// newest checkpoint may still be inside the store's visibility window
+    /// while the previous one already covers every GC'd segment.
+    pub checkpoint_keep: u32,
+    /// Recovery read-repair window: recovery keeps re-LISTing until the
+    /// listing has been stable (and every checkpoint floor satisfied) for
+    /// this long. The zero-loss contract of [`DurabilityLevel::Sync`]
+    /// holds when this dominates the store's visibility delay.
+    pub settle: Duration,
+    /// Cadence of recovery's re-LIST rounds within the settle window.
+    pub settle_step: Duration,
+}
+
+impl DurabilityConfig {
+    /// A durability configuration over `store` with the defaults:
+    /// [`DurabilityLevel::Async`], 5 ms group commit, 256-record segments,
+    /// 2 checkpoints retained, and a 250 ms / 50 ms settle loop.
+    pub fn new(store: crate::durability::DurabilityStore) -> DurabilityConfig {
+        DurabilityConfig {
+            store,
+            level: DurabilityLevel::Async,
+            group_commit: Duration::from_millis(5),
+            segment_max_records: 256,
+            checkpoint_keep: 2,
+            settle: Duration::from_millis(250),
+            settle_step: Duration::from_millis(50),
+        }
+    }
+}
+
 /// Admission control at each storage node's dispatcher (load shedding).
 ///
 /// Two independent gates, both checked *before* any ownership or routing
@@ -157,6 +226,12 @@ pub struct DsoConfig {
     /// Per-node admission control (token bucket + queue-depth shedding).
     /// `None` (the default) admits everything, the pre-existing behavior.
     pub admission: Option<AdmissionConfig>,
+    /// Durability subsystem: per-node WAL + periodic checkpoints persisted
+    /// to a cloud object store, with full-cluster crash-restart recovery
+    /// ([`crate::DsoCluster::recover_from`]). `None` (the default) is the
+    /// pre-existing RAM-only behavior; so is an explicit
+    /// [`DurabilityLevel::None`].
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for DsoConfig {
@@ -180,6 +255,7 @@ impl Default for DsoConfig {
             verify_readonly: true,
             pure_methods: PureMethods::default(),
             admission: None,
+            durability: None,
         }
     }
 }
@@ -189,6 +265,18 @@ impl DsoConfig {
     pub fn backoff_for(&self, attempt: u32) -> Duration {
         let factor = 1u32 << attempt.min(6);
         self.retry_backoff * factor
+    }
+
+    /// The durability configuration when the subsystem is active — a
+    /// configured store at a level other than [`DurabilityLevel::None`].
+    pub fn durability_active(&self) -> Option<&DurabilityConfig> {
+        self.durability.as_ref().filter(|d| d.level != DurabilityLevel::None)
+    }
+
+    /// The effective durability level ([`DurabilityLevel::None`] when no
+    /// store is configured).
+    pub fn durability_level(&self) -> DurabilityLevel {
+        self.durability.as_ref().map_or(DurabilityLevel::None, |d| d.level)
     }
 
     /// Starts a validating builder from the defaults.
@@ -402,6 +490,14 @@ impl DsoConfigBuilder {
         self
     }
 
+    /// Configures the durability subsystem (WAL + checkpoints to a cloud
+    /// store), or disables it with `None`. Accepts a bare
+    /// [`DurabilityConfig`] or an `Option`.
+    pub fn durability(mut self, d: impl Into<Option<DurabilityConfig>>) -> Self {
+        self.cfg.durability = d.into();
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -498,6 +594,34 @@ impl DsoConfigBuilder {
             }
             if a.retry_after.is_zero() {
                 return Err(DsoConfigError("admission.retry_after must be non-zero".into()));
+            }
+        }
+        if let Some(d) = &c.durability {
+            if d.store.prefix().is_empty() {
+                return Err(DsoConfigError("durability.store prefix must be non-empty".into()));
+            }
+            if d.level != DurabilityLevel::None {
+                if d.group_commit.is_zero() {
+                    return Err(DsoConfigError("durability.group_commit must be non-zero".into()));
+                }
+                if d.segment_max_records == 0 {
+                    return Err(DsoConfigError(
+                        "durability.segment_max_records must be >= 1".into(),
+                    ));
+                }
+                if d.checkpoint_keep < 2 {
+                    return Err(DsoConfigError(
+                        "durability.checkpoint_keep must be >= 2: GC may delete WAL \
+                         segments while the newest checkpoint is still inside the \
+                         store's visibility window"
+                            .into(),
+                    ));
+                }
+                if d.settle_step.is_zero() || d.settle_step > d.settle {
+                    return Err(DsoConfigError(
+                        "durability.settle_step must be non-zero and <= settle".into(),
+                    ));
+                }
             }
         }
         Ok(c)

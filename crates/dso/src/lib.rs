@@ -54,6 +54,7 @@ pub mod api;
 mod client;
 mod cluster;
 mod config;
+pub mod durability;
 mod error;
 pub mod intern;
 mod membership;
@@ -71,11 +72,16 @@ pub mod verify;
 pub use client::{BatchOp, DsoClient, DsoClientHandle, MonotonicReads};
 pub use cluster::DsoCluster;
 pub use config::{
-    AdmissionConfig, ConsistencyMode, DsoConfig, DsoConfigBuilder, DsoConfigError, PureMethods,
+    AdmissionConfig, ConsistencyMode, DsoConfig, DsoConfigBuilder, DsoConfigError,
+    DurabilityConfig, DurabilityLevel, PureMethods,
+};
+pub use durability::{
+    checkpoint, recover_into, spawn_checkpointer, CheckpointReport, Checkpointer, DurabilityStats,
+    DurabilityStore, RecoveryReport,
 };
 pub use error::{DsoError, ObjectError};
 pub use intern::{intern, MethodName};
-pub use membership::spawn_coordinator;
+pub use membership::{spawn_coordinator, spawn_coordinator_from};
 pub use node_cache::{NodeCache, NodeCacheKey, NodeEntry};
 pub use object::{
     costs, CallCtx, Effects, Mergeable, ObjectFactory, ObjectRef, ObjectRegistry, Reply,

@@ -24,6 +24,17 @@ pub fn spawn_coordinator(sim: &Sim, cfg: DsoConfig) -> Addr {
     inbox
 }
 
+/// [`spawn_coordinator`] from inside the simulation — used by
+/// [`crate::DsoCluster::recover_from`] to rebuild a crashed deployment
+/// without leaving virtual time.
+pub fn spawn_coordinator_from(ctx: &mut Ctx, cfg: DsoConfig) -> Addr {
+    let inbox = ctx.shared_mailbox("dso-coordinator");
+    ctx.spawn_daemon("dso-coordinator", move |c| {
+        coordinator_loop(c, inbox, cfg);
+    });
+    inbox
+}
+
 struct MemberState {
     addr: Addr,
     last_heartbeat: SimTime,

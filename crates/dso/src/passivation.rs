@@ -2,21 +2,24 @@
 //! and restoring them later — §4.1's "they reside in memory … and can be
 //! passivated to stable storage using standard mechanisms (marshalling)".
 //!
-//! Passivation snapshots every storage node, deduplicates replicas by
-//! version, and writes one object per key under a prefix in the object
-//! store. Restoration replays the marshalled states through the regular
-//! invocation path (`__restore`), so placement and replication follow the
-//! *current* ring — a passivated dataset can be restored into a cluster
-//! of any size.
-
-use std::collections::HashMap;
+//! This module predates [`crate::durability`] and is now a thin
+//! compatibility shim over it: [`passivate`] writes a single checkpoint
+//! blob (deduplicated by version across replicas) and [`restore`] runs a
+//! one-shot recovery, replaying the marshalled states through the regular
+//! invocation path (`__restore`) so placement and replication follow the
+//! *current* ring — a passivated dataset can still be restored into a
+//! cluster of any size. New code should use [`crate::checkpoint`] /
+//! [`crate::recover_into`] (or [`crate::DsoCluster::recover_from`] after a
+//! full-cluster crash) directly: they add WAL overlay, generation
+//! handling, LIST read repair, and garbage collection that this shim does
+//! not expose.
 
 use simcore::Ctx;
 
 use crate::client::DsoClient;
+use crate::config::DurabilityConfig;
+use crate::durability::DurabilityStore;
 use crate::error::DsoError;
-use crate::object::ObjectRef;
-use crate::protocol::{ObjectRecord, SnapshotAll, SnapshotReply};
 
 /// Result of a passivation run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -29,55 +32,29 @@ pub struct PassivationReport {
     pub nodes: usize,
 }
 
-fn storage_key(prefix: &str, obj: &ObjectRef) -> String {
-    format!("{prefix}/{}/{}", obj.type_name(), obj.key())
+fn shim_config(s3: &cloudstore::S3Handle, prefix: &str) -> DurabilityConfig {
+    DurabilityConfig::new(DurabilityStore::new(s3.clone(), prefix))
 }
 
-/// Writes every object in the cluster to `s3` under `prefix`.
+/// Writes every object in the cluster to `s3` under `prefix` as one
+/// checkpoint blob.
 ///
 /// # Errors
 ///
 /// Propagates [`DsoError::Timeout`] if a storage node does not answer its
 /// snapshot request.
+#[deprecated(note = "use dso::checkpoint with a DurabilityConfig instead")]
 pub fn passivate(
     ctx: &mut Ctx,
     cli: &mut DsoClient,
     s3: &cloudstore::S3Handle,
     prefix: &str,
 ) -> Result<PassivationReport, DsoError> {
-    let view = cli.refresh_view(ctx);
-    let timeout = cli.config().call_timeout * 4;
-    let lat_model = cli.config().client_net;
-    let mut best: HashMap<ObjectRef, ObjectRecord> = HashMap::new();
-    let mut nodes = 0;
-    for (_, addr) in &view.members {
-        let lat = lat_model.sample(ctx.rng());
-        let reply: Option<SnapshotReply> = ctx.call_timeout(*addr, SnapshotAll, lat, timeout);
-        let SnapshotReply(records) = reply.ok_or(DsoError::Timeout)?;
-        nodes += 1;
-        for r in records {
-            match best.get(&r.obj) {
-                Some(existing) if existing.version >= r.version => {}
-                _ => {
-                    best.insert(r.obj.clone(), r);
-                }
-            }
-        }
-    }
-    let mut objects: Vec<&ObjectRecord> = best.values().collect();
-    objects.sort_by(|a, b| a.obj.cmp(&b.obj));
-    let mut bytes = 0;
-    for r in &objects {
-        // invariant: ObjectRecord derives Serialize and holds only plain
-        // data, so encoding cannot fail.
-        let payload = simcore::codec::to_bytes(*r).expect("record encodes");
-        bytes += payload.len();
-        s3.put(ctx, &storage_key(prefix, &r.obj), payload);
-    }
-    Ok(PassivationReport { objects: objects.len(), bytes, nodes })
+    let report = crate::durability::checkpoint(ctx, cli, &shim_config(s3, prefix))?;
+    Ok(PassivationReport { objects: report.objects, bytes: report.bytes, nodes: report.nodes })
 }
 
-/// Restores every object stored under `prefix` into the cluster.
+/// Restores every object passivated under `prefix` into the cluster.
 ///
 /// Objects are re-placed under the cluster's current view; versions guard
 /// against downgrading objects that were mutated after the snapshot.
@@ -85,29 +62,18 @@ pub fn passivate(
 /// # Errors
 ///
 /// Propagates client errors; fails on undecodable records.
+#[deprecated(note = "use dso::recover_into or DsoCluster::recover_from instead")]
 pub fn restore(
     ctx: &mut Ctx,
     cli: &mut DsoClient,
     s3: &cloudstore::S3Handle,
     prefix: &str,
 ) -> Result<usize, DsoError> {
-    let list_prefix = format!("{prefix}/");
-    let keys = s3.list(ctx, &list_prefix);
-    let mut restored = 0;
-    for key in keys {
-        let payload = s3.get(ctx, &key).ok_or(DsoError::Retry)?;
-        let record: ObjectRecord = simcore::codec::from_bytes(&payload)
-            .map_err(|e| DsoError::Object(crate::error::ObjectError::BadState(e.to_string())))?;
-        // invariant: a (Bytes, u64) pair always encodes.
-        let args =
-            simcore::codec::to_bytes(&(record.state, record.version)).expect("restore args encode");
-        cli.invoke(ctx, &record.obj, "__restore", args.into(), record.rf, None, false, false)?;
-        restored += 1;
-    }
-    Ok(restored)
+    crate::durability::recover_into(ctx, cli, &shim_config(s3, prefix)).map(|r| r.objects)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::api::AtomicLong;

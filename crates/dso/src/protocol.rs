@@ -282,6 +282,70 @@ pub struct ObjectRecord {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SnapshotReply(pub Vec<ObjectRecord>);
 
+/// One entry of a node's write-ahead log: the post-state of an applied
+/// mutation, tagged with the version that produced it. A physical redo
+/// record rather than a replayable command — installing the state at its
+/// version is idempotent and deterministic regardless of the method's
+/// blocking/merge semantics, and replicas logging the same SMR apply
+/// produce byte-identical records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// The mutated object.
+    pub obj: ObjectRef,
+    /// Its replication factor.
+    pub rf: u8,
+    /// The method that produced this state (observability only; replay
+    /// installs `state` directly and never re-executes the method).
+    pub method: MethodName,
+    /// The object's version after the mutation.
+    pub version: u64,
+    /// The object's Lamport stamp after the mutation.
+    pub lamport: u64,
+    /// Marshalled post-mutation state.
+    pub state: Vec<u8>,
+}
+
+/// One group-commit batch of [`WalRecord`]s, written to the durability
+/// store as a single versioned key
+/// (`{prefix}/wal/{gen:08}-{node:08}-{seq:016}`). Sequence numbers are
+/// contiguous per `(gen, node)` stream, which is what lets recovery detect
+/// a LIST hiding a segment (eventual consistency) as a gap and re-list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalSegment {
+    /// Cluster incarnation the segment belongs to (bumped per recovery so
+    /// a recovered cluster never overwrites its predecessor's log).
+    pub gen: u32,
+    /// The node that wrote the segment.
+    pub node: NodeId,
+    /// Contiguous per-`(gen, node)` sequence number, starting at 1.
+    pub seq: u64,
+    /// Mutations coalesced into the records below (group commit keeps only
+    /// the newest state per object per batch).
+    pub coalesced: u64,
+    /// The batch, sorted by object reference.
+    pub records: Vec<WalRecord>,
+}
+
+/// A full-cluster checkpoint blob, written to the durability store as a
+/// single key (`{prefix}/ckpt/{gen:08}-{seq:016}`) so the object states
+/// and their metadata become visible atomically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointBlob {
+    /// Cluster incarnation that took the checkpoint.
+    pub gen: u32,
+    /// Checkpoint sequence within the incarnation, starting at 1.
+    pub seq: u64,
+    /// WAL high-water marks observed (via LIST) *before* the snapshot was
+    /// taken: `(gen, node, highest segment seq)` per stream. Monotonic
+    /// lower bounds — the snapshot state subsumes at least these segments,
+    /// and recovery re-LISTs until every floor is satisfied (read repair
+    /// against the store's visibility delay).
+    pub floors: Vec<(u32, NodeId, u64)>,
+    /// Deduplicated object states (newest version per object), sorted by
+    /// object reference.
+    pub objects: Vec<ObjectRecord>,
+}
+
 /// Coordinator's push of a new view to the members.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ViewUpdate(pub View);

@@ -19,11 +19,12 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use simcore::{Addr, Ctx, LatencyModel, Msg, Pid, Request, Sim, SimTime, SpanId, Ticker};
 
-use crate::config::{AdmissionConfig, ConsistencyMode, DsoConfig};
+use crate::config::{AdmissionConfig, ConsistencyMode, DsoConfig, DurabilityLevel};
+use crate::durability::wal::{wal_daemon, PendingAck, WalState};
 use crate::object::{CallCtx, ObjectRef, ObjectRegistry, Reply, SharedObject, Ticket};
 use crate::protocol::{
     BatchItemResp, BatchReq, DrainNode, InvokeReq, InvokeResp, MemberMsg, NodeId, PeerMsg, SmrOp,
-    VersionReq, VersionResp, View, ViewUpdate,
+    VersionReq, VersionResp, View, ViewUpdate, WalRecord,
 };
 use crate::ring::Ring;
 use crate::skeen::{Action, Skeen};
@@ -92,6 +93,10 @@ struct NodeShared {
     /// Invocations routed to workers and not yet finished (queued +
     /// executing) — the "queue depth" the admission controller bounds.
     inflight: AtomicU64,
+    /// The node's write-ahead-log buffer; `Some` only when durability is
+    /// active (see [`crate::DurabilityConfig`]). Workers append applied
+    /// mutations, the per-node WAL daemon group-commits them.
+    wal: Option<Arc<WalState>>,
 }
 
 /// Per-node admission controller: a token bucket (sustained rate + burst)
@@ -179,6 +184,7 @@ fn prepare_server(node: NodeId, cfg: DsoConfig, registry: ObjectRegistry) -> Ser
         inbox: inbox_slot.clone(),
         peer_net: cfg.peer_net,
     };
+    let wal = cfg.durability_active().map(|_| Arc::new(WalState::new(node)));
     let shared = Arc::new(NodeShared {
         node,
         cfg,
@@ -187,6 +193,7 @@ fn prepare_server(node: NodeId, cfg: DsoConfig, registry: ObjectRegistry) -> Ser
         parked: Mutex::new(HashMap::new()),
         next_ticket: AtomicU64::new(1),
         inflight: AtomicU64::new(0),
+        wal,
     });
     (handle, shared, pids, inbox_slot)
 }
@@ -216,6 +223,19 @@ fn server_main(
         });
         worker_pids.push(pid);
         pids.lock().push(pid);
+    }
+
+    // The WAL daemon exists only when durability is active; every other
+    // configuration runs the exact pre-existing process set, which keeps
+    // default-config schedules (and their golden hashes) byte-identical.
+    let mut wal_pid: Option<Pid> = None;
+    if let (Some(wal), Some(d)) = (shared.wal.clone(), cfg.durability_active().cloned()) {
+        let client_net = cfg.client_net;
+        let pid = ctx.spawn_daemon(&format!("dso-{node}-wal"), move |wc| {
+            wal_daemon(wc, wal, d, client_net);
+        });
+        pids.lock().push(pid);
+        wal_pid = Some(pid);
     }
 
     // Join the cluster.
@@ -356,6 +376,15 @@ fn server_main(
                         // return, which closes the owned mailboxes.
                         ctx.trace(format!("dso-{node}: drained, retiring"));
                         inbox_slot.lock().take();
+                        // Final WAL flush: records buffered before the
+                        // drain (and any Sync acks riding them) must not
+                        // die with the node.
+                        if let (Some(wal), Some(d)) = (&shared.wal, cfg.durability_active()) {
+                            wal.flush(ctx, d, &cfg.client_net);
+                        }
+                        if let Some(p) = wal_pid {
+                            ctx.kill(p);
+                        }
                         for p in &worker_pids {
                             ctx.kill(*p);
                         }
@@ -447,8 +476,15 @@ fn handle_client_invoke(
 }
 
 /// Replies to a client, wrapping the response in a [`BatchItemResp`] when
-/// the request arrived as a batch item.
-fn reply_tagged(ctx: &mut Ctx, reply_to: Addr, tag: Option<u32>, resp: InvokeResp, lat: Duration) {
+/// the request arrived as a batch item. Also used by the WAL daemon to
+/// release acknowledgements deferred under [`DurabilityLevel::Sync`].
+pub(crate) fn reply_tagged(
+    ctx: &mut Ctx,
+    reply_to: Addr,
+    tag: Option<u32>,
+    resp: InvokeResp,
+    lat: Duration,
+) {
     match tag {
         Some(tag) => ctx.reply(reply_to, BatchItemResp { tag, resp }, lat),
         None => ctx.reply(reply_to, resp, lat),
@@ -514,6 +550,23 @@ fn route_to_worker(ctx: &mut Ctx, shared: &Arc<NodeShared>, workers: &[Addr], it
     shared.inflight.fetch_add(1, Ordering::SeqCst);
     // Intra-node handoff costs nothing on the simulated network.
     ctx.send(workers[idx], Msg::new(item), Duration::ZERO);
+}
+
+/// Buffers the post-state of an applied mutation into the node's WAL
+/// (a physical redo record — replay installs the newest version per
+/// object). Returns whether anything was logged, i.e. whether durability
+/// is active on this node.
+fn wal_log(shared: &Arc<NodeShared>, obj: &ObjectRef, stored: &Stored, req: &InvokeReq) -> bool {
+    let Some(wal) = &shared.wal else { return false };
+    wal.log(WalRecord {
+        obj: obj.clone(),
+        rf: stored.rf,
+        method: req.method.clone(),
+        version: stored.version,
+        lamport: stored.lamport,
+        state: stored.obj.save(),
+    });
+    true
 }
 
 /// Marshals every locally-stored object (the passivation dump).
@@ -605,6 +658,16 @@ fn apply_merge(ctx: &mut Ctx, shared: &Arc<NodeShared>, obj: ObjectRef, rf: u8, 
             if merged && stored.obj.save() != before {
                 stored.version += 1;
                 stored.lamport += 1;
+                if let Some(wal) = &shared.wal {
+                    wal.log(WalRecord {
+                        obj: obj.clone(),
+                        rf: stored.rf,
+                        method: crate::intern::intern("__merge"),
+                        version: stored.version,
+                        lamport: stored.lamport,
+                        state: stored.obj.save(),
+                    });
+                }
                 ctx.metric_incr("dso.merges");
             }
         }
@@ -613,7 +676,18 @@ fn apply_merge(ctx: &mut Ctx, shared: &Arc<NodeShared>, obj: ObjectRef, rf: u8, 
                 return;
             };
             if instance.restore(&state).is_ok() {
-                objects.insert(obj, Stored { obj: instance, rf, version: 1, lamport: 1 });
+                let stored = Stored { obj: instance, rf, version: 1, lamport: 1 };
+                if let Some(wal) = &shared.wal {
+                    wal.log(WalRecord {
+                        obj: obj.clone(),
+                        rf,
+                        method: crate::intern::intern("__merge"),
+                        version: 1,
+                        lamport: 1,
+                        state: stored.obj.save(),
+                    });
+                }
+                objects.insert(obj, stored);
                 ctx.metric_incr("dso.merges");
             }
         }
@@ -732,10 +806,13 @@ fn execute(
     }
     let mut wakes: Vec<(Ticket, Vec<u8>)> = Vec::new();
     if &req.method == "__restore" {
-        let outcome = restore_object(shared, &req);
-        finish(ctx, shared, ticket, reply_to, tag, outcome, &[], exec_span);
+        let (outcome, logged) = restore_object(shared, &req);
+        finish(ctx, shared, ticket, reply_to, tag, outcome, &[], logged, exec_span);
         return;
     }
+    // Whether this call's effect was WAL-logged: under `Sync` durability
+    // such a reply is deferred until the covering segment is flushed.
+    let mut logged = false;
     let outcome = {
         let mut objects = shared.objects.lock();
         if !objects.contains_key(&req.obj) {
@@ -754,6 +831,7 @@ fn execute(
                         tag,
                         CallOutcome::Reply(InvokeResp::Retry, Duration::ZERO),
                         &[],
+                        false,
                         exec_span,
                     );
                     return;
@@ -768,6 +846,7 @@ fn execute(
                         tag,
                         CallOutcome::Reply(InvokeResp::Error(e), Duration::ZERO),
                         &[],
+                        false,
                         exec_span,
                     );
                     return;
@@ -779,7 +858,9 @@ fn execute(
         let stored = objects.get_mut(&req.obj).expect("object just ensured");
         if &req.method == "__create" {
             // Idempotent explicit creation: materialization above (or a
-            // pre-existing object) is all that is needed.
+            // pre-existing object) is all that is needed. Logged so the
+            // object exists after recovery even if never mutated.
+            logged = wal_log(shared, &req.obj, stored, &req);
             CallOutcome::Reply(
                 InvokeResp::Value {
                     bytes: unit_bytes(),
@@ -841,6 +922,7 @@ fn execute(
                     if mutating {
                         stored.version += 1;
                         stored.lamport = stored.lamport.max(req.dep) + 1;
+                        logged = wal_log(shared, &req.obj, stored, &req);
                     }
                     let version = stored.version;
                     let lamport = stored.lamport;
@@ -871,7 +953,7 @@ fn execute(
             }
         }
     };
-    finish(ctx, shared, ticket, reply_to, tag, outcome, &wakes, exec_span);
+    finish(ctx, shared, ticket, reply_to, tag, outcome, &wakes, logged, exec_span);
 }
 
 /// The encoded unit value `()`, shared by maintenance replies.
@@ -882,17 +964,24 @@ fn unit_bytes() -> bytes::Bytes {
 
 /// Un-passivates an object: rebuilds it from a marshalled snapshot,
 /// keeping whichever version is newer. Arguments: `(state, version)`.
-fn restore_object(shared: &Arc<NodeShared>, req: &InvokeReq) -> CallOutcome {
+/// The second return is whether the install was WAL-logged — a recovered
+/// object is re-logged under the new cluster's generation, which is what
+/// lets garbage collection retire the old generation's segments.
+fn restore_object(shared: &Arc<NodeShared>, req: &InvokeReq) -> (CallOutcome, bool) {
     let parsed: Result<(Vec<u8>, u64), _> = simcore::codec::from_bytes(&req.args);
     let (state, version) = match parsed {
         Ok(p) => p,
         Err(e) => {
-            return CallOutcome::Reply(
-                InvokeResp::Error(crate::error::ObjectError::BadArgs(e.to_string())),
-                Duration::ZERO,
+            return (
+                CallOutcome::Reply(
+                    InvokeResp::Error(crate::error::ObjectError::BadArgs(e.to_string())),
+                    Duration::ZERO,
+                ),
+                false,
             )
         }
     };
+    let mut logged = false;
     let mut objects = shared.objects.lock();
     let newer = objects.get(&req.obj).is_none_or(|s| s.version <= version);
     if newer {
@@ -905,14 +994,21 @@ fn restore_object(shared: &Arc<NodeShared>, req: &InvokeReq) -> CallOutcome {
                 // Passivation records carry no Lamport stamp; the version
                 // is a sound floor (stamps advance at least as fast).
                 let stored = Stored { obj, rf: req.rf.max(1), version, lamport: version };
+                logged = wal_log(shared, &req.obj, &stored, req);
                 objects.insert(req.obj.clone(), stored);
             }
-            Err(e) => return CallOutcome::Reply(InvokeResp::Error(e), Duration::ZERO),
+            Err(e) => return (CallOutcome::Reply(InvokeResp::Error(e), Duration::ZERO), false),
         }
     }
     let cost =
         crate::object::costs::SIMPLE_OP + crate::object::costs::PER_BYTE * state.len() as u32;
-    CallOutcome::Reply(InvokeResp::Value { bytes: unit_bytes(), version, lamport: version }, cost)
+    (
+        CallOutcome::Reply(
+            InvokeResp::Value { bytes: unit_bytes(), version, lamport: version },
+            cost,
+        ),
+        logged,
+    )
 }
 
 /// Creates the object for `req` if possible: from the request's creation
@@ -933,7 +1029,12 @@ fn materialize(
 }
 
 /// Charges the CPU cost, wakes deferred callers, replies, and closes the
-/// execution span.
+/// execution span. `logged` marks calls whose effect was WAL-logged:
+/// under [`DurabilityLevel::Sync`] their successful replies are parked on
+/// the WAL and sent by the daemon once the covering segment PUT returns —
+/// the ack contract is "durable at the replying replica". Wakes (deferred
+/// blocking-call completions) always reply immediately: the state change
+/// that woke them is acknowledged through the waking call itself.
 #[allow(clippy::too_many_arguments)]
 fn finish(
     ctx: &mut Ctx,
@@ -943,6 +1044,7 @@ fn finish(
     tag: Option<u32>,
     outcome: CallOutcome,
     wakes: &[(Ticket, Vec<u8>)],
+    logged: bool,
     exec_span: SpanId,
 ) {
     let cost = match &outcome {
@@ -967,8 +1069,19 @@ fn finish(
         CallOutcome::Reply(resp, _) => {
             shared.parked.lock().remove(&ticket);
             if let Some(rt) = reply_to {
-                let lat = shared.cfg.client_net.sample(ctx.rng());
-                reply_tagged(ctx, rt, tag, resp, lat);
+                let defer = logged
+                    && shared.cfg.durability_level() == DurabilityLevel::Sync
+                    && matches!(resp, InvokeResp::Value { .. });
+                match (&shared.wal, defer) {
+                    (Some(wal), true) => {
+                        ctx.metric_incr("dso.sync_deferred_acks");
+                        wal.queue_ack(PendingAck { reply_to: rt, tag, resp });
+                    }
+                    _ => {
+                        let lat = shared.cfg.client_net.sample(ctx.rng());
+                        reply_tagged(ctx, rt, tag, resp, lat);
+                    }
+                }
             }
         }
         CallOutcome::Parked(_) => {

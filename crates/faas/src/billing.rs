@@ -18,6 +18,14 @@ pub struct Pricing {
     /// Dollars per GB-second of *stored* function snapshot (S3-like
     /// storage: ~$0.08/GB-month).
     pub per_snapshot_gb_second: f64,
+    /// Dollars per object-store request (PUT/GET/LIST/DELETE), the line
+    /// the DSO durability tier pays for WAL segments and checkpoints
+    /// (S3 PUT: ~$0.005 per 1 000 requests).
+    pub per_s3_request: f64,
+    /// Dollars per GB-second of object-store *data* held (S3 standard:
+    /// ~$0.023/GB-month) — WAL segments and checkpoint blobs between
+    /// their PUT and garbage collection.
+    pub per_storage_gb_second: f64,
 }
 
 impl Default for Pricing {
@@ -26,7 +34,20 @@ impl Default for Pricing {
             per_gb_second: 0.000_016_666_7,
             per_request: 0.000_000_2,
             per_snapshot_gb_second: 0.08 / (30.0 * 24.0 * 3600.0),
+            per_s3_request: 0.000_005,
+            per_storage_gb_second: 0.023 / (30.0 * 24.0 * 3600.0),
         }
+    }
+}
+
+impl Pricing {
+    /// Dollar cost of object-store durability traffic: `requests` store
+    /// calls plus `stored_gb_seconds` of data held. The inputs match
+    /// `dso::DurabilityStats::requests()` and
+    /// `dso::DurabilityStats::stored_gb_seconds`, kept as scalars so the
+    /// billing crate stays decoupled from the DSO tier.
+    pub fn storage_cost(&self, requests: u64, stored_gb_seconds: f64) -> f64 {
+        requests as f64 * self.per_s3_request + stored_gb_seconds * self.per_storage_gb_second
     }
 }
 
@@ -135,11 +156,15 @@ impl Billing {
 
     /// Total GB-seconds across all invocations.
     pub fn gb_seconds(&self) -> f64 {
-        self.records
-            .lock()
-            .iter()
-            .map(|r| r.duration.as_secs_f64() * (r.memory_mb as f64 / 1024.0))
-            .sum()
+        // fsum, not Iterator::sum: an empty ledger must report +0.0
+        // (f64's empty sum is -0.0, which leaks a "-0.00" into rendered
+        // cost tables).
+        simcore::fsum(
+            self.records
+                .lock()
+                .iter()
+                .map(|r| r.duration.as_secs_f64() * (r.memory_mb as f64 / 1024.0)),
+        )
     }
 
     /// Total compute time across all invocations.
@@ -165,11 +190,13 @@ impl Billing {
     /// GB-seconds containers sat idle before retirement — the cost of
     /// keeping pools warm, reported next to the execution GB-seconds.
     pub fn idle_gb_seconds(&self) -> f64 {
-        self.retired
-            .lock()
-            .iter()
-            .map(|r| r.idle.as_secs_f64() * (r.memory_mb as f64 / 1024.0))
-            .sum()
+        // fsum: +0.0 on an empty ledger, see gb_seconds.
+        simcore::fsum(
+            self.retired
+                .lock()
+                .iter()
+                .map(|r| r.idle.as_secs_f64() * (r.memory_mb as f64 / 1024.0)),
+        )
     }
 
     /// Opens a snapshot-storage record for `function` (the cache just
@@ -201,12 +228,11 @@ impl Billing {
     /// GB-seconds of snapshot storage held, counting open records up to
     /// `until` (typically the end of the run).
     pub fn snapshot_gb_seconds(&self, until: SimTime) -> f64 {
-        // fold, not sum: an empty ledger must report +0.0 (f64's empty
-        // sum is -0.0, which leaks a "-0.00" into rendered cost tables).
-        self.snapshots.lock().iter().fold(0.0, |acc, r| {
+        // fsum: +0.0 on an empty ledger, see gb_seconds.
+        simcore::fsum(self.snapshots.lock().iter().map(|r| {
             let end = r.evicted.unwrap_or(until);
-            acc + r.size_gb * end.saturating_duration_since(r.created).as_secs_f64()
-        })
+            r.size_gb * end.saturating_duration_since(r.created).as_secs_f64()
+        }))
     }
 
     /// Dollar cost of snapshot storage held up to `until`.
@@ -296,6 +322,26 @@ mod tests {
         // Evicting a function with no open record is a no-op.
         b.mark_snapshot_evicted("f", SimTime::from_secs(99));
         assert!((b.snapshot_gb_seconds(SimTime::from_secs(60)) - gbs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ledgers_report_positive_zero() {
+        let b = Billing::new();
+        // -0.0 == 0.0 under IEEE comparison, so check the sign bit: a
+        // negative zero would render as "-0.00" in cost tables.
+        assert!(!b.gb_seconds().is_sign_negative());
+        assert!(!b.idle_gb_seconds().is_sign_negative());
+        assert!(!b.snapshot_gb_seconds(SimTime::from_secs(1)).is_sign_negative());
+    }
+
+    #[test]
+    fn storage_cost_charges_requests_and_held_bytes() {
+        let p = Pricing::default();
+        assert_eq!(p.storage_cost(0, 0.0), 0.0);
+        // 1000 requests at $0.005/1000 plus one GB-month of storage.
+        let month = 30.0 * 24.0 * 3600.0;
+        let cost = p.storage_cost(1000, month);
+        assert!((cost - (0.005 + 0.023)).abs() < 1e-9, "{cost}");
     }
 
     #[test]

@@ -100,6 +100,7 @@ impl Default for ElasticConfig {
                 scale_out_cooldown: Duration::from_secs(3),
                 drain_cooldown: Duration::from_secs(8),
                 prewarm: None, // filled per-run with the worker's function name
+                checkpoint_interval: None,
             },
             target_per_node: 500.0,
             faas: FaasConfig::default(),
@@ -234,7 +235,7 @@ fn node_seconds(initial: u32, events: &[CtlEvent], t_end: SimTime) -> f64 {
         let (at, after) = match e {
             CtlEvent::ScaleOut { at, nodes } => (*at, *nodes),
             CtlEvent::Drain { at, nodes, .. } => (*at, *nodes),
-            CtlEvent::Prewarm { .. } => continue,
+            CtlEvent::Prewarm { .. } | CtlEvent::Checkpoint { .. } => continue,
         };
         acc += nodes * (at.saturating_duration_since(last)).as_secs_f64();
         nodes = f64::from(after);

@@ -15,3 +15,10 @@ pub struct RestoreBill {
     pub base_ms: u64,
     pub cost_ms: u64,
 }
+
+pub struct WalSegmentHeader {
+    pub gen: u32,
+    pub seq: u64,
+    pub records: u32,
+    pub sealed_ms: u64,
+}

@@ -1,0 +1,17 @@
+// Fixture: wall clock laundered into a *WAL segment header*. The
+// tempting bug in a durability layer: "when was this segment sealed"
+// stamped from the host clock so operators can eyeball blob ages — but
+// the header travels in the segment payload, so replay order and
+// recovery decisions on a peer would depend on the writer's wall clock.
+// The clock read hides behind a seal-time helper; no line in
+// `seal_segment` names a clock API. Expected finding: determinism-taint
+// at the `WalSegmentHeader` literal.
+
+fn sealed_at_ms() -> u64 {
+    let now = std::time::SystemTime::now();
+    now.duration_since(std::time::UNIX_EPOCH).unwrap().as_millis() as u64
+}
+
+pub fn seal_segment(gen: u32, seq: u64, records: u32) -> WalSegmentHeader {
+    WalSegmentHeader { gen, seq, records, sealed_ms: sealed_at_ms() }
+}

@@ -23,6 +23,13 @@
 //!   `starts` and `mean_start_ms`, and the tier claims hold: a snapshot
 //!   restore collapses the classic cold start by at least 4×, and a fork
 //!   undercuts the snapshot restore by at least 2×.
+//! * `"bench": "recovery"` (`experiments recovery`) — every checkpoint
+//!   cadence row has a positive `recovery_ms` and full `objects`, every
+//!   durability level appears in the `overhead` table, and the
+//!   durability claims hold: checkpoints at a 500 ms cadence cut
+//!   crash-recovery time by at least 1.2× and shrink the replayed log
+//!   versus running on the WAL alone, while async group commit stays off
+//!   the write path (within 1.2× of no durability at all).
 //!
 //! Exits non-zero listing each violation — as human-readable lines, or
 //! with `--json` as a JSON array of `{section, observed, floor, msg}`
@@ -114,6 +121,16 @@ const COLDSTART_MODES: [&str; 3] = ["classic", "snapshot", "fork"];
 const COLDSTART_CLAIMS: [(&str, &str, f64); 2] =
     [("classic", "snapshot", 4.0), ("snapshot", "fork", 2.0)];
 
+/// The checkpoint-cadence cells and durability levels `recovery` must
+/// report. The claims: recovering from the WAL alone (`none`) must take
+/// at least 1.2× as long as recovering atop a 500 ms checkpoint cadence,
+/// a tight cadence must replay strictly fewer WAL bytes, and `async`
+/// group commit must keep the mean write within 1.2× of no durability.
+const RECOVERY_ROWS: [&str; 4] = ["none", "ckpt_2000ms", "ckpt_1000ms", "ckpt_500ms"];
+const RECOVERY_LEVELS: [&str; 3] = ["none", "async", "sync"];
+const RECOVERY_SPEEDUP: f64 = 1.2;
+const ASYNC_OVERHEAD_CAP: f64 = 1.2;
+
 /// Validates the document, dispatching on the `bench` field; returns
 /// violations (empty = clean).
 fn validate(doc: &Json) -> Vec<Violation> {
@@ -121,6 +138,7 @@ fn validate(doc: &Json) -> Vec<Violation> {
         Some("kernel") => validate_kernel(doc),
         Some("consistency") => validate_consistency(doc),
         Some("coldstart") => validate_coldstart(doc),
+        Some("recovery") => validate_recovery(doc),
         Some(other) => vec![Violation::doc(format!("unknown bench kind \"{other}\""))],
         None => vec![Violation::doc("top-level object lacks a `bench` string")],
     }
@@ -257,6 +275,120 @@ fn validate_coldstart(doc: &Json) -> Vec<Violation> {
                     format!(
                         "mean_start_ms {f:.1} does not undercut {slower} ({s:.1}) by the \
                          documented {margin}x margin — the cold-start tier's claim regressed"
+                    ),
+                )
+            });
+        }
+    }
+    errs
+}
+
+fn validate_recovery(doc: &Json) -> Vec<Violation> {
+    let mut errs = Vec::new();
+    let Some(Json::Arr(rows)) = doc.get("rows") else {
+        errs.push(Violation::doc("top-level object lacks a `rows` array"));
+        return errs;
+    };
+    let row = |name: &str, key: &str| -> Option<f64> {
+        rows.iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+            .and_then(|r| r.get(key).and_then(Json::as_num))
+    };
+    for name in RECOVERY_ROWS {
+        match row(name, "recovery_ms") {
+            Some(v) if v > 0.0 => {}
+            Some(v) => errs.push(Violation {
+                observed: Some(v),
+                ..Violation::section(name, format!("`recovery_ms` must be positive, got {v}"))
+            }),
+            None => {
+                errs.push(Violation::section(name, "row missing (or lacks numeric `recovery_ms`)"))
+            }
+        }
+        match row(name, "objects") {
+            Some(v) if v > 0.0 => {}
+            Some(v) => errs.push(Violation {
+                observed: Some(v),
+                ..Violation::section(
+                    name,
+                    format!("`objects` must be positive, got {v} — recovery lost state"),
+                )
+            }),
+            None => errs.push(Violation::section(name, "missing numeric `objects`")),
+        }
+    }
+    if let (Some(none), Some(ckpt)) = (row("none", "recovery_ms"), row("ckpt_500ms", "recovery_ms"))
+    {
+        if none < ckpt * RECOVERY_SPEEDUP {
+            errs.push(Violation {
+                observed: Some(none),
+                floor: Some(ckpt * RECOVERY_SPEEDUP),
+                ..Violation::section(
+                    "none",
+                    format!(
+                        "recovery_ms {none:.0} is not at least {RECOVERY_SPEEDUP}x \
+                         ckpt_500ms ({ckpt:.0}) — checkpoints stopped buying down recovery"
+                    ),
+                )
+            });
+        }
+    }
+    if let (Some(none), Some(ckpt)) =
+        (row("none", "replayed_bytes"), row("ckpt_500ms", "replayed_bytes"))
+    {
+        if ckpt >= none {
+            errs.push(Violation {
+                observed: Some(ckpt),
+                floor: Some(none),
+                ..Violation::section(
+                    "ckpt_500ms",
+                    format!(
+                        "replayed_bytes {ckpt:.0} is not below none ({none:.0}) — \
+                         checkpoint GC stopped truncating the WAL"
+                    ),
+                )
+            });
+        }
+    }
+    let Some(Json::Arr(overhead)) = doc.get("overhead") else {
+        errs.push(Violation::doc("top-level object lacks an `overhead` array"));
+        return errs;
+    };
+    let level = |name: &str, key: &str| -> Option<f64> {
+        overhead
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+            .and_then(|r| r.get(key).and_then(Json::as_num))
+    };
+    for name in RECOVERY_LEVELS {
+        for key in ["mean_write_ms", "writes"] {
+            match level(name, key) {
+                Some(v) if v > 0.0 => {}
+                Some(v) => errs.push(Violation {
+                    observed: Some(v),
+                    ..Violation::section(
+                        name,
+                        format!("overhead `{key}` must be positive, got {v}"),
+                    )
+                }),
+                None => errs
+                    .push(Violation::section(name, format!("overhead row lacks numeric `{key}`"))),
+            }
+        }
+    }
+    if let (Some(none), Some(async_)) =
+        (level("none", "mean_write_ms"), level("async", "mean_write_ms"))
+    {
+        if async_ > none * ASYNC_OVERHEAD_CAP {
+            errs.push(Violation {
+                observed: Some(async_),
+                floor: Some(none * ASYNC_OVERHEAD_CAP),
+                ..Violation::section(
+                    "async",
+                    format!(
+                        "mean_write_ms {async_:.3} exceeds {ASYNC_OVERHEAD_CAP}x the \
+                         no-durability mean ({none:.3}) — async logging leaked onto \
+                         the write path"
                     ),
                 )
             });
@@ -494,6 +626,88 @@ mod tests {
         let errs = validate(&parse(&coldstart_doc(1500.0, 0.0, 25.0)).unwrap());
         assert!(
             errs.iter().any(|e| e.section == "snapshot" && e.msg.contains("must be positive")),
+            "{:?}",
+            humans(&errs)
+        );
+    }
+
+    /// A recovery report with the `none` and `ckpt_500ms` recovery times
+    /// and the async mean write latency as knobs (the rest healthy).
+    fn recovery_doc(none_ms: f64, ckpt500_ms: f64, async_write_ms: f64) -> String {
+        let rows = RECOVERY_ROWS
+            .iter()
+            .map(|name| {
+                let (ms, bytes) = match *name {
+                    "none" => (none_ms, 50_000),
+                    "ckpt_500ms" => (ckpt500_ms, 13_000),
+                    _ => (5_000.0, 26_000),
+                };
+                format!(
+                    "{{\"name\": \"{name}\", \"checkpoint_ms\": 500, \"recovery_ms\": {ms}, \
+                     \"replayed_bytes\": {bytes}, \"wal_segments\": 100, \"objects\": 16}}"
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let overhead = RECOVERY_LEVELS
+            .iter()
+            .map(|name| {
+                let ms = match *name {
+                    "async" => async_write_ms,
+                    "sync" => 55.0,
+                    _ => 0.4,
+                };
+                format!("{{\"name\": \"{name}\", \"mean_write_ms\": {ms}, \"writes\": 1000}}")
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"bench\": \"recovery\", \"scale\": \"quick\", \"rows\": [{rows}], \
+             \"overhead\": [{overhead}]}}"
+        )
+    }
+
+    #[test]
+    fn accepts_a_healthy_recovery_report() {
+        let errs = validate(&parse(&recovery_doc(8_600.0, 3_500.0, 0.41)).unwrap());
+        assert!(errs.is_empty(), "{:?}", humans(&errs));
+    }
+
+    #[test]
+    fn rejects_checkpoints_that_stopped_buying_down_recovery() {
+        let errs = validate(&parse(&recovery_doc(3_600.0, 3_500.0, 0.41)).unwrap());
+        assert_eq!(errs.len(), 1, "{:?}", humans(&errs));
+        assert_eq!(errs[0].section, "none");
+        assert!(errs[0].msg.contains("checkpoints stopped buying down recovery"));
+        assert_eq!(errs[0].observed, Some(3_600.0));
+        assert_eq!(errs[0].floor, Some(3_500.0 * RECOVERY_SPEEDUP));
+    }
+
+    #[test]
+    fn rejects_async_logging_that_leaked_onto_the_write_path() {
+        let errs = validate(&parse(&recovery_doc(8_600.0, 3_500.0, 5.0)).unwrap());
+        assert_eq!(errs.len(), 1, "{:?}", humans(&errs));
+        assert_eq!(errs[0].section, "async");
+        assert!(errs[0].msg.contains("leaked onto"));
+    }
+
+    #[test]
+    fn rejects_missing_or_lossy_recovery_rows() {
+        let errs =
+            validate(&parse("{\"bench\": \"recovery\", \"rows\": [], \"overhead\": []}").unwrap());
+        assert_eq!(
+            errs.len(),
+            RECOVERY_ROWS.len() * 2 + RECOVERY_LEVELS.len() * 2,
+            "{:?}",
+            humans(&errs)
+        );
+        assert!(errs[0].msg.contains("row missing"));
+        // A cadence row that came back with zero objects is lost state.
+        let doc = recovery_doc(8_600.0, 3_500.0, 0.41)
+            .replace("\"ckpt_500ms\", \"checkpoint_ms\": 500, \"recovery_ms\": 3500, \"replayed_bytes\": 13000, \"wal_segments\": 100, \"objects\": 16", "\"ckpt_500ms\", \"checkpoint_ms\": 500, \"recovery_ms\": 3500, \"replayed_bytes\": 13000, \"wal_segments\": 100, \"objects\": 0");
+        let errs = validate(&parse(&doc).unwrap());
+        assert!(
+            errs.iter().any(|e| e.section == "ckpt_500ms" && e.msg.contains("lost state")),
             "{:?}",
             humans(&errs)
         );

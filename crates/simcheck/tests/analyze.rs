@@ -29,6 +29,7 @@ fn bad_tree_yields_exactly_the_planted_findings() {
         ("restore.rs".to_string(), Rule::DeterminismTaint),
         ("taint_chain.rs".to_string(), Rule::DeterminismTaint),
         ("waits.rs".to_string(), Rule::WaitAnnotation),
+        ("walseg.rs".to_string(), Rule::DeterminismTaint),
     ];
     want.sort();
     assert_eq!(got, want, "full findings: {:#?}", analysis.findings);
@@ -85,6 +86,22 @@ fn wall_clock_laundered_into_a_restore_cost_is_caught() {
     assert!(f.msg.contains("RestoreBill"), "{}", f.msg);
     assert!(f.msg.contains("restore_cost_ms"), "{}", f.msg);
     assert!(f.msg.contains("pages_since_snapshot"), "{}", f.msg);
+    assert!(f.msg.contains("SystemTime::now"), "{}", f.msg);
+}
+
+#[test]
+fn wall_clock_laundered_into_a_wal_header_is_caught() {
+    let analysis = analyze_tree(&fixture("bad")).expect("walk fixtures");
+    let f = analysis
+        .findings
+        .iter()
+        .find(|f| f.file.ends_with("walseg.rs"))
+        .expect("planted WAL-header finding");
+    assert_eq!(f.rule, Rule::DeterminismTaint);
+    // The finding sits at the `WalSegmentHeader` wire literal; the trace
+    // names the seal-time helper and the true clock source.
+    assert!(f.msg.contains("WalSegmentHeader"), "{}", f.msg);
+    assert!(f.msg.contains("sealed_at_ms"), "{}", f.msg);
     assert!(f.msg.contains("SystemTime::now"), "{}", f.msg);
 }
 

@@ -61,7 +61,7 @@ pub use cpu::CpuHost;
 pub use detect::{DeadlockReport, StuckProc, WaitAnnotation, WaitKind};
 pub use kernel::{Addr, Ctx, Msg, Pid, Request, RunOutcome, Sim};
 pub use latency::{Jitter, LatencyModel};
-pub use metrics::{Counter, LatencyStats, MetricsRegistry, Series};
+pub use metrics::{fsum, Counter, LatencyStats, MetricsRegistry, Series};
 pub use scheduler::{Decision, FifoScheduler, RandomScheduler, ReplayScheduler, Scheduler};
 pub use slab::Slab;
 pub use time::SimTime;

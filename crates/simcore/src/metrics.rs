@@ -12,6 +12,23 @@ use parking_lot::Mutex;
 
 use crate::time::SimTime;
 
+/// Sums `f64` terms with a `+0.0` identity for the empty case.
+///
+/// `Iterator::sum::<f64>()` over an empty iterator yields `-0.0`, which
+/// leaks a "-0.00" into rendered cost tables the first time an empty
+/// ledger is formatted. Every GB-second/ledger fold in the workspace goes
+/// through this one helper so the fix lives in exactly one place.
+///
+/// # Examples
+///
+/// ```
+/// assert!(simcore::fsum(std::iter::empty()).is_sign_positive());
+/// assert_eq!(simcore::fsum([1.0, 2.0, 3.0]), 6.0);
+/// ```
+pub fn fsum<I: IntoIterator<Item = f64>>(terms: I) -> f64 {
+    terms.into_iter().fold(0.0, |acc, x| acc + x)
+}
+
 /// Accumulates latency observations and reports summary statistics.
 ///
 /// Stores every sample (simulations here are small enough), so exact
